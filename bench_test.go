@@ -1,0 +1,287 @@
+package dtmsvs
+
+import (
+	"testing"
+
+	"dtmsvs/internal/cnn"
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/vecmath"
+
+	"math"
+	"math/rand"
+)
+
+// benchConfig is the scenario all figure/table benches share: small
+// enough for a bench iteration, large enough to exhibit the paper's
+// shapes.
+func benchConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		NumUsers:         60,
+		NumBS:            4,
+		NumIntervals:     12,
+		CompressorEpochs: 8,
+		AgentEpisodes:    80,
+		PrefetchDepth:    -1, // paper's delivery model has no prefetch
+	}
+}
+
+// BenchmarkFig3a regenerates Fig. 3(a): the cumulative swiping
+// probability distribution of the News-dominant multicast group. The
+// reported metrics are the expected watch fractions of News and Game
+// (News must be highest, Game lowest).
+func BenchmarkFig3a(b *testing.B) {
+	var last *Fig3aResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig3a(benchConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.ExpectedWatchFraction[News.Index()], "news-watch-frac")
+		b.ReportMetric(last.ExpectedWatchFraction[Game.Index()], "game-watch-frac")
+	}
+}
+
+// BenchmarkFig3b regenerates Fig. 3(b): predicted vs actual radio
+// resource demand. The reported metric is the prediction accuracy;
+// the paper reports 95.04 % on its scenario.
+func BenchmarkFig3b(b *testing.B) {
+	var last *Fig3bResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig3b(benchConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.Accuracy*100, "group-accuracy-%")
+		b.ReportMetric(last.OverallAccuracy*100, "overall-accuracy-%")
+	}
+}
+
+// BenchmarkComputeDemand regenerates experiment E1: computing
+// resource demand prediction (volume accuracy).
+func BenchmarkComputeDemand(b *testing.B) {
+	var last *ComputeDemandResult
+	for i := 0; i < b.N; i++ {
+		res, err := RunComputeDemand(benchConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.VolumeAccuracy*100, "compute-accuracy-%")
+	}
+}
+
+// BenchmarkGroupingAblation regenerates experiment E2: DDQN-selected
+// K vs fixed-K vs raw features. Reported metric: accuracy advantage
+// of the full scheme over the worst arm (percentage points).
+func BenchmarkGroupingAblation(b *testing.B) {
+	variants := []GroupingVariant{
+		{Name: "ddqn+cnn", UseCNN: true},
+		{Name: "fixed-k8", FixedK: 8, UseCNN: true},
+	}
+	var rows []GroupingAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunGroupingAblation(benchConfig(42), variants)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].RadioAccuracy*100, "ddqn-accuracy-%")
+		b.ReportMetric(rows[1].RadioAccuracy*100, "fixed8-accuracy-%")
+	}
+}
+
+// BenchmarkAccuracyVsUsers regenerates experiment E3 at two
+// population sizes.
+func BenchmarkAccuracyVsUsers(b *testing.B) {
+	var rows []UsersSweepRow
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(42)
+		cfg.NumIntervals = 8
+		var err error
+		rows, err = RunAccuracyVsUsers(cfg, []int{40, 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].RadioAccuracy*100, "n40-accuracy-%")
+		b.ReportMetric(rows[1].RadioAccuracy*100, "n120-accuracy-%")
+	}
+}
+
+// BenchmarkPredictorBaselines regenerates experiment E4: the DT
+// scheme against last-value / moving-average / EWMA forecasters.
+func BenchmarkPredictorBaselines(b *testing.B) {
+	var rows []PredictorRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunPredictorBaselines(benchConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Accuracy*100, r.Name+"-%")
+	}
+}
+
+// BenchmarkReservation regenerates experiment E7: radio resource
+// reservation with 10 % headroom. Reported metrics: waste of the
+// prediction-driven policy vs static peak provisioning.
+func BenchmarkReservation(b *testing.B) {
+	var rows []ReservationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunReservation(benchConfig(42), 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].Waste, "prediction-waste")
+		b.ReportMetric(rows[1].Waste, "peak-waste")
+		b.ReportMetric(rows[0].ViolationRate*100, "prediction-violations-%")
+	}
+}
+
+// BenchmarkWasteVsPrefetch regenerates experiment E8: wasted traffic
+// share at shallow vs deep prefetch. Reported metrics: waste share at
+// depth 1 and depth 8 (deeper prefetch → more waste).
+func BenchmarkWasteVsPrefetch(b *testing.B) {
+	var rows []WasteRow
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(42)
+		cfg.NumIntervals = 8
+		var err error
+		rows, err = RunWasteVsPrefetch(cfg, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].WasteShare*100, "depth1-waste-%")
+		b.ReportMetric(rows[1].WasteShare*100, "depth8-waste-%")
+	}
+}
+
+// BenchmarkQoEVsBudget regenerates experiment E9: experienced quality
+// under an unlimited vs a tight shared radio budget.
+func BenchmarkQoEVsBudget(b *testing.B) {
+	var rows []QoEBudgetRow
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(42)
+		cfg.NumIntervals = 8
+		var err error
+		rows, err = RunQoEVsBudget(cfg, []int{0, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].MeanQoE, "unlimited-qoe")
+		b.ReportMetric(rows[1].MeanQoE, "budget3-qoe")
+	}
+}
+
+// BenchmarkAccuracyVsChurn regenerates experiment E10: prediction
+// accuracy with and without user churn.
+func BenchmarkAccuracyVsChurn(b *testing.B) {
+	var rows []ChurnRow
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(42)
+		cfg.NumIntervals = 8
+		var err error
+		rows, err = RunAccuracyVsChurn(cfg, []float64{0, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 {
+		b.ReportMetric(rows[0].RadioAccuracy*100, "nochurn-accuracy-%")
+		b.ReportMetric(rows[1].RadioAccuracy*100, "churn10-accuracy-%")
+	}
+}
+
+// BenchmarkCNNCompression regenerates experiment E5: reconstruction
+// error of the 1D-CNN compressor at code dim 8 on synthetic UDT
+// windows.
+func BenchmarkCNNCompression(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mkWindows := func(n int) []vecmath.Vec {
+		ws := make([]vecmath.Vec, n)
+		for i := range ws {
+			w := make(vecmath.Vec, 5*16)
+			phase := float64(i%4) * math.Pi / 2
+			for j := range w {
+				w[j] = 0.6*math.Sin(float64(j)/3+phase) + 0.05*rng.NormFloat64()
+			}
+			ws[i] = w
+		}
+		return ws
+	}
+	windows := mkWindows(32)
+	var lastLoss float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err := cnn.New(cnn.Config{
+			Channels: 5, Window: 16, Filters: 8, Kernel: 3, Pool: 2, CodeDim: 8,
+		}, rand.New(rand.NewSource(2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss, err := comp.Fit(windows, 10, rand.New(rand.NewSource(3)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastLoss = loss
+	}
+	b.ReportMetric(lastLoss, "recon-loss")
+}
+
+// BenchmarkDDQNTraining regenerates experiment E6: DDQN convergence
+// on the K-selection MDP. Reported metric: mean reward of the last 20
+// episodes (higher is better; compare against the exhaustive oracle
+// reward reported alongside).
+func BenchmarkDDQNTraining(b *testing.B) {
+	mkTwins := benchTwins(b)
+	var tail float64
+	var oracle float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(4))
+		builder, err := grouping.New(grouping.Config{
+			WindowSteps: 16, PosScale: 2000, KMin: 2, KMax: 6, UseCNN: true,
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := builder.TrainCompressor(mkTwins, 10); err != nil {
+			b.Fatal(err)
+		}
+		rewards, err := builder.TrainAgent(mkTwins, 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rewards[len(rewards)-20:] {
+			sum += r
+		}
+		tail = sum / 20
+		_, oracle, err = builder.BestKExhaustive(mkTwins)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tail, "tail-reward")
+	b.ReportMetric(oracle, "oracle-reward")
+}

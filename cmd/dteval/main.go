@@ -1,0 +1,185 @@
+// Command dteval runs the extended evaluation experiments (DESIGN.md
+// §4, E1–E4): computing-demand prediction, grouping ablation,
+// accuracy vs user count, and predictor baselines.
+//
+// Usage:
+//
+//	dteval -exp compute
+//	dteval -exp grouping
+//	dteval -exp users -counts 50,100,200
+//	dteval -exp predictors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dtmsvs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dteval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp       = flag.String("exp", "compute", `experiment: "compute", "grouping", "users", "predictors", "reserve", "waste", "qoe" or "churn"`)
+		seed      = flag.Int64("seed", 42, "random seed")
+		users     = flag.Int("users", 100, "base number of users")
+		intervals = flag.Int("intervals", 24, "reservation intervals")
+		counts    = flag.String("counts", "50,100,200", "comma-separated user counts for -exp users")
+	)
+	flag.Parse()
+
+	cfg := dtmsvs.DefaultConfig(*seed)
+	cfg.NumUsers = *users
+	cfg.NumIntervals = *intervals
+
+	switch *exp {
+	case "compute":
+		return runCompute(cfg)
+	case "grouping":
+		return runGrouping(cfg)
+	case "users":
+		return runUsers(cfg, *counts)
+	case "predictors":
+		return runPredictors(cfg)
+	case "reserve":
+		return runReserve(cfg)
+	case "waste":
+		return runWaste(cfg)
+	case "qoe":
+		return runQoE(cfg)
+	case "churn":
+		return runChurn(cfg)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func runCompute(cfg dtmsvs.Config) error {
+	res, err := dtmsvs.RunComputeDemand(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E1 — computing resource demand prediction")
+	fmt.Printf("%-10s%16s%16s\n", "sample", "predicted", "actual")
+	for i := range res.Predicted {
+		fmt.Printf("%-10d%16.3e%16.3e\n", i, res.Predicted[i], res.Actual[i])
+	}
+	fmt.Printf("\nvolume accuracy: %.2f%%\n", res.VolumeAccuracy*100)
+	return nil
+}
+
+func runGrouping(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunGroupingAblation(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E2 — grouping ablation (DDQN-K vs fixed-K vs raw features)")
+	fmt.Printf("%-12s%6s%14s%16s\n", "variant", "K", "silhouette", "radio-accuracy")
+	for _, r := range rows {
+		fmt.Printf("%-12s%6d%14.3f%15.2f%%\n", r.Variant.Name, r.K, r.Silhouette, r.RadioAccuracy*100)
+	}
+	return nil
+}
+
+func runUsers(cfg dtmsvs.Config, countsCSV string) error {
+	var counts []int
+	for _, f := range strings.Split(countsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("parse -counts: %w", err)
+		}
+		counts = append(counts, n)
+	}
+	rows, err := dtmsvs.RunAccuracyVsUsers(cfg, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E3 — prediction accuracy vs user count")
+	fmt.Printf("%-8s%6s%16s%18s\n", "users", "K", "radio-accuracy", "compute-accuracy")
+	for _, r := range rows {
+		fmt.Printf("%-8d%6d%15.2f%%%17.2f%%\n", r.Users, r.K, r.RadioAccuracy*100, r.ComputeAccuracy*100)
+	}
+	return nil
+}
+
+func runReserve(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunReservation(cfg, 0.1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E7 — radio resource reservation (10% headroom)")
+	fmt.Printf("%-22s%12s%12s%16s%14s\n", "policy", "waste", "deficit", "violation-rate", "utilization")
+	for _, r := range rows {
+		fmt.Printf("%-22s%12.1f%12.1f%15.2f%%%13.2f%%\n",
+			r.Policy, r.Waste, r.Deficit, r.ViolationRate*100, r.Utilization*100)
+	}
+	return nil
+}
+
+func runWaste(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunWasteVsPrefetch(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E8 — wasted multicast traffic vs prefetch depth")
+	fmt.Printf("%-8s%14s%18s%16s\n", "depth", "waste-share", "pred/actual-waste", "radio-accuracy")
+	for _, r := range rows {
+		fmt.Printf("%-8d%13.2f%%%18.3f%15.2f%%\n",
+			r.PrefetchDepth, r.WasteShare*100, r.AggregateRatio, r.RadioAccuracy*100)
+	}
+	return nil
+}
+
+func runQoE(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunQoEVsBudget(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E9 — QoE vs shared radio budget")
+	fmt.Printf("%-10s%12s%16s%18s\n", "budget", "mean-qoe", "mean-bitrate", "under-grant-rate")
+	for _, r := range rows {
+		budget := "unlimited"
+		if r.RBBudget > 0 {
+			budget = strconv.Itoa(r.RBBudget)
+		}
+		fmt.Printf("%-10s%12.1f%13.0f kbps%17.2f%%\n",
+			budget, r.MeanQoE, r.MeanBitrateBps/1e3, r.UnderGrantRate*100)
+	}
+	return nil
+}
+
+func runChurn(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunAccuracyVsChurn(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E10 — accuracy and grouping stability vs user churn")
+	fmt.Printf("%-10s%16s%16s%12s\n", "churn", "radio-accuracy", "mean-stability", "churned")
+	for _, r := range rows {
+		fmt.Printf("%-10.2f%15.2f%%%16.3f%12d\n",
+			r.ChurnPerInterval, r.RadioAccuracy*100, r.MeanStability, r.ChurnedUsers)
+	}
+	return nil
+}
+
+func runPredictors(cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunPredictorBaselines(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E4 — predictor baselines on radio demand")
+	fmt.Printf("%-20s%16s\n", "predictor", "accuracy")
+	for _, r := range rows {
+		fmt.Printf("%-20s%15.2f%%\n", r.Name, r.Accuracy*100)
+	}
+	return nil
+}

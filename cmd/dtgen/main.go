@@ -1,0 +1,72 @@
+// Command dtgen generates the synthetic short-video-streaming-
+// challenge-style dataset (see DESIGN.md §2 for the substitution
+// rationale) and writes it as CSV or JSON.
+//
+// Usage:
+//
+//	dtgen -users 200 -events 50 -videos 500 -format csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dtmsvs/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dtgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		users      = flag.Int("users", 200, "number of users")
+		events     = flag.Int("events", 50, "viewing events per user")
+		videos     = flag.Int("videos", 500, "catalog size")
+		seed       = flag.Int64("seed", 42, "random seed")
+		format     = flag.String("format", "csv", `output format: "csv" or "json"`)
+		engagement = flag.Float64("engagement", 0.55, "mean engagement in (0,1]")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	catalog, err := video.NewCatalog(video.CatalogConfig{
+		NumVideos:       *videos,
+		CategoryWeights: []float64{5, 3, 2.5, 2, 1},
+	}, rng)
+	if err != nil {
+		return err
+	}
+	records, err := video.GenerateDataset(catalog, video.DatasetConfig{
+		Users:          *users,
+		EventsPerUser:  *events,
+		MeanEngagement: *engagement,
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		return video.WriteCSV(w, records)
+	case "json":
+		return video.WriteJSON(w, records)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

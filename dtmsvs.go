@@ -1,0 +1,109 @@
+// Package dtmsvs is a Go reproduction of "Digital Twin-Assisted
+// Resource Demand Prediction for Multicast Short Video Streaming"
+// (Huang, Wu, Shen — ICDCS 2023, arXiv:2306.05946).
+//
+// The library builds user digital twins (UDTs) that collect channel
+// condition, location, watching duration and preference; constructs
+// multicast groups with a 1D-CNN + DDQN-empowered K-means++ pipeline;
+// abstracts per-group swiping probability distributions and
+// recommended videos; and predicts each group's radio (resource
+// block) and computing (transcode cycle) demand per 5-minute
+// reservation interval.
+//
+// The top-level entry point is Run, which executes a full simulation
+// scenario and returns a Trace of predicted-vs-actual demand. The
+// experiment runners in experiments.go regenerate the paper's Fig. 3
+// panels and the extended evaluation described in DESIGN.md.
+//
+// Everything is deterministic given Config.Seed and uses only the
+// standard library.
+package dtmsvs
+
+import (
+	"io"
+
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/predict"
+	"dtmsvs/internal/sim"
+	"dtmsvs/internal/video"
+)
+
+// Config parameterizes a simulation scenario. See the field docs in
+// internal/sim for defaults; the zero value plus NumUsers, NumBS and
+// NumIntervals is a runnable scenario.
+type Config = sim.Config
+
+// GroupingConfig configures the two-step multicast group construction
+// (1D-CNN compression → DDQN K-selection → K-means++).
+type GroupingConfig = grouping.Config
+
+// Trace is a full simulation output: per-(interval, group) records of
+// predicted and measured demand, the final swiping distributions, and
+// run-level statistics.
+type Trace = sim.Trace
+
+// GroupIntervalRecord is one row of a Trace.
+type GroupIntervalRecord = sim.GroupIntervalRecord
+
+// SwipeDistribution is a group's per-category swiping probability
+// distribution (the Fig. 3(a) artifact).
+type SwipeDistribution = predict.SwipeDistribution
+
+// Category is a short-video content category (News … Game).
+type Category = video.Category
+
+// The five categories used by the paper's evaluation.
+const (
+	News   = video.News
+	Sports = video.Sports
+	Music  = video.Music
+	Comedy = video.Comedy
+	Game   = video.Game
+)
+
+// NumCategories is the size of the category set.
+const NumCategories = video.NumCategories
+
+// Run executes a scenario end to end: warm-up browsing, CNN + DDQN
+// training, group construction, and NumIntervals of
+// predict-then-measure multicast streaming.
+func Run(cfg Config) (*Trace, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// TraceSummary aggregates a trace into run-level statistics.
+type TraceSummary = sim.Summary
+
+// WriteTraceCSV writes trace records as CSV with a header row.
+func WriteTraceCSV(w io.Writer, records []GroupIntervalRecord) error {
+	return sim.WriteRecordsCSV(w, records)
+}
+
+// WriteTraceJSON writes trace records as a JSON array.
+func WriteTraceJSON(w io.Writer, records []GroupIntervalRecord) error {
+	return sim.WriteRecordsJSON(w, records)
+}
+
+// ReadTraceJSON decodes a JSON array of trace records.
+func ReadTraceJSON(r io.Reader) ([]GroupIntervalRecord, error) {
+	return sim.ReadRecordsJSON(r)
+}
+
+// DefaultConfig returns the paper-scale scenario used by the Fig. 3
+// reproduction: 100 users on the campus map, 4 base stations, 24
+// five-minute reservation intervals, News-heavy catalog. Prefetching
+// is disabled (the paper's delivery model has none); the waste
+// experiments (E8/E9) enable it explicitly.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		NumUsers:      100,
+		NumBS:         4,
+		NumIntervals:  24,
+		PrefetchDepth: -1,
+	}
+}

@@ -1,0 +1,279 @@
+package dtmsvs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		NumUsers:         24,
+		NumBS:            4,
+		CatalogSize:      120,
+		NumIntervals:     4,
+		TicksPerInterval: 10,
+		WarmupIntervals:  1,
+		CompressorEpochs: 3,
+		AgentEpisodes:    30,
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	tr, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(9)
+	if cfg.Seed != 9 || cfg.NumUsers != 100 || cfg.NumBS != 4 || cfg.NumIntervals != 24 {
+		t.Fatalf("default config %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	res, err := RunFig3a(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroupID < 0 {
+		t.Fatalf("group id %d", res.GroupID)
+	}
+	for c := range res.CDF {
+		if len(res.CDF[c]) == 0 {
+			t.Fatalf("category %d has empty CDF", c)
+		}
+		for i := 1; i < len(res.CDF[c]); i++ {
+			if res.CDF[c][i] < res.CDF[c][i-1] {
+				t.Fatalf("category %d CDF not monotone", c)
+			}
+		}
+	}
+	// The News-dominant group watches News longer than Game.
+	if res.ExpectedWatchFraction[News.Index()] <= res.ExpectedWatchFraction[Game.Index()] {
+		t.Fatalf("news %v not above game %v",
+			res.ExpectedWatchFraction[News.Index()], res.ExpectedWatchFraction[Game.Index()])
+	}
+}
+
+func TestFig3bSeriesAligned(t *testing.T) {
+	res, err := RunFig3b(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predicted) != len(res.Actual) || len(res.Predicted) == 0 {
+		t.Fatalf("series %d/%d", len(res.Predicted), len(res.Actual))
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy %v", res.Accuracy)
+	}
+	if res.OverallAccuracy < 0 || res.OverallAccuracy > 1 {
+		t.Fatalf("overall accuracy %v", res.OverallAccuracy)
+	}
+}
+
+func TestSharedTraceExtractors(t *testing.T) {
+	tr, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fig3aFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig3bFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GroupID != b.GroupID {
+		t.Fatalf("panels disagree on group: %d vs %d", a.GroupID, b.GroupID)
+	}
+	empty := &Trace{}
+	if _, err := Fig3aFromTrace(empty); !errors.Is(err, ErrExperiment) {
+		t.Fatalf("want ErrExperiment, got %v", err)
+	}
+	if _, err := Fig3bFromTrace(empty); !errors.Is(err, ErrExperiment) {
+		t.Fatalf("want ErrExperiment, got %v", err)
+	}
+}
+
+func TestRunComputeDemand(t *testing.T) {
+	res, err := RunComputeDemand(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predicted) != len(res.Actual) || len(res.Predicted) == 0 {
+		t.Fatal("misaligned compute series")
+	}
+}
+
+func TestRunGroupingAblationDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	cfg := smallConfig(5)
+	rows, err := RunGroupingAblation(cfg, []GroupingVariant{
+		{Name: "ddqn+cnn", UseCNN: true},
+		{Name: "fixed-k2", FixedK: 2, UseCNN: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].K != 2 {
+		t.Fatalf("fixed-k2 ended with K=%d", rows[1].K)
+	}
+	for _, r := range rows {
+		if r.RadioAccuracy < 0 || r.RadioAccuracy > 1 {
+			t.Fatalf("accuracy %v for %s", r.RadioAccuracy, r.Variant.Name)
+		}
+	}
+}
+
+func TestRunAccuracyVsUsers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	cfg := smallConfig(6)
+	rows, err := RunAccuracyVsUsers(cfg, []int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Users != 16 || rows[1].Users != 32 {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestRunReservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows, err := RunReservation(smallConfig(9), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ViolationRate < 0 || r.ViolationRate > 1 {
+			t.Fatalf("violation rate %v for %s", r.ViolationRate, r.Policy)
+		}
+		if r.Waste < 0 || r.Deficit < 0 {
+			t.Fatalf("negative accounting for %s: %+v", r.Policy, r)
+		}
+	}
+	if _, err := RunReservation(smallConfig(9), -1); err == nil {
+		t.Fatal("negative margin must fail")
+	}
+}
+
+func TestRunWasteVsPrefetch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows, err := RunWasteVsPrefetch(smallConfig(10), []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Deeper prefetch must waste at least as much traffic.
+	if rows[1].WasteShare < rows[0].WasteShare {
+		t.Fatalf("waste not monotone in depth: %v then %v", rows[0].WasteShare, rows[1].WasteShare)
+	}
+	for _, r := range rows {
+		if r.WasteShare < 0 || r.WasteShare > 1 {
+			t.Fatalf("waste share %v", r.WasteShare)
+		}
+	}
+}
+
+func TestRunQoEVsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows, err := RunQoEVsBudget(smallConfig(11), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// A tight budget cannot raise QoE above unlimited.
+	if rows[1].MeanQoE > rows[0].MeanQoE+1e-9 {
+		t.Fatalf("budget QoE %v above unlimited %v", rows[1].MeanQoE, rows[0].MeanQoE)
+	}
+	if rows[0].UnderGrantRate != 0 {
+		t.Fatalf("unlimited run reports under-grants: %v", rows[0].UnderGrantRate)
+	}
+}
+
+func TestRunRadioAccuracyMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	st, err := RunRadioAccuracyMultiSeed(smallConfig(0), []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seeds != 2 {
+		t.Fatalf("seeds %d", st.Seeds)
+	}
+	if st.Min > st.Mean || st.Mean > st.Max {
+		t.Fatalf("ordering violated: %+v", st)
+	}
+	if st.Mean < 0 || st.Mean > 1 {
+		t.Fatalf("mean %v", st.Mean)
+	}
+}
+
+func TestRunPredictorBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	rows, err := RunPredictorBaselines(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want dt + 3 baselines", len(rows))
+	}
+	if rows[0].Name != "dt-scheme" {
+		t.Fatalf("first row %q", rows[0].Name)
+	}
+}
+
+// ExampleRun demonstrates the minimal end-to-end usage shown in the
+// README.
+func ExampleRun() {
+	trace, err := Run(Config{
+		Seed:             7,
+		NumUsers:         24,
+		NumBS:            4,
+		CatalogSize:      120,
+		NumIntervals:     2,
+		TicksPerInterval: 10,
+		WarmupIntervals:  1,
+		CompressorEpochs: 2,
+		AgentEpisodes:    20,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(trace.Records) > 0)
+	// Output: true
+}

@@ -1,0 +1,46 @@
+// Ablation: compare the full DT-assisted scheme against its ablated
+// variants — fixed grouping numbers, raw (uncompressed) features —
+// and against history-only demand predictors. This regenerates the
+// extended experiments E2 and E4 from DESIGN.md on a compact
+// scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtmsvs"
+)
+
+func main() {
+	cfg := dtmsvs.Config{
+		Seed:         42,
+		NumUsers:     80,
+		NumBS:        4,
+		NumIntervals: 16,
+	}
+
+	fmt.Println("grouping ablation (E2):")
+	rows, err := dtmsvs.RunGroupingAblation(cfg, []dtmsvs.GroupingVariant{
+		{Name: "ddqn+cnn", UseCNN: true},
+		{Name: "ddqn+raw", UseCNN: false},
+		{Name: "fixed-k2", FixedK: 2, UseCNN: true},
+		{Name: "fixed-k8", FixedK: 8, UseCNN: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-12s%4s%12s%16s\n", "variant", "K", "silhouette", "radio-accuracy")
+	for _, r := range rows {
+		fmt.Printf("  %-12s%4d%12.3f%15.2f%%\n", r.Variant.Name, r.K, r.Silhouette, r.RadioAccuracy*100)
+	}
+
+	fmt.Println("\npredictor baselines (E4):")
+	preds, err := dtmsvs.RunPredictorBaselines(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range preds {
+		fmt.Printf("  %-20s%8.2f%%\n", p.Name, p.Accuracy*100)
+	}
+}

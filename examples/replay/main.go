@@ -1,0 +1,92 @@
+// Replay: run the grouping + abstraction pipeline offline on a
+// viewing trace — no live simulation. Generates a synthetic
+// challenge-style dataset (stand-in for a real trace in the same
+// schema), replays it into user digital twins, constructs multicast
+// groups and prints each group's abstracted swiping behavior.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/predict"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. A viewing trace (swap in a real one via video.ReadJSON).
+	catalog, err := video.NewCatalog(video.CatalogConfig{
+		NumVideos:       300,
+		CategoryWeights: []float64{5, 3, 2.5, 2, 1},
+	}, rng)
+	if err != nil {
+		return err
+	}
+	records, err := video.GenerateDataset(catalog, video.DatasetConfig{
+		Users: 60, EventsPerUser: 40,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d viewing events from %d users\n", len(records), 60)
+
+	// 2. Replay into digital twins.
+	twins, err := udt.ReplayDataset(records, udt.Config{WatchEvery: 1, PreferenceEvery: 1}, 0.1)
+	if err != nil {
+		return err
+	}
+
+	// 3. Two-step group construction on the replayed twins.
+	builder, err := grouping.New(grouping.Config{
+		WindowSteps: 16, PosScale: 2000,
+		KMin: 2, KMax: 6, UseCNN: true,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	if _, err := builder.TrainCompressor(twins, 15); err != nil {
+		return err
+	}
+	if _, err := builder.TrainAgent(twins, 80); err != nil {
+		return err
+	}
+	result, err := builder.Build(twins)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("constructed %d multicast groups (silhouette %.3f)\n\n", result.K, result.Silhouette)
+
+	// 4. Abstract each group's swiping behavior.
+	for _, g := range result.Groups {
+		members := make([]*udt.Twin, len(g.Members))
+		for i, m := range g.Members {
+			members[i] = twins[m]
+		}
+		profile, perr := predict.BuildGroupProfile(members, catalog, 20)
+		if perr != nil {
+			return perr
+		}
+		fmt.Printf("group %d (%2d members): mean engagement %.1f s/view, E[watch] by category:",
+			g.ID, len(g.Members), profile.MeanEngagementS)
+		for _, c := range video.AllCategories() {
+			e, eerr := profile.Swipe.ExpectedWatchFraction(c)
+			if eerr != nil {
+				return eerr
+			}
+			fmt.Printf("  %s %.2f", c, e)
+		}
+		fmt.Println()
+	}
+	return nil
+}

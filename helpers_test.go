@@ -1,0 +1,47 @@
+package dtmsvs
+
+import (
+	"testing"
+
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+// benchTwins builds a two-cluster synthetic twin population for the
+// grouping benches and tests.
+func benchTwins(tb testing.TB) []*udt.Twin {
+	tb.Helper()
+	const n = 24
+	twins := make([]*udt.Twin, n)
+	for i := range twins {
+		tw, err := udt.NewTwin(i, udt.Config{
+			ChannelEvery: 1, LocationEvery: 1, WatchEvery: 1, PreferenceEvery: 1,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		clusterA := i < n/2
+		for tick := 0; tick < 32; tick++ {
+			tw.Tick()
+			if clusterA {
+				if _, cerr := tw.CollectChannel(12 + tick%4); cerr != nil {
+					tb.Fatal(cerr)
+				}
+				tw.CollectLocation(200+float64(tick), 150)
+				if _, verr := tw.CollectView(video.News, 35, 0.85, false); verr != nil {
+					tb.Fatal(verr)
+				}
+			} else {
+				if _, cerr := tw.CollectChannel(1 + tick%4); cerr != nil {
+					tb.Fatal(cerr)
+				}
+				tw.CollectLocation(1800-8*float64(tick), 1700)
+				if _, verr := tw.CollectView(video.Game, 4, 0.1, true); verr != nil {
+					tb.Fatal(verr)
+				}
+			}
+		}
+		twins[i] = tw
+	}
+	return twins
+}

@@ -1,0 +1,261 @@
+// Package channel models the wireless link between a base station and
+// a user: 3GPP-style urban-macro path loss, log-normal shadowing,
+// Rayleigh fast fading, SNR and Shannon spectral efficiency, plus the
+// CQI quantization UDTs store as "channel condition". The paper is
+// simulation-only; this is the standard substitute for real RAN
+// measurements (DESIGN.md §2).
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dtmsvs/internal/mobility"
+)
+
+// ErrParam indicates an invalid channel parameter.
+var ErrParam = errors.New("channel: invalid parameter")
+
+// BaseStation is a transmitter at a fixed position.
+type BaseStation struct {
+	ID int
+	// Pos is the BS location on the campus map.
+	Pos mobility.Point
+	// TxPowerDBm is the transmit power per resource block.
+	TxPowerDBm float64
+}
+
+// Params holds the propagation model constants.
+type Params struct {
+	// CarrierGHz is the carrier frequency (default 2.6 GHz).
+	CarrierGHz float64
+	// ShadowSigmaDB is the log-normal shadowing std dev (default 8 dB).
+	ShadowSigmaDB float64
+	// NoiseFigureDB at the receiver (default 9 dB).
+	NoiseFigureDB float64
+	// RBBandwidthHz is the bandwidth of one resource block
+	// (default 180 kHz, LTE-style).
+	RBBandwidthHz float64
+	// MinDistM clamps the path-loss distance (default 10 m).
+	MinDistM float64
+	// FadingRho is the AR(1) correlation of the fast-fading process
+	// between consecutive samples (Jakes-style temporal correlation).
+	// 0 (default) gives i.i.d. Rayleigh fading per sample; values
+	// toward 1 model slow-moving users whose fades persist across
+	// collection ticks.
+	FadingRho float64
+}
+
+// DefaultParams returns the parameter set used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		CarrierGHz:    2.6,
+		ShadowSigmaDB: 8,
+		NoiseFigureDB: 9,
+		RBBandwidthHz: 180e3,
+		MinDistM:      10,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.CarrierGHz <= 0:
+		return fmt.Errorf("carrier %v GHz: %w", p.CarrierGHz, ErrParam)
+	case p.ShadowSigmaDB < 0:
+		return fmt.Errorf("shadow sigma %v dB: %w", p.ShadowSigmaDB, ErrParam)
+	case p.RBBandwidthHz <= 0:
+		return fmt.Errorf("rb bandwidth %v Hz: %w", p.RBBandwidthHz, ErrParam)
+	case p.MinDistM <= 0:
+		return fmt.Errorf("min dist %v m: %w", p.MinDistM, ErrParam)
+	case p.FadingRho < 0 || p.FadingRho >= 1:
+		return fmt.Errorf("fading rho %v: %w", p.FadingRho, ErrParam)
+	}
+	return nil
+}
+
+// PathLossDB returns the 3GPP UMa-style path loss in dB at distance d
+// meters: PL = 128.1 + 37.6·log10(d/1000) adjusted for carrier
+// frequency. Distances below MinDistM are clamped.
+func (p Params) PathLossDB(d float64) float64 {
+	if d < p.MinDistM {
+		d = p.MinDistM
+	}
+	// 128.1 dB reference at 2 GHz; shift by 21·log10(f/2) to account
+	// for carrier frequency (approximate frequency scaling).
+	ref := 128.1 + 21*math.Log10(p.CarrierGHz/2)
+	return ref + 37.6*math.Log10(d/1000)
+}
+
+// NoisePowerDBm returns thermal noise power over one RB including the
+// noise figure: -174 dBm/Hz + 10·log10(B) + NF.
+func (p Params) NoisePowerDBm() float64 {
+	return -174 + 10*math.Log10(p.RBBandwidthHz) + p.NoiseFigureDB
+}
+
+// Link models one user's channel to a base station, holding the
+// slow-varying shadowing state. Fast fading is redrawn per sample.
+type Link struct {
+	params   Params
+	bs       *BaseStation
+	shadowDB float64
+	rng      *rand.Rand
+
+	// hRe/hIm is the complex fading tap for the AR(1) process
+	// (only evolved when FadingRho > 0).
+	hRe, hIm float64
+}
+
+// NewLink creates a link with freshly drawn shadowing.
+func NewLink(params Params, bs *BaseStation, rng *rand.Rand) (*Link, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if bs == nil {
+		return nil, fmt.Errorf("nil base station: %w", ErrParam)
+	}
+	const invSqrt2 = 0.7071067811865476
+	return &Link{
+		params:   params,
+		bs:       bs,
+		shadowDB: rng.NormFloat64() * params.ShadowSigmaDB,
+		rng:      rng,
+		hRe:      rng.NormFloat64() * invSqrt2,
+		hIm:      rng.NormFloat64() * invSqrt2,
+	}, nil
+}
+
+// BS returns the serving base station.
+func (l *Link) BS() *BaseStation { return l.bs }
+
+// RedrawShadowing resamples the slow-fading term — call when the user
+// has moved far enough for the shadowing to decorrelate (~50 m).
+func (l *Link) RedrawShadowing() {
+	l.shadowDB = l.rng.NormFloat64() * l.params.ShadowSigmaDB
+}
+
+// Handover re-points the link at a new serving base station while
+// keeping the shadowing state: the slow fade is modeled as user-local
+// clutter (body/indoor loss) that travels with the user, which also
+// keeps the digital twin's calibration offset valid across cells.
+func (l *Link) Handover(bs *BaseStation) error {
+	if bs == nil {
+		return fmt.Errorf("handover to nil bs: %w", ErrParam)
+	}
+	l.bs = bs
+	return nil
+}
+
+// Sample returns the instantaneous SNR (dB) at the given user
+// position: TX power − path loss − shadowing + Rayleigh fading − noise.
+// With FadingRho > 0 the fading tap evolves as a complex AR(1)
+// process (temporally correlated fades); otherwise each sample draws
+// an independent Rayleigh realization.
+func (l *Link) Sample(userPos mobility.Point) float64 {
+	d := l.bs.Pos.Dist(userPos)
+	pl := l.params.PathLossDB(d)
+	var h2 float64
+	if rho := l.params.FadingRho; rho > 0 {
+		const invSqrt2 = 0.7071067811865476
+		innov := math.Sqrt(1 - rho*rho)
+		l.hRe = rho*l.hRe + innov*l.rng.NormFloat64()*invSqrt2
+		l.hIm = rho*l.hIm + innov*l.rng.NormFloat64()*invSqrt2
+		h2 = l.hRe*l.hRe + l.hIm*l.hIm
+	} else {
+		// |h|² of a unit complex Gaussian is Exp(1).
+		h2 = l.rng.ExpFloat64()
+	}
+	if h2 < 1e-9 {
+		h2 = 1e-9
+	}
+	fadeDB := 10 * math.Log10(h2)
+	rxDBm := l.bs.TxPowerDBm - pl - l.shadowDB + fadeDB
+	return rxDBm - l.params.NoisePowerDBm()
+}
+
+// SpectralEfficiency converts an SNR in dB to Shannon spectral
+// efficiency bits/s/Hz, capped at 7.8 (64-QAM 5/6-ish practical max).
+func SpectralEfficiency(snrDB float64) float64 {
+	snr := math.Pow(10, snrDB/10)
+	se := math.Log2(1 + snr)
+	if se > 7.8 {
+		se = 7.8
+	}
+	return se
+}
+
+// RateBps returns the achievable rate of one resource block at the
+// given SNR for the parameter set.
+func (p Params) RateBps(snrDB float64) float64 {
+	return p.RBBandwidthHz * SpectralEfficiency(snrDB)
+}
+
+// MeanSNRdB returns the deterministic (fading- and shadowing-free)
+// SNR of a link at distance d for the given transmit power. Digital
+// twins use it as the propagation model underlying calibrated SNR
+// prediction: observed SNR minus MeanSNRdB yields a per-user offset
+// that absorbs shadowing and mean fading.
+func (p Params) MeanSNRdB(txPowerDBm, d float64) float64 {
+	return txPowerDBm - p.PathLossDB(d) - p.NoisePowerDBm()
+}
+
+// CQI quantizes an SNR (dB) into a 1..15 channel-quality indicator,
+// the discrete "channel condition" stored in UDTs. The thresholds are
+// a standard LTE-like mapping of roughly -6 dB..20 dB.
+func CQI(snrDB float64) int {
+	// 15 levels spanning [-6, 20) dB, ~1.86 dB per step.
+	const lo, hi = -6.0, 20.0
+	if snrDB < lo {
+		return 1
+	}
+	if snrDB >= hi {
+		return 15
+	}
+	q := 1 + int((snrDB-lo)/(hi-lo)*15)
+	if q > 15 {
+		q = 15
+	}
+	return q
+}
+
+// NearestBS returns the base station closest to the position.
+func NearestBS(stations []*BaseStation, pos mobility.Point) (*BaseStation, error) {
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("no base stations: %w", ErrParam)
+	}
+	best := stations[0]
+	bestD := best.Pos.Dist(pos)
+	for _, bs := range stations[1:] {
+		if d := bs.Pos.Dist(pos); d < bestD {
+			best, bestD = bs, d
+		}
+	}
+	return best, nil
+}
+
+// GridDeploy places n base stations on a uniform grid over the map
+// with the given per-RB transmit power.
+func GridDeploy(m *mobility.Map, n int, txPowerDBm float64) ([]*BaseStation, error) {
+	if m == nil || n <= 0 {
+		return nil, fmt.Errorf("deploy %d stations: %w", n, ErrParam)
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	out := make([]*BaseStation, 0, n)
+	id := 0
+	for i := 0; i < side && id < n; i++ {
+		for j := 0; j < side && id < n; j++ {
+			out = append(out, &BaseStation{
+				ID: id,
+				Pos: mobility.Point{
+					X: (float64(i) + 0.5) * m.Width / float64(side),
+					Y: (float64(j) + 0.5) * m.Height / float64(side),
+				},
+				TxPowerDBm: txPowerDBm,
+			})
+			id++
+		}
+	}
+	return out, nil
+}

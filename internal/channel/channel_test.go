@@ -1,0 +1,315 @@
+package channel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsvs/internal/mobility"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"carrier", func(p *Params) { p.CarrierGHz = 0 }},
+		{"shadow", func(p *Params) { p.ShadowSigmaDB = -1 }},
+		{"rb", func(p *Params) { p.RBBandwidthHz = 0 }},
+		{"mindist", func(p *Params) { p.MinDistM = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := DefaultParams()
+			tt.mut(&p)
+			if err := p.Validate(); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	p := DefaultParams()
+	prev := p.PathLossDB(10)
+	for d := 20.0; d <= 2000; d += 10 {
+		pl := p.PathLossDB(d)
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %v m: %v <= %v", d, pl, prev)
+		}
+		prev = pl
+	}
+	// Clamped below MinDist.
+	if p.PathLossDB(1) != p.PathLossDB(5) {
+		t.Fatal("distances below MinDist must clamp")
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	// At 1 km and 2 GHz the UMa formula gives 128.1 dB.
+	p := DefaultParams()
+	p.CarrierGHz = 2
+	if got := p.PathLossDB(1000); math.Abs(got-128.1) > 1e-9 {
+		t.Fatalf("PL(1km, 2GHz) = %v, want 128.1", got)
+	}
+}
+
+func TestNoisePower(t *testing.T) {
+	p := DefaultParams()
+	// -174 + 10log10(180e3) + 9 ≈ -112.45 dBm
+	want := -174 + 10*math.Log10(180e3) + 9
+	if got := p.NoisePowerDBm(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("noise %v, want %v", got, want)
+	}
+}
+
+func TestSpectralEfficiency(t *testing.T) {
+	if se := SpectralEfficiency(0); math.Abs(se-1) > 1e-9 {
+		t.Fatalf("SE(0dB) = %v, want 1", se)
+	}
+	if se := SpectralEfficiency(100); se != 7.8 {
+		t.Fatalf("SE must cap at 7.8, got %v", se)
+	}
+	if se := SpectralEfficiency(-30); se <= 0 || se > 0.01 {
+		t.Fatalf("SE(-30dB) = %v", se)
+	}
+	// Monotone non-decreasing property.
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 60)
+		b = math.Mod(b, 60)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return SpectralEfficiency(lo) <= SpectralEfficiency(hi)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCQIRange(t *testing.T) {
+	if CQI(-100) != 1 {
+		t.Fatalf("CQI floor: %d", CQI(-100))
+	}
+	if CQI(100) != 15 {
+		t.Fatalf("CQI ceil: %d", CQI(100))
+	}
+	prev := 0
+	for snr := -10.0; snr <= 25; snr += 0.25 {
+		q := CQI(snr)
+		if q < 1 || q > 15 {
+			t.Fatalf("CQI(%v) = %d out of range", snr, q)
+		}
+		if q < prev {
+			t.Fatalf("CQI not monotone at %v dB", snr)
+		}
+		prev = q
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bs := &BaseStation{Pos: mobility.Point{X: 0, Y: 0}, TxPowerDBm: 30}
+	bad := DefaultParams()
+	bad.CarrierGHz = 0
+	if _, err := NewLink(bad, bs, rng); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewLink(DefaultParams(), nil, rng); !errors.Is(err, ErrParam) {
+		t.Fatalf("nil bs: want ErrParam, got %v", err)
+	}
+	l, err := NewLink(DefaultParams(), bs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.BS() != bs {
+		t.Fatal("BS accessor")
+	}
+}
+
+func TestLinkSNRDecreasesWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bs := &BaseStation{Pos: mobility.Point{X: 0, Y: 0}, TxPowerDBm: 30}
+	params := DefaultParams()
+	params.ShadowSigmaDB = 0 // isolate distance effect
+	l, err := NewLink(params, bs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanSNR := func(d float64) float64 {
+		var sum float64
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += l.Sample(mobility.Point{X: d, Y: 0})
+		}
+		return sum / n
+	}
+	near, far := meanSNR(50), meanSNR(1500)
+	if near <= far {
+		t.Fatalf("SNR near %v <= far %v", near, far)
+	}
+	if near-far < 30 {
+		t.Fatalf("distance effect too small: %v dB", near-far)
+	}
+}
+
+func TestRedrawShadowingChangesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bs := &BaseStation{Pos: mobility.Point{}, TxPowerDBm: 30}
+	l, err := NewLink(DefaultParams(), bs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.shadowDB
+	changed := false
+	for i := 0; i < 10; i++ {
+		l.RedrawShadowing()
+		if l.shadowDB != before {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("shadowing never changed across redraws")
+	}
+}
+
+func TestRateBps(t *testing.T) {
+	p := DefaultParams()
+	// 0 dB SNR → SE 1 → 180 kbps per RB.
+	if got := p.RateBps(0); math.Abs(got-180e3) > 1 {
+		t.Fatalf("rate %v, want 180e3", got)
+	}
+}
+
+func TestNearestBS(t *testing.T) {
+	if _, err := NearestBS(nil, mobility.Point{}); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	a := &BaseStation{ID: 0, Pos: mobility.Point{X: 0, Y: 0}}
+	b := &BaseStation{ID: 1, Pos: mobility.Point{X: 100, Y: 0}}
+	got, err := NearestBS([]*BaseStation{a, b}, mobility.Point{X: 80, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 1 {
+		t.Fatalf("nearest = %d, want 1", got.ID)
+	}
+}
+
+func TestGridDeploy(t *testing.T) {
+	m := mobility.CampusMap()
+	if _, err := GridDeploy(m, 0, 30); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := GridDeploy(nil, 4, 30); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	stations, err := GridDeploy(m, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != 4 {
+		t.Fatalf("%d stations", len(stations))
+	}
+	seen := map[int]bool{}
+	for _, bs := range stations {
+		if seen[bs.ID] {
+			t.Fatalf("duplicate id %d", bs.ID)
+		}
+		seen[bs.ID] = true
+		if !m.Contains(bs.Pos) {
+			t.Fatalf("bs %d outside map", bs.ID)
+		}
+		if bs.TxPowerDBm != 30 {
+			t.Fatalf("bs power %v", bs.TxPowerDBm)
+		}
+	}
+	// Non-square count still yields exactly n.
+	stations, err = GridDeploy(m, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stations) != 5 {
+		t.Fatalf("%d stations, want 5", len(stations))
+	}
+}
+
+func TestFadingRhoValidation(t *testing.T) {
+	p := DefaultParams()
+	p.FadingRho = 1.0
+	if err := p.Validate(); !errors.Is(err, ErrParam) {
+		t.Fatalf("rho 1: want ErrParam, got %v", err)
+	}
+	p.FadingRho = -0.1
+	if err := p.Validate(); !errors.Is(err, ErrParam) {
+		t.Fatalf("negative rho: want ErrParam, got %v", err)
+	}
+	p.FadingRho = 0.95
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid rho rejected: %v", err)
+	}
+}
+
+// Correlated fading must have a higher lag-1 autocorrelation of the
+// SNR series than i.i.d. fading, with the same stationary mean.
+func TestCorrelatedFading(t *testing.T) {
+	series := func(rho float64, seed int64) []float64 {
+		params := DefaultParams()
+		params.ShadowSigmaDB = 0
+		params.FadingRho = rho
+		rng := rand.New(rand.NewSource(seed))
+		bs := &BaseStation{Pos: mobility.Point{}, TxPowerDBm: 30}
+		l, err := NewLink(params, bs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 20000)
+		pos := mobility.Point{X: 200, Y: 0}
+		for i := range out {
+			out[i] = l.Sample(pos)
+		}
+		return out
+	}
+	lag1 := func(xs []float64) float64 {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var num, den float64
+		for i := 0; i < len(xs)-1; i++ {
+			num += (xs[i] - mean) * (xs[i+1] - mean)
+			den += (xs[i] - mean) * (xs[i] - mean)
+		}
+		return num / den
+	}
+	iid := series(0, 1)
+	corr := series(0.95, 1)
+	if a := lag1(iid); math.Abs(a) > 0.05 {
+		t.Fatalf("iid lag-1 autocorr %v, want ~0", a)
+	}
+	if a := lag1(corr); a < 0.5 {
+		t.Fatalf("correlated lag-1 autocorr %v, want > 0.5", a)
+	}
+	// Same stationary mean (E|h|² = 1 in both processes).
+	meanOf := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		return m / float64(len(xs))
+	}
+	if d := math.Abs(meanOf(iid) - meanOf(corr)); d > 0.5 {
+		t.Fatalf("stationary means differ by %v dB", d)
+	}
+}

@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(); !errors.Is(err, ErrTable) {
+		t.Fatalf("want ErrTable, got %v", err)
+	}
+}
+
+func TestAddRowArity(t *testing.T) {
+	tb, err := NewTable("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("x"); !errors.Is(err, ErrTable) {
+		t.Fatalf("want ErrTable, got %v", err)
+	}
+	if err := tb.AddRow("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len %d", tb.Len())
+	}
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	tb, err := NewTable("name", "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("short", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("a-much-longer-name", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The value column starts at the same offset in every line.
+	idx := strings.Index(lines[0], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[1][idx:], "1") {
+		t.Fatalf("misaligned row: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2][idx:], "0.500") {
+		t.Fatalf("misaligned float row: %q", lines[2])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb, err := NewTable("k", "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow(2, Percent(0.9502)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "| k | acc |\n| --- | --- |\n| 2 | 95.02% |\n"
+	if buf.String() != want {
+		t.Fatalf("markdown:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.5) != "50.00%" {
+		t.Fatalf("percent %q", Percent(0.5))
+	}
+}

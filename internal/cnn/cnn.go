@@ -1,0 +1,230 @@
+// Package cnn implements the paper's 1D-CNN compressor for time-series
+// UDT data (§II-B1): a convolutional autoencoder that maps a window of
+// F feature channels over T time steps to a low-dimensional code. The
+// encoder half is what the grouping pipeline uses; the decoder exists
+// so the model can be trained with a reconstruction objective.
+package cnn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dtmsvs/internal/nn"
+	"dtmsvs/internal/vecmath"
+)
+
+// ErrConfig indicates an invalid compressor configuration.
+var ErrConfig = errors.New("cnn: invalid config")
+
+// Config describes the autoencoder architecture.
+type Config struct {
+	// Channels is the number of feature channels F in a UDT window.
+	Channels int
+	// Window is the number of time steps T per channel.
+	Window int
+	// Filters is the number of conv filters in the encoder.
+	Filters int
+	// Kernel is the conv kernel width.
+	Kernel int
+	// Pool is the max-pool window after the conv.
+	Pool int
+	// CodeDim is the size of the compressed representation.
+	CodeDim int
+	// LearningRate for Adam. Defaults to 1e-3 when zero.
+	LearningRate float64
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.Window <= 0:
+		return fmt.Errorf("channels=%d window=%d: %w", c.Channels, c.Window, ErrConfig)
+	case c.Filters <= 0 || c.Kernel <= 0 || c.Kernel > c.Window:
+		return fmt.Errorf("filters=%d kernel=%d window=%d: %w", c.Filters, c.Kernel, c.Window, ErrConfig)
+	case c.Pool <= 0 || c.Pool > c.Window-c.Kernel+1:
+		return fmt.Errorf("pool=%d convlen=%d: %w", c.Pool, c.Window-c.Kernel+1, ErrConfig)
+	case c.CodeDim <= 0:
+		return fmt.Errorf("codedim=%d: %w", c.CodeDim, ErrConfig)
+	}
+	return nil
+}
+
+// Compressor is a trainable 1D-CNN autoencoder.
+type Compressor struct {
+	cfg     Config
+	encoder *nn.Network
+	decoder *nn.Network
+	opt     *nn.Adam
+	inDim   int
+}
+
+// New builds a compressor from the config with weights drawn from rng.
+func New(cfg Config, rng *rand.Rand) (*Compressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 1e-3
+	}
+	inDim := cfg.Channels * cfg.Window
+
+	conv, err := nn.NewConv1D(cfg.Channels, cfg.Window, cfg.Filters, cfg.Kernel, 1, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cnn encoder conv: %w", err)
+	}
+	convLen := conv.OutLen()
+	pool, err := nn.NewMaxPool1D(cfg.Filters, convLen, cfg.Pool)
+	if err != nil {
+		return nil, fmt.Errorf("cnn encoder pool: %w", err)
+	}
+	pooled := cfg.Filters * pool.OutLen()
+	encHead, err := nn.NewDense(pooled, cfg.CodeDim, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cnn encoder head: %w", err)
+	}
+	encoder, err := nn.NewNetwork(inDim, conv, &nn.ReLU{}, pool, encHead, &nn.Tanh{})
+	if err != nil {
+		return nil, fmt.Errorf("cnn encoder: %w", err)
+	}
+
+	decHidden, err := nn.NewDense(cfg.CodeDim, pooled, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cnn decoder hidden: %w", err)
+	}
+	decOut, err := nn.NewDense(pooled, inDim, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cnn decoder out: %w", err)
+	}
+	decoder, err := nn.NewNetwork(cfg.CodeDim, decHidden, &nn.ReLU{}, decOut)
+	if err != nil {
+		return nil, fmt.Errorf("cnn decoder: %w", err)
+	}
+
+	return &Compressor{cfg: cfg, encoder: encoder, decoder: decoder, opt: nn.NewAdam(lr), inDim: inDim}, nil
+}
+
+// Config returns the compressor's configuration.
+func (c *Compressor) Config() Config { return c.cfg }
+
+// InputDim returns the flattened window size Channels×Window.
+func (c *Compressor) InputDim() int { return c.inDim }
+
+// Encode compresses one flattened window into a CodeDim vector.
+func (c *Compressor) Encode(window vecmath.Vec) (vecmath.Vec, error) {
+	if len(window) != c.inDim {
+		return nil, fmt.Errorf("encode input %d want %d: %w", len(window), c.inDim, ErrConfig)
+	}
+	return c.encoder.Forward(window)
+}
+
+// EncodeBatch compresses many windows.
+func (c *Compressor) EncodeBatch(windows []vecmath.Vec) ([]vecmath.Vec, error) {
+	out := make([]vecmath.Vec, len(windows))
+	for i, w := range windows {
+		code, err := c.Encode(w)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: %w", i, err)
+		}
+		out[i] = code
+	}
+	return out, nil
+}
+
+// Reconstruct runs the full autoencoder on one window.
+func (c *Compressor) Reconstruct(window vecmath.Vec) (vecmath.Vec, error) {
+	code, err := c.Encode(window)
+	if err != nil {
+		return nil, err
+	}
+	return c.decoder.Forward(code)
+}
+
+// TrainStep performs one reconstruction-loss gradient step on a single
+// window and returns the loss.
+func (c *Compressor) TrainStep(window vecmath.Vec) (float64, error) {
+	code, err := c.encoder.Forward(window)
+	if err != nil {
+		return 0, err
+	}
+	recon, err := c.decoder.Forward(code)
+	if err != nil {
+		return 0, err
+	}
+	loss, grad, err := nn.MSELoss(recon, window)
+	if err != nil {
+		return 0, err
+	}
+	c.encoder.ZeroGrads()
+	c.decoder.ZeroGrads()
+	codeGrad, err := c.decoder.Backward(grad)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.encoder.Backward(codeGrad); err != nil {
+		return 0, err
+	}
+	params := append(c.encoder.Params(), c.decoder.Params()...)
+	nn.ClipGrads(params, 5)
+	if err := c.opt.Step(params); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// State is the compressor's serializable parameter set.
+type State struct {
+	Encoder *nn.WeightState `json:"encoder"`
+	Decoder *nn.WeightState `json:"decoder"`
+}
+
+// SaveState captures the trained weights (architecture comes from
+// Config, which the caller persists separately).
+func (c *Compressor) SaveState() *State {
+	return &State{Encoder: c.encoder.SaveWeights(), Decoder: c.decoder.SaveWeights()}
+}
+
+// LoadState restores weights saved from a compressor with the same
+// Config.
+func (c *Compressor) LoadState(s *State) error {
+	if s == nil || s.Encoder == nil || s.Decoder == nil {
+		return fmt.Errorf("nil state: %w", ErrConfig)
+	}
+	if err := c.encoder.LoadWeights(s.Encoder); err != nil {
+		return fmt.Errorf("encoder: %w", err)
+	}
+	if err := c.decoder.LoadWeights(s.Decoder); err != nil {
+		return fmt.Errorf("decoder: %w", err)
+	}
+	return nil
+}
+
+// Fit trains for the given number of epochs over the window set,
+// returning the mean reconstruction loss of the final epoch.
+func (c *Compressor) Fit(windows []vecmath.Vec, epochs int, rng *rand.Rand) (float64, error) {
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("fit with no windows: %w", ErrConfig)
+	}
+	if epochs <= 0 {
+		return 0, fmt.Errorf("fit epochs=%d: %w", epochs, ErrConfig)
+	}
+	order := make([]int, len(windows))
+	for i := range order {
+		order[i] = i
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			loss, err := c.TrainStep(windows[idx])
+			if err != nil {
+				return 0, fmt.Errorf("epoch %d window %d: %w", e, idx, err)
+			}
+			sum += loss
+		}
+		last = sum / float64(len(windows))
+	}
+	return last, nil
+}

@@ -1,0 +1,318 @@
+package cnn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+func testConfig() Config {
+	return Config{Channels: 3, Window: 16, Filters: 4, Kernel: 3, Pool: 2, CodeDim: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }},
+		{"zero window", func(c *Config) { c.Window = 0 }},
+		{"zero filters", func(c *Config) { c.Filters = 0 }},
+		{"kernel too wide", func(c *Config) { c.Kernel = 99 }},
+		{"pool too wide", func(c *Config) { c.Pool = 99 }},
+		{"zero pool", func(c *Config) { c.Pool = 0 }},
+		{"zero codedim", func(c *Config) { c.CodeDim = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := testConfig()
+	cfg.CodeDim = 0
+	if _, err := New(cfg, rng); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InputDim() != 48 {
+		t.Fatalf("InputDim = %d", c.InputDim())
+	}
+	w := make(vecmath.Vec, 48)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	code, err := c.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 4 {
+		t.Fatalf("code len %d", len(code))
+	}
+	// Tanh head bounds the code.
+	for _, v := range code {
+		if v < -1 || v > 1 {
+			t.Fatalf("code value %v outside [-1,1]", v)
+		}
+	}
+	if _, err := c.Encode(vecmath.Vec{1, 2}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(vecmath.Vec, c.InputDim())
+	for i := range w {
+		w[i] = math.Sin(float64(i))
+	}
+	a, err := c.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encode must be deterministic")
+		}
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := make([]vecmath.Vec, 5)
+	for i := range windows {
+		w := make(vecmath.Vec, c.InputDim())
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		windows[i] = w
+	}
+	codes, err := c.EncodeBatch(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 5 {
+		t.Fatalf("batch len %d", len(codes))
+	}
+	windows[2] = vecmath.Vec{1}
+	if _, err := c.EncodeBatch(windows); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestFitReducesReconstructionLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := testConfig()
+	cfg.LearningRate = 3e-3
+	c, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structured signals: two latent prototypes plus noise, the kind
+	// of low-rank time series a UDT window has.
+	windows := make([]vecmath.Vec, 24)
+	for i := range windows {
+		w := make(vecmath.Vec, c.InputDim())
+		phase := float64(i%2) * math.Pi
+		for j := range w {
+			w[j] = 0.7*math.Sin(float64(j)/3+phase) + 0.05*rng.NormFloat64()
+		}
+		windows[i] = w
+	}
+	var firstLoss float64
+	for i, w := range windows {
+		l, terr := c.TrainStep(w)
+		if terr != nil {
+			t.Fatal(terr)
+		}
+		if i == 0 {
+			firstLoss = l
+		}
+	}
+	finalLoss, err := c.Fit(windows, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalLoss >= firstLoss {
+		t.Fatalf("reconstruction loss did not drop: first %v final %v", firstLoss, finalLoss)
+	}
+	if finalLoss > 0.05 {
+		t.Fatalf("final loss too high: %v", finalLoss)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fit(nil, 1, rng); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	w := make(vecmath.Vec, c.InputDim())
+	if _, err := c.Fit([]vecmath.Vec{w}, 0, rng); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestReconstructShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(vecmath.Vec, c.InputDim())
+	recon, err := c.Reconstruct(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != c.InputDim() {
+		t.Fatalf("recon len %d want %d", len(recon), c.InputDim())
+	}
+}
+
+// Similar inputs should map to nearby codes after training — the
+// property the clustering stage depends on.
+func TestCodesSeparateClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := testConfig()
+	c, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(amp float64, n int) []vecmath.Vec {
+		ws := make([]vecmath.Vec, n)
+		for i := range ws {
+			w := make(vecmath.Vec, c.InputDim())
+			for j := range w {
+				w[j] = amp*math.Sin(float64(j)/2) + 0.02*rng.NormFloat64()
+			}
+			ws[i] = w
+		}
+		return ws
+	}
+	classA := mk(0.9, 12)
+	classB := mk(-0.9, 12)
+	all := append(append([]vecmath.Vec{}, classA...), classB...)
+	if _, err := c.Fit(all, 40, rng); err != nil {
+		t.Fatal(err)
+	}
+	codeA, err := c.EncodeBatch(classA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeB, err := c.EncodeBatch(classB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroid := func(cs []vecmath.Vec) vecmath.Vec {
+		out := make(vecmath.Vec, len(cs[0]))
+		for _, v := range cs {
+			for i := range v {
+				out[i] += v[i]
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(cs))
+		}
+		return out
+	}
+	ca, cb := centroid(codeA), centroid(codeB)
+	between, err := vecmath.Dist(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var within float64
+	for _, v := range codeA {
+		d, derr := vecmath.Dist(v, ca)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		within += d
+	}
+	within /= float64(len(codeA))
+	if between <= 2*within {
+		t.Fatalf("codes not separated: between %v within %v", between, within)
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(testConfig(), rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(vecmath.Vec, a.InputDim())
+	for i := range w {
+		w[i] = math.Sin(float64(i) / 2)
+	}
+	if _, err := a.TrainStep(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadState(a.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("codes differ after state transfer")
+		}
+	}
+	if err := b.LoadState(nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	// Mismatched architecture must be rejected.
+	small := testConfig()
+	small.CodeDim = 2
+	c, err := New(small, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadState(a.SaveState()); err == nil {
+		t.Fatal("mismatched architecture must fail")
+	}
+}

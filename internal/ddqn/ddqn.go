@@ -1,0 +1,433 @@
+// Package ddqn implements the double deep Q-network that determines
+// the multicast grouping number (paper §II-B1): the online network
+// selects the argmax action while the periodically synchronized target
+// network evaluates it, which removes the max-operator overestimation
+// bias of vanilla DQN.
+package ddqn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dtmsvs/internal/nn"
+	"dtmsvs/internal/vecmath"
+)
+
+// ErrConfig indicates an invalid agent configuration.
+var ErrConfig = errors.New("ddqn: invalid config")
+
+// Transition is one (s, a, r, s', done) experience tuple.
+type Transition struct {
+	State     vecmath.Vec
+	Action    int
+	Reward    float64
+	NextState vecmath.Vec
+	Done      bool
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions with
+// uniform sampling.
+type ReplayBuffer struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer allocates a buffer with the given capacity.
+func NewReplayBuffer(capacity int) (*ReplayBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("replay capacity %d: %w", capacity, ErrConfig)
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity)}, nil
+}
+
+// Len returns the number of stored transitions.
+func (r *ReplayBuffer) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the buffer capacity.
+func (r *ReplayBuffer) Cap() int { return len(r.buf) }
+
+// Add stores a transition, evicting the oldest when full.
+func (r *ReplayBuffer) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Sample draws n transitions uniformly with replacement.
+func (r *ReplayBuffer) Sample(n int, rng *rand.Rand) ([]Transition, error) {
+	if r.Len() == 0 {
+		return nil, fmt.Errorf("sample from empty replay buffer: %w", ErrConfig)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sample n=%d: %w", n, ErrConfig)
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(r.Len())]
+	}
+	return out, nil
+}
+
+// Config parameterizes the agent.
+type Config struct {
+	// StateDim is the observation width.
+	StateDim int
+	// NumActions is the size of the discrete action set.
+	NumActions int
+	// Hidden is the width of the two hidden layers (default 64).
+	Hidden int
+	// Gamma is the discount factor (default 0.95).
+	Gamma float64
+	// LearningRate for Adam (default 1e-3).
+	LearningRate float64
+	// EpsStart/EpsEnd/EpsDecay control ε-greedy exploration:
+	// ε decays multiplicatively by EpsDecay each Step from EpsStart
+	// toward EpsEnd. Defaults: 1.0 / 0.05 / 0.995.
+	EpsStart, EpsEnd, EpsDecay float64
+	// BatchSize for replay sampling (default 32).
+	BatchSize int
+	// ReplayCapacity (default 4096).
+	ReplayCapacity int
+	// TargetSync is the number of learn steps between target-network
+	// synchronizations (default 100).
+	TargetSync int
+	// WarmUp is the minimum buffered transitions before learning
+	// begins (default BatchSize).
+	WarmUp int
+	// Vanilla disables the double-Q decoupling: the target network
+	// both selects and evaluates the next action (classic DQN).
+	// Exists for the overestimation ablation; the paper's scheme
+	// keeps it false.
+	Vanilla bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.EpsStart == 0 {
+		c.EpsStart = 1.0
+	}
+	if c.EpsEnd == 0 {
+		c.EpsEnd = 0.05
+	}
+	if c.EpsDecay == 0 {
+		c.EpsDecay = 0.995
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 4096
+	}
+	if c.TargetSync == 0 {
+		c.TargetSync = 100
+	}
+	if c.WarmUp == 0 {
+		c.WarmUp = c.BatchSize
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case c.StateDim <= 0:
+		return fmt.Errorf("statedim=%d: %w", c.StateDim, ErrConfig)
+	case c.NumActions <= 1:
+		return fmt.Errorf("numactions=%d: %w", c.NumActions, ErrConfig)
+	case d.Gamma < 0 || d.Gamma >= 1:
+		return fmt.Errorf("gamma=%v: %w", d.Gamma, ErrConfig)
+	case d.EpsDecay <= 0 || d.EpsDecay > 1:
+		return fmt.Errorf("epsdecay=%v: %w", d.EpsDecay, ErrConfig)
+	case d.EpsEnd > d.EpsStart:
+		return fmt.Errorf("epsend %v > epsstart %v: %w", d.EpsEnd, d.EpsStart, ErrConfig)
+	}
+	return nil
+}
+
+// qnet is a 2-hidden-layer MLP Q-function with weight-copy support.
+type qnet struct {
+	l1, l2, l3 *nn.Dense
+	net        *nn.Network
+}
+
+func newQNet(stateDim, hidden, actions int, rng *rand.Rand) (*qnet, error) {
+	l1, err := nn.NewDense(stateDim, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := nn.NewDense(hidden, hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := nn.NewDense(hidden, actions, rng)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.NewNetwork(stateDim, l1, &nn.ReLU{}, l2, &nn.ReLU{}, l3)
+	if err != nil {
+		return nil, err
+	}
+	return &qnet{l1: l1, l2: l2, l3: l3, net: net}, nil
+}
+
+func (q *qnet) copyFrom(src *qnet) error {
+	if err := q.l1.CopyWeightsFrom(src.l1); err != nil {
+		return err
+	}
+	if err := q.l2.CopyWeightsFrom(src.l2); err != nil {
+		return err
+	}
+	return q.l3.CopyWeightsFrom(src.l3)
+}
+
+// Agent is a double-DQN learner over a discrete action space.
+type Agent struct {
+	cfg    Config
+	online *qnet
+	target *qnet
+	opt    *nn.Adam
+	replay *ReplayBuffer
+	rng    *rand.Rand
+
+	eps        float64
+	learnSteps int
+}
+
+// New builds an agent. The rng drives weight init, exploration and
+// replay sampling, so a fixed seed gives fully reproducible training.
+func New(cfg Config, rng *rand.Rand) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	online, err := newQNet(c.StateDim, c.Hidden, c.NumActions, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ddqn online net: %w", err)
+	}
+	target, err := newQNet(c.StateDim, c.Hidden, c.NumActions, rng)
+	if err != nil {
+		return nil, fmt.Errorf("ddqn target net: %w", err)
+	}
+	if err := target.copyFrom(online); err != nil {
+		return nil, fmt.Errorf("ddqn target sync: %w", err)
+	}
+	replay, err := NewReplayBuffer(c.ReplayCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg: c, online: online, target: target,
+		opt: nn.NewAdam(c.LearningRate), replay: replay,
+		rng: rng, eps: c.EpsStart,
+	}, nil
+}
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.eps }
+
+// ReplayLen returns the number of buffered transitions.
+func (a *Agent) ReplayLen() int { return a.replay.Len() }
+
+// QValues returns the online network's Q estimate for a state.
+func (a *Agent) QValues(state vecmath.Vec) (vecmath.Vec, error) {
+	if len(state) != a.cfg.StateDim {
+		return nil, fmt.Errorf("state dim %d want %d: %w", len(state), a.cfg.StateDim, ErrConfig)
+	}
+	return a.online.net.Forward(state)
+}
+
+// Act selects an action ε-greedily.
+func (a *Agent) Act(state vecmath.Vec) (int, error) {
+	if a.rng.Float64() < a.eps {
+		return a.rng.Intn(a.cfg.NumActions), nil
+	}
+	return a.Greedy(state)
+}
+
+// Greedy selects the argmax action of the online network.
+func (a *Agent) Greedy(state vecmath.Vec) (int, error) {
+	q, err := a.QValues(state)
+	if err != nil {
+		return 0, err
+	}
+	return vecmath.ArgMax(q), nil
+}
+
+// Observe stores a transition and decays ε.
+func (a *Agent) Observe(t Transition) error {
+	if len(t.State) != a.cfg.StateDim || (!t.Done && len(t.NextState) != a.cfg.StateDim) {
+		return fmt.Errorf("transition state dims %d/%d want %d: %w",
+			len(t.State), len(t.NextState), a.cfg.StateDim, ErrConfig)
+	}
+	if t.Action < 0 || t.Action >= a.cfg.NumActions {
+		return fmt.Errorf("transition action %d outside [0,%d): %w", t.Action, a.cfg.NumActions, ErrConfig)
+	}
+	a.replay.Add(t)
+	a.eps = a.eps * a.cfg.EpsDecay
+	if a.eps < a.cfg.EpsEnd {
+		a.eps = a.cfg.EpsEnd
+	}
+	return nil
+}
+
+// Learn performs one double-DQN gradient step over a replay batch and
+// returns the mean TD loss. It is a no-op (returns 0, false, nil)
+// until WarmUp transitions are buffered.
+func (a *Agent) Learn() (loss float64, learned bool, err error) {
+	if a.replay.Len() < a.cfg.WarmUp {
+		return 0, false, nil
+	}
+	batch, err := a.replay.Sample(a.cfg.BatchSize, a.rng)
+	if err != nil {
+		return 0, false, err
+	}
+	a.online.net.ZeroGrads()
+	var total float64
+	for _, tr := range batch {
+		q, ferr := a.online.net.Forward(tr.State)
+		if ferr != nil {
+			return 0, false, ferr
+		}
+		target := tr.Reward
+		if !tr.Done {
+			qNextTarget, terr := a.target.net.Forward(tr.NextState)
+			if terr != nil {
+				return 0, false, terr
+			}
+			best := vecmath.ArgMax(qNextTarget)
+			if !a.cfg.Vanilla {
+				// Double-DQN: the online net picks the action, the
+				// target net evaluates it — removing the max-operator
+				// overestimation bias.
+				qNextOnline, nerr := a.online.net.Forward(tr.NextState)
+				if nerr != nil {
+					return 0, false, nerr
+				}
+				best = vecmath.ArgMax(qNextOnline)
+			}
+			target += a.cfg.Gamma * qNextTarget[best]
+			// Re-prime online caches for tr.State before backward.
+			q, ferr = a.online.net.Forward(tr.State)
+			if ferr != nil {
+				return 0, false, ferr
+			}
+		}
+		tgt := vecmath.Clone(q)
+		tgt[tr.Action] = target
+		l, grad, lerr := nn.HuberLoss(q, tgt, 1)
+		if lerr != nil {
+			return 0, false, lerr
+		}
+		total += l
+		if _, berr := a.online.net.Backward(grad); berr != nil {
+			return 0, false, berr
+		}
+	}
+	params := a.online.net.Params()
+	// Average the accumulated gradients over the batch.
+	inv := 1 / float64(len(batch))
+	for _, p := range params {
+		for j := range p.G {
+			p.G[j] *= inv
+		}
+	}
+	nn.ClipGrads(params, 10)
+	if serr := a.opt.Step(params); serr != nil {
+		return 0, false, serr
+	}
+	a.learnSteps++
+	if a.learnSteps%a.cfg.TargetSync == 0 {
+		if cerr := a.target.copyFrom(a.online); cerr != nil {
+			return 0, false, cerr
+		}
+	}
+	return total / float64(len(batch)), true, nil
+}
+
+// SaveState captures the online network's weights (the target
+// network is re-synchronized on load).
+func (a *Agent) SaveState() *nn.WeightState {
+	return a.online.net.SaveWeights()
+}
+
+// LoadState restores weights saved from an agent with the same
+// Config, synchronizing the target network to the loaded weights.
+func (a *Agent) LoadState(s *nn.WeightState) error {
+	if err := a.online.net.LoadWeights(s); err != nil {
+		return fmt.Errorf("online net: %w", err)
+	}
+	if err := a.target.copyFrom(a.online); err != nil {
+		return fmt.Errorf("target sync: %w", err)
+	}
+	return nil
+}
+
+// Env is a discrete-action episodic environment the agent can train
+// against (used by Train and by the grouping package's K-selection
+// MDP).
+type Env interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() (vecmath.Vec, error)
+	// Step applies an action and returns the next state, the reward
+	// and whether the episode ended.
+	Step(action int) (next vecmath.Vec, reward float64, done bool, err error)
+}
+
+// Train runs the agent against env for the given number of episodes
+// (bounded by maxSteps per episode) and returns per-episode returns.
+func (a *Agent) Train(env Env, episodes, maxSteps int) ([]float64, error) {
+	if episodes <= 0 || maxSteps <= 0 {
+		return nil, fmt.Errorf("train episodes=%d maxsteps=%d: %w", episodes, maxSteps, ErrConfig)
+	}
+	returns := make([]float64, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		state, err := env.Reset()
+		if err != nil {
+			return returns, fmt.Errorf("episode %d reset: %w", ep, err)
+		}
+		var total float64
+		for step := 0; step < maxSteps; step++ {
+			action, aerr := a.Act(state)
+			if aerr != nil {
+				return returns, aerr
+			}
+			next, reward, done, serr := env.Step(action)
+			if serr != nil {
+				return returns, fmt.Errorf("episode %d step %d: %w", ep, step, serr)
+			}
+			total += reward
+			tr := Transition{State: state, Action: action, Reward: reward, NextState: next, Done: done}
+			if oerr := a.Observe(tr); oerr != nil {
+				return returns, oerr
+			}
+			if _, _, lerr := a.Learn(); lerr != nil {
+				return returns, lerr
+			}
+			if done {
+				break
+			}
+			state = next
+		}
+		returns = append(returns, total)
+	}
+	return returns, nil
+}

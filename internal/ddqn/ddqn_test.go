@@ -1,0 +1,384 @@
+package ddqn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+func testCfg() Config {
+	return Config{StateDim: 2, NumActions: 3, Hidden: 16, BatchSize: 8, ReplayCapacity: 64, TargetSync: 10}
+}
+
+func TestReplayBuffer(t *testing.T) {
+	if _, err := NewReplayBuffer(0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	rb, err := NewReplayBuffer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != 0 || rb.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d", rb.Len(), rb.Cap())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := rb.Sample(1, rng); !errors.Is(err, ErrConfig) {
+		t.Fatalf("empty sample: want ErrConfig, got %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		rb.Add(Transition{Reward: float64(i)})
+	}
+	if rb.Len() != 3 {
+		t.Fatalf("ring len %d, want 3", rb.Len())
+	}
+	// Oldest entries (0,1) must have been evicted.
+	batch, err := rb.Sample(100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range batch {
+		if tr.Reward < 2 {
+			t.Fatalf("evicted transition %v still sampled", tr.Reward)
+		}
+	}
+	if _, err := rb.Sample(0, rng); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"statedim", func(c *Config) { c.StateDim = 0 }},
+		{"actions", func(c *Config) { c.NumActions = 1 }},
+		{"gamma", func(c *Config) { c.Gamma = 1.5 }},
+		{"epsdecay", func(c *Config) { c.EpsDecay = 2 }},
+		{"eps order", func(c *Config) { c.EpsStart = 0.1; c.EpsEnd = 0.9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testCfg()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+	if err := testCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestAgentActBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := New(testCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := vecmath.Vec{0.1, -0.2}
+	for i := 0; i < 200; i++ {
+		act, aerr := a.Act(state)
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		if act < 0 || act >= 3 {
+			t.Fatalf("action %d out of range", act)
+		}
+	}
+	if _, err := a.QValues(vecmath.Vec{1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, err := New(testCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Transition{State: vecmath.Vec{1, 2}, Action: 0, NextState: vecmath.Vec{1, 2}}
+	if err := a.Observe(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Action = 7
+	if err := a.Observe(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	bad = good
+	bad.State = vecmath.Vec{1}
+	if err := a.Observe(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	// Done transitions may omit NextState.
+	terminal := Transition{State: vecmath.Vec{1, 2}, Action: 1, Done: true}
+	if err := a.Observe(terminal); err != nil {
+		t.Fatalf("terminal transition rejected: %v", err)
+	}
+}
+
+func TestEpsilonDecays(t *testing.T) {
+	cfg := testCfg()
+	cfg.EpsStart = 1.0
+	cfg.EpsEnd = 0.1
+	cfg.EpsDecay = 0.5
+	rng := rand.New(rand.NewSource(4))
+	a, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Transition{State: vecmath.Vec{0, 0}, Action: 0, NextState: vecmath.Vec{0, 0}}
+	for i := 0; i < 10; i++ {
+		if err := a.Observe(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Epsilon() != 0.1 {
+		t.Fatalf("epsilon %v, want floor 0.1", a.Epsilon())
+	}
+}
+
+func TestLearnNoOpBeforeWarmup(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := New(testCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, learned, err := a.Learn()
+	if err != nil || learned || loss != 0 {
+		t.Fatalf("pre-warmup learn: loss=%v learned=%v err=%v", loss, learned, err)
+	}
+}
+
+// twoArmEnv is a 1-step bandit: action 1 always pays 1, action 0 pays
+// 0. The greedy policy must learn to pick action 1.
+type twoArmEnv struct{}
+
+func (twoArmEnv) Reset() (vecmath.Vec, error) { return vecmath.Vec{1, 0}, nil }
+
+func (twoArmEnv) Step(action int) (vecmath.Vec, float64, bool, error) {
+	r := 0.0
+	if action == 1 {
+		r = 1
+	}
+	return vecmath.Vec{1, 0}, r, true, nil
+}
+
+func TestAgentLearnsBandit(t *testing.T) {
+	cfg := Config{
+		StateDim: 2, NumActions: 2, Hidden: 16,
+		BatchSize: 16, ReplayCapacity: 256, TargetSync: 20,
+		EpsDecay: 0.99, LearningRate: 5e-3,
+	}
+	rng := rand.New(rand.NewSource(6))
+	a, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returns, err := a.Train(twoArmEnv{}, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(returns) != 300 {
+		t.Fatalf("returns len %d", len(returns))
+	}
+	act, err := a.Greedy(vecmath.Vec{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != 1 {
+		q, _ := a.QValues(vecmath.Vec{1, 0})
+		t.Fatalf("greedy action %d, want 1 (q=%v)", act, q)
+	}
+}
+
+// chainEnv is a 3-state chain: from state i, action 1 advances, action
+// 0 stays; reaching state 2 ends the episode with reward 1, each step
+// costs -0.05. Tests multi-step credit assignment via bootstrapping.
+type chainEnv struct {
+	pos int
+}
+
+func (c *chainEnv) state() vecmath.Vec {
+	s := make(vecmath.Vec, 3)
+	s[c.pos] = 1
+	return s
+}
+
+func (c *chainEnv) Reset() (vecmath.Vec, error) {
+	c.pos = 0
+	return c.state(), nil
+}
+
+func (c *chainEnv) Step(action int) (vecmath.Vec, float64, bool, error) {
+	if action == 1 {
+		c.pos++
+	}
+	if c.pos >= 2 {
+		return c.state(), 1, true, nil
+	}
+	return c.state(), -0.05, false, nil
+}
+
+func TestAgentSolvesChain(t *testing.T) {
+	cfg := Config{
+		StateDim: 3, NumActions: 2, Hidden: 24,
+		BatchSize: 16, ReplayCapacity: 512, TargetSync: 25,
+		EpsDecay: 0.995, LearningRate: 3e-3, Gamma: 0.9,
+	}
+	rng := rand.New(rand.NewSource(7))
+	a, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(&chainEnv{}, 250, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy policy must advance from both non-terminal states.
+	for pos := 0; pos < 2; pos++ {
+		s := make(vecmath.Vec, 3)
+		s[pos] = 1
+		act, gerr := a.Greedy(s)
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		if act != 1 {
+			t.Fatalf("state %d greedy action %d, want 1", pos, act)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, err := New(testCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(twoArmEnv{}, 0, 5); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if _, err := a.Train(twoArmEnv{}, 5, 0); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+// failEnv returns an error on Step to exercise error propagation.
+type failEnv struct{}
+
+func (failEnv) Reset() (vecmath.Vec, error) { return vecmath.Vec{0, 0}, nil }
+func (failEnv) Step(int) (vecmath.Vec, float64, bool, error) {
+	return nil, 0, false, fmt.Errorf("boom")
+}
+
+func TestTrainPropagatesEnvError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, err := New(testCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(failEnv{}, 1, 5); err == nil {
+		t.Fatal("env error must propagate")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() []float64 {
+		cfg := testCfg()
+		cfg.NumActions = 2
+		a, err := New(cfg, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rets, err := a.Train(twoArmEnv{}, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rets
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("training must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestAgentSaveLoadState(t *testing.T) {
+	cfg := testCfg()
+	a, err := New(cfg, rand.New(rand.NewSource(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := vecmath.Vec{0.3, -0.4}
+	if err := b.LoadState(a.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	qa, err := a.QValues(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := b.QValues(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatal("q-values differ after state transfer")
+		}
+	}
+	// Mismatched shape rejected.
+	other, err := New(Config{StateDim: 3, NumActions: 2, Hidden: 8}, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadState(a.SaveState()); err == nil {
+		t.Fatal("mismatched agent must fail to load")
+	}
+}
+
+// Both DQN variants must solve the chain; double-Q exists to curb
+// value overestimation, which we check by comparing the learned
+// maximum Q value of the start state against the true optimal return.
+func TestVanillaVsDoubleOverestimation(t *testing.T) {
+	maxQ := func(vanilla bool) float64 {
+		cfg := Config{
+			StateDim: 3, NumActions: 2, Hidden: 24,
+			BatchSize: 16, ReplayCapacity: 512, TargetSync: 25,
+			EpsDecay: 0.995, LearningRate: 3e-3, Gamma: 0.9,
+			Vanilla: vanilla,
+		}
+		a, err := New(cfg, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Train(&chainEnv{}, 250, 20); err != nil {
+			t.Fatal(err)
+		}
+		q, err := a.QValues(vecmath.Vec{1, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q[vecmath.ArgMax(q)]
+	}
+	// True optimal return from the start: -0.05 + 0.9·1 = 0.85.
+	const optimal = 0.85
+	double := maxQ(false)
+	vanilla := maxQ(true)
+	if math.Abs(double-optimal) > 0.5 {
+		t.Fatalf("double-DQN start-state value %v far from optimal %v", double, optimal)
+	}
+	// Vanilla must also learn the task (policy check).
+	if vanilla < 0 {
+		t.Fatalf("vanilla DQN failed to learn: max Q %v", vanilla)
+	}
+}

@@ -1,0 +1,281 @@
+package edge
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsvs/internal/video"
+)
+
+func testCatalog(t *testing.T) *video.Catalog {
+	t.Helper()
+	cat, err := video.NewCatalog(video.CatalogConfig{NumVideos: 50}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+}
+
+func TestCachePutContains(t *testing.T) {
+	c, err := NewCache(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(1, 0) {
+		t.Fatal("empty cache hit")
+	}
+	if err := c.Put(1, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(1, 0) {
+		t.Fatal("miss after put")
+	}
+	if c.Contains(1, 1) {
+		t.Fatal("wrong level hit")
+	}
+	if c.Used() != 400 || c.Len() != 1 {
+		t.Fatalf("used %d len %d", c.Used(), c.Len())
+	}
+	// Hit rate: 1 hit, 2 misses so far.
+	if hr := c.HitRate(); hr < 0.3 || hr > 0.34 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}
+
+func TestCachePutValidation(t *testing.T) {
+	c, err := NewCache(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, 0, 0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if err := c.Put(1, 0, 200); !errors.Is(err, ErrParam) {
+		t.Fatalf("oversized: want ErrParam, got %v", err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(i, 0, 400); err != nil { // third put evicts
+			t.Fatal(err)
+		}
+	}
+	if c.Contains(0, 0) {
+		t.Fatal("oldest entry not evicted")
+	}
+	if !c.Contains(1, 0) || !c.Contains(2, 0) {
+		t.Fatal("recent entries evicted")
+	}
+	if c.Used() > 1000 {
+		t.Fatalf("capacity exceeded: %d", c.Used())
+	}
+}
+
+func TestCacheLRURecencyOnHit(t *testing.T) {
+	c, err := NewCache(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(0, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 0 so 1 becomes LRU.
+	if !c.Contains(0, 0) {
+		t.Fatal("expected hit")
+	}
+	if err := c.Put(2, 0, 400); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(0, 0) {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Contains(1, 0) {
+		t.Fatal("lru entry survived")
+	}
+}
+
+func TestTranscodeModel(t *testing.T) {
+	m := DefaultTranscodeModel()
+	if _, err := m.Cycles(0, 1, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := m.Cycles(1, 1, -1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	// Down-transcode: 2.5 Mbps source, 30 s → 50 × 2.5e6 × 30 cycles.
+	cy, err := m.Cycles(2.5e6, 1e6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy != 50*2.5e6*30 {
+		t.Fatalf("cycles %v", cy)
+	}
+	// Same or up: free.
+	cy, err = m.Cycles(1e6, 1e6, 30)
+	if err != nil || cy != 0 {
+		t.Fatalf("same-rate cycles %v err %v", cy, err)
+	}
+	cy, err = m.Cycles(1e6, 2e6, 30)
+	if err != nil || cy != 0 {
+		t.Fatalf("up-rate cycles %v err %v", cy, err)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := NewServer(0, DefaultTranscodeModel(), cat, 5); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewServer(1000, TranscodeModel{}, cat, 5); !errors.Is(err, ErrParam) {
+		t.Fatalf("zero cycles/bit: want ErrParam, got %v", err)
+	}
+}
+
+func TestServerPrewarm(t *testing.T) {
+	cat := testCatalog(t)
+	s, err := NewServer(1<<30, DefaultTranscodeModel(), cat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache().Len() != 10 {
+		t.Fatalf("prewarmed %d, want 10", s.Cache().Len())
+	}
+	// Top video at highest rep must be a hit.
+	top := cat.TopN(1)[0]
+	if !s.Cache().Contains(top.ID, top.HighestRep().Level) {
+		t.Fatal("top video not prewarmed at highest rep")
+	}
+}
+
+func TestServeCacheHitFree(t *testing.T) {
+	cat := testCatalog(t)
+	s, err := NewServer(1<<30, DefaultTranscodeModel(), cat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := cat.TopN(1)[0]
+	cy, err := s.Serve(top, top.HighestRep(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy != 0 {
+		t.Fatalf("cache hit cost %v cycles", cy)
+	}
+	if s.CyclesUsed() != 0 {
+		t.Fatal("interval accounting after free hit")
+	}
+}
+
+func TestServeTranscodeMissThenHit(t *testing.T) {
+	cat := testCatalog(t)
+	s, err := NewServer(1<<30, DefaultTranscodeModel(), cat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := cat.TopN(1)[0]
+	low := top.Ladder[0]
+	cy, err := s.Serve(top, low, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50.0 * top.HighestRep().BitrateBps * 20
+	if cy != want {
+		t.Fatalf("transcode cycles %v, want %v", cy, want)
+	}
+	if s.CyclesUsed() != want {
+		t.Fatalf("interval cycles %v", s.CyclesUsed())
+	}
+	// Second request for the same rung: transcoded outputs are not
+	// retained, so the transcode cost recurs.
+	cy, err = s.Serve(top, low, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy != want {
+		t.Fatalf("repeat serve cost %v, want %v", cy, want)
+	}
+	s.ResetInterval()
+	if s.CyclesUsed() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	cat := testCatalog(t)
+	s, err := NewServer(1<<30, DefaultTranscodeModel(), cat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Serve(nil, video.Representation{}, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	v := cat.Videos[0]
+	if _, err := s.Serve(v, v.Ladder[0], -1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+}
+
+func TestServerTinyCache(t *testing.T) {
+	// Cache smaller than any object: prewarm stops gracefully, serves
+	// still work (pass-through).
+	cat := testCatalog(t)
+	s, err := NewServer(10, DefaultTranscodeModel(), cat, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache().Len() != 0 {
+		t.Fatalf("tiny cache holds %d", s.Cache().Len())
+	}
+	v := cat.Videos[0]
+	if _, err := s.Serve(v, v.Ladder[0], 30); err != nil {
+		t.Fatalf("pass-through serve failed: %v", err)
+	}
+}
+
+// Cache byte accounting stays consistent under arbitrary put/lookup
+// sequences: used bytes never exceed capacity and always equal the
+// sum of live entries.
+func TestCacheAccountingProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewCache(5000)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			id := int(op % 37)
+			level := int(op/37) % 5
+			size := int64(op%900) + 1
+			switch {
+			case op%3 == 0:
+				c.Contains(id, level)
+			default:
+				if err := c.Put(id, level, size); err != nil && !errors.Is(err, ErrParam) {
+					return false
+				}
+			}
+			if c.Used() > c.Capacity() || c.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package grouping implements the paper's two-step multicast group
+// construction (§II-B1): a 1D-CNN compresses each user's time-series
+// UDT window into a compact code, a DDQN selects the grouping number K
+// by mining user similarity, and K-means++ performs the fast
+// clustering. Fixed-K and raw-feature (no-CNN) baselines are included
+// for the ablation experiments.
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dtmsvs/internal/cnn"
+	"dtmsvs/internal/ddqn"
+	"dtmsvs/internal/kmeans"
+	"dtmsvs/internal/stats"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/vecmath"
+)
+
+// ErrConfig indicates an invalid grouping configuration.
+var ErrConfig = errors.New("grouping: invalid config")
+
+// Group is one multicast group.
+type Group struct {
+	ID int
+	// Members holds indices into the twin slice passed to Build.
+	Members []int
+	// Centroid is the group center in code space.
+	Centroid vecmath.Vec
+}
+
+// Result is a complete group construction.
+type Result struct {
+	Groups []Group
+	// K is the grouping number used.
+	K int
+	// Silhouette of the clustering (0 when K == 1).
+	Silhouette float64
+	// Inertia of the clustering.
+	Inertia float64
+	// Codes are the per-user compressed features used.
+	Codes []vecmath.Vec
+}
+
+// GroupOf returns the group index containing user i, or -1.
+func (r *Result) GroupOf(user int) int {
+	for g, grp := range r.Groups {
+		for _, m := range grp.Members {
+			if m == user {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+// Config parameterizes the builder.
+type Config struct {
+	// WindowSteps is the UDT feature window length per channel.
+	WindowSteps int
+	// PosScale normalizes location features (campus dimension).
+	PosScale float64
+	// KMin/KMax bound the grouping number (DDQN action space is
+	// KMax−KMin+1 actions).
+	KMin, KMax int
+	// CodeDim is the CNN code size (default 8).
+	CodeDim int
+	// UseCNN disables compression when false (raw-window baseline).
+	UseCNN bool
+	// GroupCostWeight is the per-group penalty λ in the DDQN reward
+	// r = silhouette − λ·K/KMax (default 0.15). It encodes the radio
+	// cost of maintaining more multicast groups.
+	GroupCostWeight float64
+	// CNN is the compressor architecture; zero-value fields default
+	// sensibly in New.
+	CNN cnn.Config
+	// Agent is the DDQN configuration; StateDim/NumActions are set by
+	// New.
+	Agent ddqn.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.WindowSteps <= 0:
+		return fmt.Errorf("window steps %d: %w", c.WindowSteps, ErrConfig)
+	case c.PosScale <= 0:
+		return fmt.Errorf("pos scale %v: %w", c.PosScale, ErrConfig)
+	case c.KMin < 1 || c.KMax < c.KMin:
+		return fmt.Errorf("k range [%d,%d]: %w", c.KMin, c.KMax, ErrConfig)
+	}
+	return nil
+}
+
+// StateDim is the width of the DDQN observation built by envState.
+const StateDim = 8
+
+// Builder runs the two-step construction.
+type Builder struct {
+	cfg        Config
+	compressor *cnn.Compressor
+	agent      *ddqn.Agent
+	rng        *rand.Rand
+}
+
+// New constructs a builder.
+func New(cfg Config, rng *rand.Rand) (*Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CodeDim == 0 {
+		cfg.CodeDim = 8
+	}
+	if cfg.GroupCostWeight == 0 {
+		cfg.GroupCostWeight = 0.15
+	}
+
+	b := &Builder{cfg: cfg, rng: rng}
+
+	if cfg.UseCNN {
+		cc := cfg.CNN
+		if cc.Channels == 0 {
+			cc.Channels = udt.NumFeatureChannels
+		}
+		if cc.Window == 0 {
+			cc.Window = cfg.WindowSteps
+		}
+		if cc.Filters == 0 {
+			cc.Filters = 8
+		}
+		if cc.Kernel == 0 {
+			cc.Kernel = 3
+		}
+		if cc.Pool == 0 {
+			cc.Pool = 2
+		}
+		if cc.CodeDim == 0 {
+			cc.CodeDim = cfg.CodeDim
+		}
+		comp, err := cnn.New(cc, rng)
+		if err != nil {
+			return nil, fmt.Errorf("grouping compressor: %w", err)
+		}
+		b.compressor = comp
+	}
+
+	ac := cfg.Agent
+	ac.StateDim = StateDim
+	ac.NumActions = cfg.KMax - cfg.KMin + 1
+	if ac.NumActions < 2 {
+		// Degenerate action space: pad so the DDQN stays valid; the
+		// extra action maps back to KMax.
+		ac.NumActions = 2
+	}
+	agent, err := ddqn.New(ac, rng)
+	if err != nil {
+		return nil, fmt.Errorf("grouping agent: %w", err)
+	}
+	b.agent = agent
+	b.cfg = cfg
+	return b, nil
+}
+
+// Config returns the builder configuration.
+func (b *Builder) Config() Config { return b.cfg }
+
+// Windows extracts the raw feature windows from the twins.
+func (b *Builder) Windows(twins []*udt.Twin) ([]vecmath.Vec, error) {
+	if len(twins) == 0 {
+		return nil, fmt.Errorf("no twins: %w", ErrConfig)
+	}
+	out := make([]vecmath.Vec, len(twins))
+	for i, tw := range twins {
+		w, err := tw.FeatureWindow(b.cfg.WindowSteps, b.cfg.PosScale)
+		if err != nil {
+			return nil, fmt.Errorf("twin %d window: %w", i, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Codes compresses the twins' windows (or returns raw windows when the
+// CNN is disabled).
+func (b *Builder) Codes(twins []*udt.Twin) ([]vecmath.Vec, error) {
+	windows, err := b.Windows(twins)
+	if err != nil {
+		return nil, err
+	}
+	if b.compressor == nil {
+		return windows, nil
+	}
+	return b.compressor.EncodeBatch(windows)
+}
+
+// TrainCompressor fits the 1D-CNN autoencoder on the twins' current
+// windows. No-op (returns 0) when the CNN is disabled.
+func (b *Builder) TrainCompressor(twins []*udt.Twin, epochs int) (float64, error) {
+	if b.compressor == nil {
+		return 0, nil
+	}
+	windows, err := b.Windows(twins)
+	if err != nil {
+		return 0, err
+	}
+	return b.compressor.Fit(windows, epochs, b.rng)
+}
+
+// envState summarizes a code set into the fixed-size DDQN observation:
+// [n/100, mean pairwise dist, std pairwise dist, min, max, mean code
+// norm, std code norm, dim/32].
+func envState(codes []vecmath.Vec) (vecmath.Vec, error) {
+	n := len(codes)
+	if n == 0 {
+		return nil, fmt.Errorf("no codes: %w", ErrConfig)
+	}
+	var pair stats.Online
+	minD, maxD := math.Inf(1), 0.0
+	// Sample up to ~2000 pairs to keep the state O(1)-ish.
+	step := 1
+	if n > 64 {
+		step = n / 64
+	}
+	for i := 0; i < n; i += step {
+		for j := i + 1; j < n; j += step {
+			d, err := vecmath.Dist(codes[i], codes[j])
+			if err != nil {
+				return nil, err
+			}
+			pair.Add(d)
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if pair.N() == 0 {
+		minD = 0
+	}
+	var norms stats.Online
+	for _, c := range codes {
+		norms.Add(vecmath.Norm2(c))
+	}
+	return vecmath.Vec{
+		float64(n) / 100,
+		pair.Mean(),
+		pair.Std(),
+		minD,
+		maxD,
+		norms.Mean(),
+		norms.Std(),
+		float64(len(codes[0])) / 32,
+	}, nil
+}
+
+// reward scores a candidate K on the codes: silhouette minus the
+// per-group cost penalty. K=1 uses a normalized-inertia proxy since
+// silhouette is undefined.
+func (b *Builder) reward(codes []vecmath.Vec, k int) (float64, *kmeans.Result, error) {
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+	if err != nil {
+		return 0, nil, err
+	}
+	var quality float64
+	if k >= 2 {
+		s, serr := kmeans.Silhouette(codes, res.Assign, k)
+		if serr != nil {
+			return 0, nil, serr
+		}
+		quality = s
+	} else {
+		// Single group: quality is high only if users are truly
+		// homogeneous; use 1 − normalized mean distance to centroid.
+		mean := res.Inertia / float64(len(codes))
+		quality = 1 - math.Sqrt(mean)
+	}
+	penalty := b.cfg.GroupCostWeight * float64(k) / float64(b.cfg.KMax)
+	return quality - penalty, res, nil
+}
+
+// kOfAction maps a DDQN action index to a grouping number.
+func (b *Builder) kOfAction(action int) int {
+	k := b.cfg.KMin + action
+	if k > b.cfg.KMax {
+		k = b.cfg.KMax
+	}
+	return k
+}
+
+// kEnv is the one-step K-selection MDP: the state summarizes the code
+// set, the action is K, the reward is the clustering quality net of
+// group cost, and the episode terminates immediately (contextual
+// bandit), matching how the paper uses the DDQN purely to pick the
+// grouping number.
+type kEnv struct {
+	b     *Builder
+	codes []vecmath.Vec
+	state vecmath.Vec
+}
+
+var _ ddqn.Env = (*kEnv)(nil)
+
+func (e *kEnv) Reset() (vecmath.Vec, error) { return e.state, nil }
+
+func (e *kEnv) Step(action int) (vecmath.Vec, float64, bool, error) {
+	k := e.b.kOfAction(action)
+	if k > len(e.codes) {
+		// Infeasible K for this population: strongly negative reward.
+		return e.state, -1, true, nil
+	}
+	r, _, err := e.b.reward(e.codes, k)
+	if err != nil {
+		return e.state, 0, true, err
+	}
+	return e.state, r, true, nil
+}
+
+// TrainAgent trains the DDQN on the K-selection MDP over the given
+// twin snapshot for the given number of episodes, returning
+// per-episode rewards.
+func (b *Builder) TrainAgent(twins []*udt.Twin, episodes int) ([]float64, error) {
+	codes, err := b.Codes(twins)
+	if err != nil {
+		return nil, err
+	}
+	state, err := envState(codes)
+	if err != nil {
+		return nil, err
+	}
+	env := &kEnv{b: b, codes: codes, state: state}
+	return b.agent.Train(env, episodes, 1)
+}
+
+// SelectK runs the trained DDQN greedily to pick the grouping number
+// for the given codes.
+func (b *Builder) SelectK(codes []vecmath.Vec) (int, error) {
+	state, err := envState(codes)
+	if err != nil {
+		return 0, err
+	}
+	action, err := b.agent.Greedy(state)
+	if err != nil {
+		return 0, err
+	}
+	k := b.kOfAction(action)
+	if k > len(codes) {
+		k = len(codes)
+	}
+	return k, nil
+}
+
+func (b *Builder) assemble(codes []vecmath.Vec, res *kmeans.Result) (*Result, error) {
+	groups := make([]Group, res.K)
+	for g := range groups {
+		groups[g] = Group{ID: g, Centroid: vecmath.Clone(res.Centroids[g])}
+	}
+	for i, a := range res.Assign {
+		groups[a].Members = append(groups[a].Members, i)
+	}
+	var sil float64
+	if res.K >= 2 {
+		var err error
+		sil, err = kmeans.Silhouette(codes, res.Assign, res.K)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Groups: groups, K: res.K, Silhouette: sil, Inertia: res.Inertia, Codes: codes}, nil
+}
+
+// Build runs the full two-step construction: compress, pick K with the
+// DDQN, cluster with K-means++.
+func (b *Builder) Build(twins []*udt.Twin) (*Result, error) {
+	codes, err := b.Codes(twins)
+	if err != nil {
+		return nil, err
+	}
+	k, err := b.SelectK(codes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return b.assemble(codes, res)
+}
+
+// BuildFixedK is the fixed-K baseline: skip the DDQN and cluster
+// directly with the given grouping number.
+func (b *Builder) BuildFixedK(twins []*udt.Twin, k int) (*Result, error) {
+	codes, err := b.Codes(twins)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(codes) {
+		return nil, fmt.Errorf("k=%d for %d users: %w", k, len(codes), ErrConfig)
+	}
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return b.assemble(codes, res)
+}
+
+// RandIndex measures the agreement of two partitions of the same
+// user set in [0, 1]: the fraction of user pairs on which the two
+// groupings agree (same-group in both, or split in both). Used to
+// quantify multicast-group stability across regroups — unstable
+// groups force frequent multicast channel reconfiguration.
+func RandIndex(a, b []int) (float64, error) {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0, fmt.Errorf("rand index over %d vs %d assignments: %w", len(a), len(b), ErrConfig)
+	}
+	var agree, total float64
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return agree / total, nil
+}
+
+// Assignments flattens a Result into a per-user group-index slice of
+// the given population size (users missing from the result get -1).
+func (r *Result) Assignments(numUsers int) []int {
+	out := make([]int, numUsers)
+	for i := range out {
+		out[i] = -1
+	}
+	for g, grp := range r.Groups {
+		for _, m := range grp.Members {
+			if m >= 0 && m < numUsers {
+				out[m] = g
+			}
+		}
+	}
+	return out
+}
+
+// BestKExhaustive scans every K in [KMin, KMax] and returns the one
+// with the highest reward — the oracle the DDQN is trained toward,
+// used in tests and ablation benches.
+func (b *Builder) BestKExhaustive(twins []*udt.Twin) (int, float64, error) {
+	codes, err := b.Codes(twins)
+	if err != nil {
+		return 0, 0, err
+	}
+	bestK, bestR := 0, math.Inf(-1)
+	for k := b.cfg.KMin; k <= b.cfg.KMax && k <= len(codes); k++ {
+		r, _, rerr := b.reward(codes, k)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if r > bestR {
+			bestK, bestR = k, r
+		}
+	}
+	if bestK == 0 {
+		return 0, 0, fmt.Errorf("no feasible k in [%d,%d] for %d users: %w",
+			b.cfg.KMin, b.cfg.KMax, len(codes), ErrConfig)
+	}
+	return bestK, bestR, nil
+}

@@ -1,0 +1,381 @@
+package grouping
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/vecmath"
+	"dtmsvs/internal/video"
+)
+
+func testConfig() Config {
+	return Config{
+		WindowSteps: 16, PosScale: 2000,
+		KMin: 2, KMax: 5,
+		UseCNN: true,
+	}
+}
+
+// makeTwins builds n twins split into two behavioral clusters:
+// high-CQI static heavy watchers near (100,100) vs low-CQI mobile
+// light watchers near (1900,1900).
+func makeTwins(t *testing.T, n int) []*udt.Twin {
+	t.Helper()
+	twins := make([]*udt.Twin, n)
+	for i := range twins {
+		tw, err := udt.NewTwin(i, udt.Config{
+			ChannelEvery: 1, LocationEvery: 1, WatchEvery: 1, PreferenceEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterA := i < n/2
+		for tick := 0; tick < 32; tick++ {
+			tw.Tick()
+			if clusterA {
+				if _, err := tw.CollectChannel(13 + tick%3); err != nil {
+					t.Fatal(err)
+				}
+				tw.CollectLocation(100+float64(tick), 100)
+				if _, err := tw.CollectView(video.News, 40, 0.8, false); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := tw.CollectChannel(1 + tick%3); err != nil {
+					t.Fatal(err)
+				}
+				tw.CollectLocation(1900-10*float64(tick), 1900)
+				if _, err := tw.CollectView(video.Game, 5, 0.1, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		twins[i] = tw
+	}
+	return twins
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"window", func(c *Config) { c.WindowSteps = 0 }},
+		{"posscale", func(c *Config) { c.PosScale = 0 }},
+		{"kmin", func(c *Config) { c.KMin = 0 }},
+		{"krange", func(c *Config) { c.KMin = 5; c.KMax = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("want ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.KMax = 0
+	cfg.KMin = 0
+	if _, err := New(cfg, rand.New(rand.NewSource(1))); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestWindowsAndCodes(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Windows(nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	twins := makeTwins(t, 10)
+	windows, err := b.Windows(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 10 || len(windows[0]) != udt.NumFeatureChannels*16 {
+		t.Fatalf("windows %d × %d", len(windows), len(windows[0]))
+	}
+	codes, err := b.Codes(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 10 || len(codes[0]) != 8 {
+		t.Fatalf("codes %d × %d (default CodeDim 8)", len(codes), len(codes[0]))
+	}
+}
+
+func TestCodesRawWhenCNNDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseCNN = false
+	b, err := New(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 6)
+	codes, err := b.Codes(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes[0]) != udt.NumFeatureChannels*16 {
+		t.Fatalf("raw codes dim %d", len(codes[0]))
+	}
+	// TrainCompressor must be a no-op.
+	loss, err := b.TrainCompressor(twins, 5)
+	if err != nil || loss != 0 {
+		t.Fatalf("no-CNN TrainCompressor: %v, %v", loss, err)
+	}
+}
+
+func TestTrainCompressorReducesLoss(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 16)
+	first, err := b.TrainCompressor(twins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := b.TrainCompressor(twins, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("compressor loss did not drop: %v -> %v", first, last)
+	}
+}
+
+func TestBuildPartition(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 20)
+	if _, err := b.TrainCompressor(twins, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TrainAgent(twins, 60); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Build(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 2 || res.K > 5 {
+		t.Fatalf("K=%d outside [2,5]", res.K)
+	}
+	if len(res.Groups) != res.K {
+		t.Fatalf("%d groups for K=%d", len(res.Groups), res.K)
+	}
+	seen := make(map[int]bool)
+	for _, g := range res.Groups {
+		for _, m := range g.Members {
+			if seen[m] {
+				t.Fatalf("user %d in two groups", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("partition covers %d of 20 users", len(seen))
+	}
+	for u := 0; u < 20; u++ {
+		if res.GroupOf(u) < 0 {
+			t.Fatalf("user %d not found", u)
+		}
+	}
+	if res.GroupOf(999) != -1 {
+		t.Fatal("unknown user must map to -1")
+	}
+}
+
+func TestBuildSeparatesBehavioralClusters(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 24)
+	if _, err := b.TrainCompressor(twins, 40); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.BuildFixedK(twins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Users 0..11 (cluster A) must all land together, as must 12..23.
+	gA := res.GroupOf(0)
+	for u := 1; u < 12; u++ {
+		if res.GroupOf(u) != gA {
+			t.Fatalf("cluster A split: user %d in %d, want %d", u, res.GroupOf(u), gA)
+		}
+	}
+	gB := res.GroupOf(12)
+	if gB == gA {
+		t.Fatal("clusters merged")
+	}
+	for u := 13; u < 24; u++ {
+		if res.GroupOf(u) != gB {
+			t.Fatalf("cluster B split: user %d", u)
+		}
+	}
+	if res.Silhouette < 0.5 {
+		t.Fatalf("silhouette %v too low for separated clusters", res.Silhouette)
+	}
+}
+
+func TestBuildFixedKValidation(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 4)
+	if _, err := b.BuildFixedK(twins, 10); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestSelectKInRange(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 12)
+	codes, err := b.Codes(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := b.SelectK(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 2 || k > 5 {
+		t.Fatalf("K=%d outside range", k)
+	}
+}
+
+func TestBestKExhaustivePrefersTwoClusters(t *testing.T) {
+	b, err := New(testConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 20)
+	if _, err := b.TrainCompressor(twins, 40); err != nil {
+		t.Fatal(err)
+	}
+	k, reward, err := b.BestKExhaustive(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("oracle K=%d for two-cluster data, want 2", k)
+	}
+	if reward <= 0 {
+		t.Fatalf("oracle reward %v", reward)
+	}
+}
+
+func TestTrainedAgentApproachesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twins := makeTwins(t, 20)
+	if _, err := b.TrainCompressor(twins, 40); err != nil {
+		t.Fatal(err)
+	}
+	oracleK, _, err := b.BestKExhaustive(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewards, err := b.TrainAgent(twins, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rewards) != 200 {
+		t.Fatalf("%d episode rewards", len(rewards))
+	}
+	codes, err := b.Codes(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := b.SelectK(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != oracleK {
+		t.Fatalf("trained agent K=%d, oracle %d", k, oracleK)
+	}
+}
+
+func TestEnvStateShape(t *testing.T) {
+	codes := []vecmath.Vec{{1, 2}, {3, 4}, {5, 6}}
+	st, err := envState(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != StateDim {
+		t.Fatalf("state dim %d, want %d", len(st), StateDim)
+	}
+	if _, err := envState(nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	if _, err := RandIndex([]int{1}, []int{1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if _, err := RandIndex([]int{1, 2}, []int{1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	// Identical partitions (up to label permutation) → 1.
+	ri, err := RandIndex([]int{0, 0, 1, 1}, []int{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Fatalf("permuted identical partitions: %v", ri)
+	}
+	// Fully merged vs fully split → 0 agreement.
+	ri, err = RandIndex([]int{0, 0, 0}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 0 {
+		t.Fatalf("opposite partitions: %v", ri)
+	}
+	// One user moved in a 2+2 split: pairs (0,1), (0,3) and (1,3)
+	// agree, the three pairs involving the mover's old relations do
+	// not — 3 of 6.
+	ri, err = RandIndex([]int{0, 0, 1, 1}, []int{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-0.5) > 1e-12 {
+		t.Fatalf("rand index %v, want 0.5", ri)
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	res := &Result{Groups: []Group{
+		{ID: 0, Members: []int{0, 2}},
+		{ID: 1, Members: []int{1}},
+	}}
+	a := res.Assignments(4)
+	want := []int{0, 1, 0, -1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("assignments %v, want %v", a, want)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package kmeans implements the K-means++ seeding and Lloyd iteration
+// used for fast multicast-group construction (paper §II-B1, second
+// step), plus the cluster-quality scores (inertia, silhouette,
+// Davies-Bouldin) consumed by the DDQN reward.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// ErrInput indicates invalid clustering input.
+var ErrInput = errors.New("kmeans: invalid input")
+
+// Result holds the outcome of a clustering run.
+type Result struct {
+	// K is the number of clusters.
+	K int
+	// Centroids[k] is the center of cluster k.
+	Centroids []vecmath.Vec
+	// Assign[i] is the cluster index of point i.
+	Assign []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Sizes returns the number of points per cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K)
+	for _, a := range r.Assign {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// Members returns the point indices per cluster.
+func (r *Result) Members() [][]int {
+	out := make([][]int, r.K)
+	for i, a := range r.Assign {
+		out[a] = append(out[a], i)
+	}
+	return out
+}
+
+// Options tunes the clustering run.
+type Options struct {
+	// MaxIter bounds the Lloyd iterations (default 100).
+	MaxIter int
+	// Tol stops early when total centroid movement falls below it
+	// (default 1e-6).
+	Tol float64
+	// Restarts runs the whole seeding+Lloyd pipeline this many times
+	// and keeps the lowest-inertia result (default 1). K-means++
+	// seeding makes single runs good; a few restarts remove the
+	// residual seeding variance.
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	return o
+}
+
+func validate(points []vecmath.Vec, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("k=%d: %w", k, ErrInput)
+	}
+	if len(points) < k {
+		return fmt.Errorf("%d points for k=%d: %w", len(points), k, ErrInput)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return fmt.Errorf("zero-dimensional points: %w", ErrInput)
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("point %d dim %d want %d: %w", i, len(p), dim, ErrInput)
+		}
+	}
+	return nil
+}
+
+// SeedPlusPlus chooses k initial centroids with the K-means++ rule:
+// the first uniformly, each subsequent one with probability
+// proportional to its squared distance to the nearest chosen centroid.
+func SeedPlusPlus(points []vecmath.Vec, k int, rng *rand.Rand) ([]vecmath.Vec, error) {
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	centroids := make([]vecmath.Vec, 0, k)
+	centroids = append(centroids, vecmath.Clone(points[rng.Intn(len(points))]))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d, err := vecmath.SqDist(p, last)
+			if err != nil {
+				return nil, err
+			}
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		var idx int
+		if total == 0 {
+			// All points coincide with chosen centroids; fall back to
+			// uniform choice to keep progress.
+			idx = rng.Intn(len(points))
+		} else {
+			u := rng.Float64() * total
+			var acc float64
+			idx = len(points) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, vecmath.Clone(points[idx]))
+	}
+	return centroids, nil
+}
+
+// Run clusters points into k groups using K-means++ seeding followed
+// by Lloyd iterations, keeping the best of Options.Restarts attempts.
+func Run(points []vecmath.Vec, k int, rng *rand.Rand, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	var best *Result
+	for r := 0; r < o.Restarts; r++ {
+		res, err := runOnce(points, k, rng, o)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runOnce is a single seeding + Lloyd pass.
+func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, error) {
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	centroids, err := SeedPlusPlus(points, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(points[0])
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+	sums := make([]vecmath.Vec, k)
+	for i := range sums {
+		sums[i] = make(vecmath.Vec, dim)
+	}
+
+	var iter int
+	for iter = 0; iter < o.MaxIter; iter++ {
+		// Assignment step.
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d, derr := vecmath.SqDist(p, cent)
+				if derr != nil {
+					return nil, derr
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		var moved float64
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its centroid to avoid dead clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d, derr := vecmath.SqDist(p, centroids[assign[i]])
+					if derr != nil {
+						return nil, derr
+					}
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				moved += 1 // force another iteration
+				centroids[c] = vecmath.Clone(points[far])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			var delta float64
+			for j := range centroids[c] {
+				nv := sums[c][j] * inv
+				d := nv - centroids[c][j]
+				delta += d * d
+				centroids[c][j] = nv
+			}
+			moved += math.Sqrt(delta)
+		}
+		if moved < o.Tol {
+			iter++
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		d, derr := vecmath.SqDist(p, centroids[assign[i]])
+		if derr != nil {
+			return nil, derr
+		}
+		inertia += d
+	}
+	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering
+// in [-1, 1]; higher is better. Singleton clusters contribute 0 per
+// the usual convention. Returns an error for k < 2.
+func Silhouette(points []vecmath.Vec, assign []int, k int) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("silhouette k=%d: %w", k, ErrInput)
+	}
+	if len(points) != len(assign) || len(points) == 0 {
+		return 0, fmt.Errorf("silhouette %d points %d assigns: %w", len(points), len(assign), ErrInput)
+	}
+	sizes := make([]int, k)
+	for _, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("silhouette assign %d outside [0,%d): %w", a, k, ErrInput)
+		}
+		sizes[a]++
+	}
+	var total float64
+	for i, p := range points {
+		sumTo := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			d, err := vecmath.Dist(p, q)
+			if err != nil {
+				return 0, err
+			}
+			sumTo[assign[j]] += d
+		}
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // silhouette of singleton is 0
+		}
+		a := sumTo[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sumTo[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(len(points)), nil
+}
+
+// DaviesBouldin returns the Davies-Bouldin index (lower is better).
+func DaviesBouldin(points []vecmath.Vec, res *Result) (float64, error) {
+	if res.K < 2 {
+		return 0, fmt.Errorf("davies-bouldin k=%d: %w", res.K, ErrInput)
+	}
+	if len(points) != len(res.Assign) {
+		return 0, fmt.Errorf("davies-bouldin %d points %d assigns: %w", len(points), len(res.Assign), ErrInput)
+	}
+	// Mean intra-cluster distance (scatter) per cluster.
+	scatter := make([]float64, res.K)
+	counts := make([]int, res.K)
+	for i, p := range points {
+		c := res.Assign[i]
+		d, err := vecmath.Dist(p, res.Centroids[c])
+		if err != nil {
+			return 0, err
+		}
+		scatter[c] += d
+		counts[c]++
+	}
+	for c := range scatter {
+		if counts[c] > 0 {
+			scatter[c] /= float64(counts[c])
+		}
+	}
+	var sum float64
+	var active int
+	for i := 0; i < res.K; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		active++
+		worst := 0.0
+		for j := 0; j < res.K; j++ {
+			if i == j || counts[j] == 0 {
+				continue
+			}
+			d, err := vecmath.Dist(res.Centroids[i], res.Centroids[j])
+			if err != nil {
+				return 0, err
+			}
+			if d == 0 {
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	if active < 2 {
+		return 0, fmt.Errorf("davies-bouldin with %d active clusters: %w", active, ErrInput)
+	}
+	return sum / float64(active), nil
+}

@@ -1,0 +1,252 @@
+// Package nn is a small from-scratch neural-network library used by
+// the 1D-CNN UDT-data compressor (internal/cnn) and the DDQN grouping
+// agent (internal/ddqn). It supports single-sample forward/backward
+// passes over dense, conv1d, pooling and activation layers with SGD or
+// Adam optimization. Networks are deterministic given a seeded RNG.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// ErrShape is returned when a layer receives input of the wrong size.
+var ErrShape = errors.New("nn: shape mismatch")
+
+// Layer is one differentiable stage of a network. Forward consumes an
+// input vector and returns the output; Backward consumes the gradient
+// of the loss w.r.t. the output and returns the gradient w.r.t. the
+// input, accumulating parameter gradients internally.
+type Layer interface {
+	// Forward runs the layer on x, caching whatever Backward needs.
+	Forward(x vecmath.Vec) (vecmath.Vec, error)
+	// Backward propagates the output gradient to the input gradient.
+	Backward(grad vecmath.Vec) (vecmath.Vec, error)
+	// Params returns parameter/gradient pairs for the optimizer
+	// (nil for stateless layers).
+	Params() []Param
+	// OutSize reports the output width for the given input width,
+	// or an error if the input width is unsupported.
+	OutSize(in int) (int, error)
+}
+
+// Param couples a parameter slice with its gradient accumulator.
+type Param struct {
+	W, G []float64
+}
+
+// ZeroGrads clears all gradient accumulators of the given layers.
+func ZeroGrads(layers []Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			for i := range p.G {
+				p.G[i] = 0
+			}
+		}
+	}
+}
+
+// Dense is a fully connected layer: y = W·x + b.
+type Dense struct {
+	InDim, OutDim int
+
+	w, gw *vecmath.Matrix
+	b, gb vecmath.Vec
+
+	lastIn vecmath.Vec
+}
+
+// NewDense builds a dense layer with Xavier-initialized weights.
+func NewDense(inDim, outDim int, rng *rand.Rand) (*Dense, error) {
+	if inDim <= 0 || outDim <= 0 {
+		return nil, fmt.Errorf("dense %d->%d: %w", inDim, outDim, ErrShape)
+	}
+	w, err := vecmath.NewMatrix(outDim, inDim)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := vecmath.NewMatrix(outDim, inDim)
+	if err != nil {
+		return nil, err
+	}
+	w.FillXavier(rng, inDim, outDim)
+	return &Dense{
+		InDim: inDim, OutDim: outDim,
+		w: w, gw: gw,
+		b: make(vecmath.Vec, outDim), gb: make(vecmath.Vec, outDim),
+	}, nil
+}
+
+var _ Layer = (*Dense)(nil)
+
+// Forward implements Layer.
+func (d *Dense) Forward(x vecmath.Vec) (vecmath.Vec, error) {
+	if len(x) != d.InDim {
+		return nil, fmt.Errorf("dense forward got %d want %d: %w", len(x), d.InDim, ErrShape)
+	}
+	d.lastIn = vecmath.Clone(x)
+	out, err := d.w.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] += d.b[i]
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
+	if len(grad) != d.OutDim {
+		return nil, fmt.Errorf("dense backward got %d want %d: %w", len(grad), d.OutDim, ErrShape)
+	}
+	if d.lastIn == nil {
+		return nil, fmt.Errorf("dense backward before forward: %w", ErrShape)
+	}
+	if err := d.gw.AddOuter(1, grad, d.lastIn); err != nil {
+		return nil, err
+	}
+	for i := range grad {
+		d.gb[i] += grad[i]
+	}
+	return d.w.MulVecT(grad)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{{W: d.w.Data, G: d.gw.Data}, {W: d.b, G: d.gb}}
+}
+
+// OutSize implements Layer.
+func (d *Dense) OutSize(in int) (int, error) {
+	if in != d.InDim {
+		return 0, fmt.Errorf("dense outsize for %d want %d: %w", in, d.InDim, ErrShape)
+	}
+	return d.OutDim, nil
+}
+
+// CopyWeightsFrom copies parameters from another dense layer of the
+// same shape. Used for DDQN target-network synchronization.
+func (d *Dense) CopyWeightsFrom(src *Dense) error {
+	if d.InDim != src.InDim || d.OutDim != src.OutDim {
+		return fmt.Errorf("copy dense %dx%d from %dx%d: %w", d.OutDim, d.InDim, src.OutDim, src.InDim, ErrShape)
+	}
+	copy(d.w.Data, src.w.Data)
+	copy(d.b, src.b)
+	return nil
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	lastIn vecmath.Vec
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x vecmath.Vec) (vecmath.Vec, error) {
+	r.lastIn = vecmath.Clone(x)
+	out := make(vecmath.Vec, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
+	if len(grad) != len(r.lastIn) {
+		return nil, fmt.Errorf("relu backward got %d want %d: %w", len(grad), len(r.lastIn), ErrShape)
+	}
+	out := make(vecmath.Vec, len(grad))
+	for i, g := range grad {
+		if r.lastIn[i] > 0 {
+			out[i] = g
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// OutSize implements Layer.
+func (r *ReLU) OutSize(in int) (int, error) { return in, nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut vecmath.Vec
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x vecmath.Vec) (vecmath.Vec, error) {
+	out := make(vecmath.Vec, len(x))
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	t.lastOut = vecmath.Clone(out)
+	return out, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
+	if len(grad) != len(t.lastOut) {
+		return nil, fmt.Errorf("tanh backward got %d want %d: %w", len(grad), len(t.lastOut), ErrShape)
+	}
+	out := make(vecmath.Vec, len(grad))
+	for i, g := range grad {
+		y := t.lastOut[i]
+		out[i] = g * (1 - y*y)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []Param { return nil }
+
+// OutSize implements Layer.
+func (t *Tanh) OutSize(in int) (int, error) { return in, nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	lastOut vecmath.Vec
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x vecmath.Vec) (vecmath.Vec, error) {
+	out := make(vecmath.Vec, len(x))
+	for i, v := range x {
+		out[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = vecmath.Clone(out)
+	return out, nil
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
+	if len(grad) != len(s.lastOut) {
+		return nil, fmt.Errorf("sigmoid backward got %d want %d: %w", len(grad), len(s.lastOut), ErrShape)
+	}
+	out := make(vecmath.Vec, len(grad))
+	for i, g := range grad {
+		y := s.lastOut[i]
+		out[i] = g * y * (1 - y)
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []Param { return nil }
+
+// OutSize implements Layer.
+func (s *Sigmoid) OutSize(in int) (int, error) { return in, nil }

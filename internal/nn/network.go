@@ -1,0 +1,243 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// Network chains layers into a sequential model.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork validates that consecutive layer shapes are compatible
+// for the given input width and returns the model.
+func NewNetwork(inputDim int, layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("network with no layers: %w", ErrShape)
+	}
+	width := inputDim
+	for i, l := range layers {
+		out, err := l.OutSize(width)
+		if err != nil {
+			return nil, fmt.Errorf("network layer %d: %w", i, err)
+		}
+		width = out
+	}
+	return &Network{layers: layers}, nil
+}
+
+// Layers exposes the layer list (read-only use expected).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x vecmath.Vec) (vecmath.Vec, error) {
+	cur := x
+	for i, l := range n.layers {
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("forward layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Backward propagates an output-gradient through all layers in
+// reverse, accumulating parameter gradients, and returns the gradient
+// with respect to the network input (useful for chaining networks,
+// e.g. autoencoder decoder → encoder).
+func (n *Network) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
+	cur := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		out, err := n.layers[i].Backward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("backward layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (n *Network) ZeroGrads() { ZeroGrads(n.layers) }
+
+// Params returns all parameter/grad pairs.
+func (n *Network) Params() []Param {
+	var out []Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	var total int
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// MSELoss returns ½·mean((pred−target)²) and the gradient w.r.t. pred.
+func MSELoss(pred, target vecmath.Vec) (float64, vecmath.Vec, error) {
+	if len(pred) == 0 || len(pred) != len(target) {
+		return 0, nil, fmt.Errorf("mse %d vs %d: %w", len(pred), len(target), ErrShape)
+	}
+	grad := make(vecmath.Vec, len(pred))
+	var loss float64
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * d * d * inv
+		grad[i] = d * inv
+	}
+	return loss, grad, nil
+}
+
+// HuberLoss returns the mean Huber loss with threshold delta and its
+// gradient. It is the standard DQN loss (smooth L1) — quadratic near
+// zero, linear in the tails, which stabilizes TD training.
+func HuberLoss(pred, target vecmath.Vec, delta float64) (float64, vecmath.Vec, error) {
+	if len(pred) == 0 || len(pred) != len(target) {
+		return 0, nil, fmt.Errorf("huber %d vs %d: %w", len(pred), len(target), ErrShape)
+	}
+	if delta <= 0 {
+		return 0, nil, fmt.Errorf("huber delta=%v: %w", delta, ErrShape)
+	}
+	grad := make(vecmath.Vec, len(pred))
+	var loss float64
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		if math.Abs(d) <= delta {
+			loss += 0.5 * d * d * inv
+			grad[i] = d * inv
+		} else {
+			loss += delta * (math.Abs(d) - 0.5*delta) * inv
+			if d > 0 {
+				grad[i] = delta * inv
+			} else {
+				grad[i] = -delta * inv
+			}
+		}
+	}
+	return loss, grad, nil
+}
+
+// Optimizer updates parameters given accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter pair.
+	Step(params []Param) error
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR, Momentum float64
+
+	velocity [][]float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []Param) error {
+	if s.LR <= 0 {
+		return fmt.Errorf("sgd lr=%v: %w", s.LR, ErrShape)
+	}
+	if s.velocity == nil {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.W))
+		}
+	}
+	if len(s.velocity) != len(params) {
+		return fmt.Errorf("sgd param-set changed size: %w", ErrShape)
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		if len(v) != len(p.W) || len(p.G) != len(p.W) {
+			return fmt.Errorf("sgd param %d shape: %w", i, ErrShape)
+		}
+		for j := range p.W {
+			v[j] = s.Momentum*v[j] - s.LR*p.G[j]
+			p.W[j] += v[j]
+		}
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns Adam with conventional defaults for any zero field.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []Param) error {
+	if a.LR <= 0 {
+		return fmt.Errorf("adam lr=%v: %w", a.LR, ErrShape)
+	}
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.W))
+			a.v[i] = make([]float64, len(p.W))
+		}
+	}
+	if len(a.m) != len(params) {
+		return fmt.Errorf("adam param-set changed size: %w", ErrShape)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		if len(m) != len(p.W) || len(p.G) != len(p.W) {
+			return fmt.Errorf("adam param %d shape: %w", i, ErrShape)
+		}
+		for j := range p.W {
+			g := p.G[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+	return nil
+}
+
+// ClipGrads scales all gradients so their global L2 norm is at most
+// maxNorm. Returns the pre-clip norm.
+func ClipGrads(params []Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for j := range p.G {
+				p.G[j] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,538 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewSource(12345)) }
+
+func TestDenseShapeValidation(t *testing.T) {
+	rng := newRNG()
+	if _, err := NewDense(0, 3, rng); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	d, err := NewDense(3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Forward(vecmath.Vec{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := d.Backward(vecmath.Vec{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("backward before forward: want ErrShape, got %v", err)
+	}
+	if _, err := d.OutSize(5); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	out, err := d.OutSize(3)
+	if err != nil || out != 2 {
+		t.Fatalf("OutSize = %d, %v", out, err)
+	}
+}
+
+func TestDenseForwardKnownWeights(t *testing.T) {
+	d, err := NewDense(2, 2, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(d.w.Data, []float64{1, 2, 3, 4})
+	copy(d.b, []float64{0.5, -0.5})
+	out, err := d.Forward(vecmath.Vec{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3.5 || out[1] != 6.5 {
+		t.Fatalf("forward = %v", out)
+	}
+}
+
+// Finite-difference check of the dense layer gradient.
+func TestDenseGradientNumerically(t *testing.T) {
+	rng := newRNG()
+	d, err := NewDense(3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vecmath.Vec{0.3, -0.7, 1.2}
+	target := vecmath.Vec{0.1, -0.4}
+
+	lossOf := func() float64 {
+		out, ferr := d.Forward(x)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		l, _, lerr := MSELoss(out, target)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		return l
+	}
+
+	out, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := MSELoss(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ZeroGrads([]Layer{d})
+	if _, err := d.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	for _, p := range d.Params() {
+		for j := range p.W {
+			orig := p.W[j]
+			p.W[j] = orig + eps
+			lp := lossOf()
+			p.W[j] = orig - eps
+			lm := lossOf()
+			p.W[j] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.G[j]) > 1e-5 {
+				t.Fatalf("param grad mismatch: numeric %v analytic %v", num, p.G[j])
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	var r ReLU
+	out, err := r.Forward(vecmath.Vec{-1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("relu forward %v", out)
+	}
+	g, err := r.Backward(vecmath.Vec{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 0 || g[1] != 0 || g[2] != 1 {
+		t.Fatalf("relu backward %v", g)
+	}
+	if _, err := r.Backward(vecmath.Vec{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if r.Params() != nil {
+		t.Fatal("relu must be stateless")
+	}
+}
+
+func TestTanhSigmoidGradients(t *testing.T) {
+	for name, layer := range map[string]Layer{"tanh": &Tanh{}, "sigmoid": &Sigmoid{}} {
+		x := vecmath.Vec{0.5, -0.3}
+		out, err := layer.Forward(x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = out
+		grad, err := layer.Backward(vecmath.Vec{1, 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// numeric check
+		const eps = 1e-6
+		for i := range x {
+			xp := vecmath.Clone(x)
+			xp[i] += eps
+			op, _ := layer.Forward(xp)
+			xm := vecmath.Clone(x)
+			xm[i] -= eps
+			om, _ := layer.Forward(xm)
+			num := (op[i] - om[i]) / (2 * eps)
+			// re-prime cache for the original input
+			if _, err := layer.Forward(x); err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(num-grad[i]) > 1e-5 {
+				t.Fatalf("%s grad[%d]: numeric %v analytic %v", name, i, num, grad[i])
+			}
+		}
+	}
+}
+
+func TestConv1DValidation(t *testing.T) {
+	rng := newRNG()
+	if _, err := NewConv1D(0, 8, 2, 3, 1, rng); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := NewConv1D(1, 2, 2, 3, 1, rng); !errors.Is(err, ErrShape) {
+		t.Fatalf("kernel>input: want ErrShape, got %v", err)
+	}
+	c, err := NewConv1D(2, 8, 3, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutLen() != 6 {
+		t.Fatalf("OutLen = %d", c.OutLen())
+	}
+	if _, err := c.Forward(vecmath.Vec{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	n, err := c.OutSize(16)
+	if err != nil || n != 18 {
+		t.Fatalf("OutSize = %d, %v", n, err)
+	}
+}
+
+func TestConv1DKnownKernel(t *testing.T) {
+	c, err := NewConv1D(1, 4, 1, 2, 1, newRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(c.w[0][0], []float64{1, 1})
+	c.b[0] = 0
+	out, err := c.Forward(vecmath.Vec{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("conv out %v, want %v", out, want)
+		}
+	}
+}
+
+func TestConv1DGradientNumerically(t *testing.T) {
+	rng := newRNG()
+	c, err := NewConv1D(2, 6, 2, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(vecmath.Vec, 12)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	target := make(vecmath.Vec, 2*c.OutLen())
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	lossOf := func() float64 {
+		out, ferr := c.Forward(x)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		l, _, lerr := MSELoss(out, target)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		return l
+	}
+	out, err := c.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := MSELoss(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ZeroGrads([]Layer{c})
+	dx, err := c.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	for _, p := range c.Params() {
+		for j := range p.W {
+			orig := p.W[j]
+			p.W[j] = orig + eps
+			lp := lossOf()
+			p.W[j] = orig - eps
+			lm := lossOf()
+			p.W[j] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.G[j]) > 1e-5 {
+				t.Fatalf("conv param grad: numeric %v analytic %v", num, p.G[j])
+			}
+		}
+	}
+	// input gradient
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp := lossOf()
+		x[i] = orig - eps
+		lm := lossOf()
+		x[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-5 {
+			t.Fatalf("conv input grad[%d]: numeric %v analytic %v", i, num, dx[i])
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	if _, err := NewMaxPool1D(1, 4, 5); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	p, err := NewMaxPool1D(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Forward(vecmath.Vec{1, 3, 2, 2, 5, 4, 0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 5, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pool out %v, want %v", out, want)
+		}
+	}
+	g, err := p.Backward(vecmath.Vec{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG := []float64{0, 1, 1, 0, 1, 0, 0, 1}
+	for i := range wantG {
+		if g[i] != wantG[i] {
+			t.Fatalf("pool grad %v, want %v", g, wantG)
+		}
+	}
+	if _, err := p.Forward(vecmath.Vec{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	rng := newRNG()
+	if _, err := NewNetwork(4); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	d1, _ := NewDense(4, 8, rng)
+	d2, _ := NewDense(9, 2, rng) // mismatched
+	if _, err := NewNetwork(4, d1, d2); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestNetworkLearnsXOR(t *testing.T) {
+	rng := newRNG()
+	d1, err := NewDense(2, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDense(8, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(2, d1, &Tanh{}, d2, &Sigmoid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumParams() != 2*8+8+8+1 {
+		t.Fatalf("NumParams = %d", net.NumParams())
+	}
+	inputs := []vecmath.Vec{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := []vecmath.Vec{{0}, {1}, {1}, {0}}
+	opt := NewAdam(0.05)
+	for epoch := 0; epoch < 2000; epoch++ {
+		for i := range inputs {
+			out, ferr := net.Forward(inputs[i])
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			_, grad, lerr := MSELoss(out, targets[i])
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			net.ZeroGrads()
+			if _, berr := net.Backward(grad); berr != nil {
+				t.Fatal(berr)
+			}
+			if serr := opt.Step(net.Params()); serr != nil {
+				t.Fatal(serr)
+			}
+		}
+	}
+	for i := range inputs {
+		out, ferr := net.Forward(inputs[i])
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		if math.Abs(out[0]-targets[i][0]) > 0.2 {
+			t.Fatalf("XOR not learned: in=%v out=%v want %v", inputs[i], out[0], targets[i][0])
+		}
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	w := []float64{1}
+	g := []float64{1}
+	s := &SGD{LR: 0.1, Momentum: 0.9}
+	params := []Param{{W: w, G: g}}
+	if err := s.Step(params); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-0.9) > 1e-12 {
+		t.Fatalf("after step1 w=%v", w[0])
+	}
+	if err := s.Step(params); err != nil {
+		t.Fatal(err)
+	}
+	// v2 = 0.9*(-0.1) - 0.1 = -0.19; w = 0.9-0.19 = 0.71
+	if math.Abs(w[0]-0.71) > 1e-12 {
+		t.Fatalf("after step2 w=%v", w[0])
+	}
+	bad := &SGD{LR: 0}
+	if err := bad.Step(params); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAdamDecreasesLoss(t *testing.T) {
+	rng := newRNG()
+	d, err := NewDense(3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vecmath.Vec{1, 2, 3}
+	target := vecmath.Vec{5}
+	opt := NewAdam(0.01)
+	var first, last float64
+	for i := 0; i < 500; i++ {
+		out, ferr := d.Forward(x)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		loss, grad, lerr := MSELoss(out, target)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		ZeroGrads([]Layer{d})
+		if _, berr := d.Backward(grad); berr != nil {
+			t.Fatal(berr)
+		}
+		if serr := opt.Step(d.Params()); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	if last >= first || last > 1e-4 {
+		t.Fatalf("adam did not converge: first %v last %v", first, last)
+	}
+}
+
+func TestHuberLoss(t *testing.T) {
+	if _, _, err := HuberLoss(vecmath.Vec{1}, vecmath.Vec{1}, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, _, err := HuberLoss(nil, nil, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	// Inside the quadratic zone Huber == MSE.
+	lh, gh, err := HuberLoss(vecmath.Vec{0.5}, vecmath.Vec{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, gm, err := MSELoss(vecmath.Vec{0.5}, vecmath.Vec{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lh-lm) > 1e-12 || math.Abs(gh[0]-gm[0]) > 1e-12 {
+		t.Fatalf("huber != mse in quadratic zone: %v vs %v", lh, lm)
+	}
+	// Outside: gradient saturates at ±delta/n.
+	_, g, err := HuberLoss(vecmath.Vec{10}, vecmath.Vec{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 1 {
+		t.Fatalf("saturated grad %v, want 1", g[0])
+	}
+	_, g, err = HuberLoss(vecmath.Vec{-10}, vecmath.Vec{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != -1 {
+		t.Fatalf("saturated grad %v, want -1", g[0])
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	g := []float64{3, 4} // norm 5
+	params := []Param{{W: []float64{0, 0}, G: g}}
+	norm := ClipGrads(params, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	if math.Abs(math.Hypot(g[0], g[1])-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v", math.Hypot(g[0], g[1]))
+	}
+	// Below threshold: untouched.
+	g2 := []float64{0.1}
+	ClipGrads([]Param{{W: []float64{0}, G: g2}}, 1)
+	if g2[0] != 0.1 {
+		t.Fatal("clip must not touch small grads")
+	}
+}
+
+func TestDenseCopyWeightsFrom(t *testing.T) {
+	rng := newRNG()
+	a, _ := NewDense(3, 2, rng)
+	b, _ := NewDense(3, 2, rng)
+	if err := b.CopyWeightsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.w.Data {
+		if a.w.Data[i] != b.w.Data[i] {
+			t.Fatal("weights not copied")
+		}
+	}
+	c, _ := NewDense(4, 2, rng)
+	if err := c.CopyWeightsFrom(a); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestNetworkCNNPipelineShapes(t *testing.T) {
+	rng := newRNG()
+	conv, err := NewConv1D(4, 32, 8, 5, 1, rng) // out 8×28
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool1D(8, 28, 2) // out 8×14
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewDense(8*14, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(4*32, conv, &ReLU{}, pool, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(vecmath.Vec, 4*32)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	out, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("pipeline out %d, want 8", len(out))
+	}
+	_, grad, err := MSELoss(out, make(vecmath.Vec, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ZeroGrads()
+	if _, err := net.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+}

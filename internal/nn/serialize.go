@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WeightState is the serializable parameter set of a network: one
+// flat float64 slice per Param, in layer order. Architectures are
+// reconstructed from configuration (not stored), so loading is only
+// valid into a network of the identical shape — which Load verifies.
+type WeightState struct {
+	// Params holds each parameter tensor's flattened values.
+	Params [][]float64 `json:"params"`
+}
+
+// SaveWeights captures the network's parameters.
+func (n *Network) SaveWeights() *WeightState {
+	params := n.Params()
+	out := &WeightState{Params: make([][]float64, len(params))}
+	for i, p := range params {
+		out.Params[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+// LoadWeights restores parameters captured by SaveWeights into a
+// network of the identical architecture.
+func (n *Network) LoadWeights(state *WeightState) error {
+	if state == nil {
+		return fmt.Errorf("nil weight state: %w", ErrShape)
+	}
+	params := n.Params()
+	if len(params) != len(state.Params) {
+		return fmt.Errorf("weight state has %d tensors, network has %d: %w",
+			len(state.Params), len(params), ErrShape)
+	}
+	for i, p := range params {
+		if len(p.W) != len(state.Params[i]) {
+			return fmt.Errorf("tensor %d has %d values, want %d: %w",
+				i, len(state.Params[i]), len(p.W), ErrShape)
+		}
+	}
+	for i, p := range params {
+		copy(p.W, state.Params[i])
+	}
+	return nil
+}
+
+// WriteJSON serializes the weight state.
+func (s *WeightState) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// ReadWeightState decodes a weight state.
+func ReadWeightState(r io.Reader) (*WeightState, error) {
+	var s WeightState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode weights: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+func buildNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	rng := newRNG()
+	_ = seed
+	d1, err := NewDense(4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDense(6, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(4, d1, &Tanh{}, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	src := buildNet(t, 1)
+	dst := buildNet(t, 2)
+	x := vecmath.Vec{0.1, -0.2, 0.3, 0.7}
+
+	before, err := src.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadWeights(src.SaveWeights()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := dst.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("output differs after weight transfer: %v vs %v", before, after)
+		}
+	}
+}
+
+func TestSaveWeightsIsolation(t *testing.T) {
+	net := buildNet(t, 3)
+	state := net.SaveWeights()
+	state.Params[0][0] = 1e9
+	x := vecmath.Vec{1, 1, 1, 1}
+	out, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v > 1e6 {
+			t.Fatal("saved state aliases live weights")
+		}
+	}
+}
+
+func TestLoadWeightsValidation(t *testing.T) {
+	net := buildNet(t, 4)
+	if err := net.LoadWeights(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := net.LoadWeights(&WeightState{Params: [][]float64{{1}}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("tensor count: want ErrShape, got %v", err)
+	}
+	bad := net.SaveWeights()
+	bad.Params[0] = bad.Params[0][:1]
+	if err := net.LoadWeights(bad); !errors.Is(err, ErrShape) {
+		t.Fatalf("tensor size: want ErrShape, got %v", err)
+	}
+	// A failed load must not partially mutate: check output unchanged.
+	x := vecmath.Vec{0.5, 0.5, 0.5, 0.5}
+	before, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net.LoadWeights(bad)
+	after, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed load mutated weights")
+		}
+	}
+}
+
+func TestWeightStateJSONRoundTrip(t *testing.T) {
+	net := buildNet(t, 5)
+	state := net.SaveWeights()
+	var buf bytes.Buffer
+	if err := state.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWeightState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := buildNet(t, 6)
+	if err := other.LoadWeights(back); err != nil {
+		t.Fatal(err)
+	}
+	x := vecmath.Vec{0.2, 0.4, 0.6, 0.8}
+	a, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := other.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("json round trip changed weights")
+		}
+	}
+}
+
+func TestReadWeightStateError(t *testing.T) {
+	if _, err := ReadWeightState(strings.NewReader("{oops")); err == nil {
+		t.Fatal("malformed weights must error")
+	}
+}

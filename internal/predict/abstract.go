@@ -1,0 +1,333 @@
+// Package predict implements the paper's group-based resource demand
+// prediction (§II-B2). From the UDTs of a multicast group it abstracts
+// (a) the group's swiping probability distribution per video category
+// — the CDF of the fraction of a video watched before swiping — and
+// (b) the recommended video list (video popularity × group
+// preference). From those it derives expected engagement time, video
+// traffic, and computing consumption to predict the radio and
+// computing resource demand of the next reservation interval.
+// EWMA/moving-average/last-value baselines are provided for the
+// predictor-ablation experiments.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/segment"
+	"dtmsvs/internal/stats"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+// ErrInput indicates invalid prediction input.
+var ErrInput = errors.New("predict: invalid input")
+
+// SwipeBins is the resolution of the swiping-probability CDF over the
+// normalized watch fraction [0, 1].
+const SwipeBins = 20
+
+// SwipeDistribution is a multicast group's per-category swiping
+// probability distribution: for category c, CDF[c][i] is the
+// probability a group member swipes at or before watch fraction
+// (i+1)/SwipeBins of a video. Flat-rising CDFs mean sticky content
+// (News in Fig. 3a); steep CDFs mean fast swiping (Game).
+type SwipeDistribution struct {
+	CDF [video.NumCategories][]float64
+	// Samples counts the observations behind each category's CDF.
+	Samples [video.NumCategories]int
+}
+
+// GroupObservation is one member's view event, as read back from UDTs.
+type GroupObservation struct {
+	Category video.Category
+	// WatchFraction in [0,1] of the video watched before the swipe
+	// (1 = watched to the end).
+	WatchFraction float64
+}
+
+// NewSwipeDistribution estimates the distribution from observations.
+// Categories with no observations get a uniform CDF (maximum
+// uncertainty) so downstream expectations stay defined.
+func NewSwipeDistribution(obs []GroupObservation) (*SwipeDistribution, error) {
+	hists := [video.NumCategories]*stats.Histogram{}
+	for i := range hists {
+		h, err := stats.NewHistogram(0, 1.0000001, SwipeBins)
+		if err != nil {
+			return nil, err
+		}
+		hists[i] = h
+	}
+	for _, o := range obs {
+		idx := o.Category.Index()
+		if idx < 0 {
+			return nil, fmt.Errorf("category %v: %w", o.Category, ErrInput)
+		}
+		if o.WatchFraction < 0 || o.WatchFraction > 1 || math.IsNaN(o.WatchFraction) {
+			return nil, fmt.Errorf("watch fraction %v: %w", o.WatchFraction, ErrInput)
+		}
+		hists[idx].Add(o.WatchFraction)
+	}
+	var d SwipeDistribution
+	for i, h := range hists {
+		d.Samples[i] = h.Total()
+		if h.Total() == 0 {
+			cdf := make([]float64, SwipeBins)
+			for j := range cdf {
+				cdf[j] = float64(j+1) / SwipeBins
+			}
+			d.CDF[i] = cdf
+			continue
+		}
+		d.CDF[i] = h.CDF()
+	}
+	return &d, nil
+}
+
+// ExpectedWatchFraction returns E[watch fraction] for the category:
+// ∫₀¹ (1 − F(t)) dt evaluated on the binned CDF.
+func (d *SwipeDistribution) ExpectedWatchFraction(cat video.Category) (float64, error) {
+	idx := cat.Index()
+	if idx < 0 {
+		return 0, fmt.Errorf("category %v: %w", cat, ErrInput)
+	}
+	var e float64
+	for _, f := range d.CDF[idx] {
+		e += (1 - f) / SwipeBins
+	}
+	// Survivors at the last bin edge watched to completion; the CDF
+	// construction puts them in the final bin, so e already counts
+	// everything up to 1.0. Add the bin-width correction for the mass
+	// that never swipes within [0,1): approximate by half a bin.
+	e += 0.5 / SwipeBins
+	if e > 1 {
+		e = 1
+	}
+	return e, nil
+}
+
+// ExpectedMaxWatchFraction returns E[max of m i.i.d. watch fractions]
+// = ∫₀¹ (1 − F(t)^m) dt — the expected multicast transmission length
+// of a video when the BS keeps transmitting until the last of m group
+// members swipes.
+func (d *SwipeDistribution) ExpectedMaxWatchFraction(cat video.Category, m int) (float64, error) {
+	idx := cat.Index()
+	if idx < 0 {
+		return 0, fmt.Errorf("category %v: %w", cat, ErrInput)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("group size %d: %w", m, ErrInput)
+	}
+	var e float64
+	for _, f := range d.CDF[idx] {
+		e += (1 - math.Pow(f, float64(m))) / SwipeBins
+	}
+	e += 0.5 / SwipeBins
+	if e > 1 {
+		e = 1
+	}
+	return e, nil
+}
+
+// ExpectedMaxWasteFraction returns the expected *wasted* fraction of
+// a video under segment-level prefetching: the group's transmission
+// covers the last swiper's watch prefix rounded up to segment
+// boundaries plus the prefetch window (segment.Plan); the overshoot
+// beyond the swipe point is waste. The expectation is over Tmax, the
+// maximum of m i.i.d. watch fractions (CDF F^m). durS is the video
+// duration, segS the segment length and depth the prefetch window in
+// segments.
+func (d *SwipeDistribution) ExpectedMaxWasteFraction(cat video.Category, m int, durS, segS float64, depth int) (float64, error) {
+	idx := cat.Index()
+	if idx < 0 {
+		return 0, fmt.Errorf("category %v: %w", cat, ErrInput)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("group size %d: %w", m, ErrInput)
+	}
+	if durS <= 0 || segS <= 0 || depth < 0 {
+		return 0, fmt.Errorf("dur %v seg %v depth %d: %w", durS, segS, depth, ErrInput)
+	}
+	cdf := d.CDF[idx]
+	var e float64
+	prev := 0.0
+	for i, f := range cdf {
+		fm := math.Pow(f, float64(m))
+		pmf := fm - prev
+		prev = fm
+		if pmf <= 0 {
+			continue
+		}
+		t := float64(i+1) / float64(len(cdf)) // bin upper edge
+		_, waste, perr := segment.Plan(t*durS, durS, segS, depth)
+		if perr != nil {
+			return 0, perr
+		}
+		e += pmf * waste / durS
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e, nil
+}
+
+// SwipeProbBefore returns P(swipe at or before watch fraction t).
+func (d *SwipeDistribution) SwipeProbBefore(cat video.Category, t float64) (float64, error) {
+	idx := cat.Index()
+	if idx < 0 {
+		return 0, fmt.Errorf("category %v: %w", cat, ErrInput)
+	}
+	if t < 0 || t > 1 || math.IsNaN(t) {
+		return 0, fmt.Errorf("fraction %v: %w", t, ErrInput)
+	}
+	bin := int(t * SwipeBins)
+	if bin >= SwipeBins {
+		bin = SwipeBins - 1
+	}
+	return d.CDF[idx][bin], nil
+}
+
+// GroupProfile is the abstracted group-level information of §II-B2.
+type GroupProfile struct {
+	// Swipe is the group's swiping probability distribution.
+	Swipe *SwipeDistribution
+	// Preference is the mean member preference (category mix the
+	// group will be served).
+	Preference behavior.Preference
+	// Recommended is the ranked recommendation list.
+	Recommended []*video.Video
+	// Size is the number of members.
+	Size int
+	// MeanEngagementS is the average watch seconds per view observed
+	// in the last interval.
+	MeanEngagementS float64
+}
+
+// ObservationsFromTwins converts the twins' accumulated per-category
+// engagement fractions into per-view observations for the swipe
+// distribution: each user contributes, per category, their mean
+// watched fraction weighted by their view count.
+func ObservationsFromTwins(twins []*udt.Twin) ([]GroupObservation, error) {
+	var obs []GroupObservation
+	for _, tw := range twins {
+		engage := tw.EngagementByCategory()
+		views := tw.ViewsByCategory()
+		for ci, n := range views {
+			if n == 0 {
+				continue
+			}
+			frac := engage[ci] / float64(n)
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			cat := video.AllCategories()[ci]
+			for v := 0; v < n; v++ {
+				obs = append(obs, GroupObservation{Category: cat, WatchFraction: frac})
+			}
+		}
+	}
+	return obs, nil
+}
+
+// BuildGroupProfile abstracts one multicast group from its members'
+// twins: swipe distribution, mean preference, recommendation list
+// (popularity × preference score) and mean engagement.
+func BuildGroupProfile(twins []*udt.Twin, cat *video.Catalog, topN int) (*GroupProfile, error) {
+	if len(twins) == 0 {
+		return nil, fmt.Errorf("empty group: %w", ErrInput)
+	}
+	if cat == nil || cat.Size() == 0 {
+		return nil, fmt.Errorf("empty catalog: %w", ErrInput)
+	}
+	if topN <= 0 {
+		return nil, fmt.Errorf("topN %d: %w", topN, ErrInput)
+	}
+	obs, err := ObservationsFromTwins(twins)
+	if err != nil {
+		return nil, err
+	}
+	swipe, err := NewSwipeDistribution(obs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mean preference across members.
+	pref := make(behavior.Preference, video.NumCategories)
+	for _, tw := range twins {
+		p := tw.Preference()
+		for i, v := range p {
+			pref[i] += v
+		}
+	}
+	for i := range pref {
+		pref[i] /= float64(len(twins))
+	}
+
+	// Mean engagement seconds per view.
+	var watchSum float64
+	var viewSum int
+	for _, tw := range twins {
+		w := tw.WatchByCategory()
+		v := tw.ViewsByCategory()
+		for ci := range w {
+			watchSum += w[ci]
+			viewSum += v[ci]
+		}
+	}
+	meanEng := 0.0
+	if viewSum > 0 {
+		meanEng = watchSum / float64(viewSum)
+	}
+
+	// Recommendation: score = popularity × preference of the video's
+	// category; take the topN by score.
+	rec := rankByScore(cat, pref, topN)
+
+	return &GroupProfile{
+		Swipe:           swipe,
+		Preference:      pref,
+		Recommended:     rec,
+		Size:            len(twins),
+		MeanEngagementS: meanEng,
+	}, nil
+}
+
+// rankByScore returns the topN videos by popularity × category
+// preference using partial selection.
+func rankByScore(cat *video.Catalog, pref behavior.Preference, topN int) []*video.Video {
+	type scored struct {
+		v *video.Video
+		s float64
+	}
+	all := make([]scored, 0, cat.Size())
+	for _, v := range cat.Videos {
+		idx := v.Category.Index()
+		if idx < 0 {
+			continue
+		}
+		all = append(all, scored{v: v, s: cat.Popularity(v.ID) * pref[idx]})
+	}
+	// Partial selection sort for topN (topN << catalog size).
+	if topN > len(all) {
+		topN = len(all)
+	}
+	for i := 0; i < topN; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].s > all[best].s {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]*video.Video, topN)
+	for i := 0; i < topN; i++ {
+		out[i] = all[i].v
+	}
+	return out
+}

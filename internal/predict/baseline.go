@@ -1,0 +1,117 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeriesPredictor forecasts the next value of a scalar demand series.
+// It is the interface shared by the baseline predictors used in the
+// predictor-ablation experiment (E4).
+type SeriesPredictor interface {
+	// Observe folds one measured value.
+	Observe(x float64)
+	// Predict returns the forecast for the next interval and whether
+	// enough history exists to make one.
+	Predict() (float64, bool)
+	// Name identifies the predictor in experiment output.
+	Name() string
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct {
+	last  float64
+	ready bool
+}
+
+var _ SeriesPredictor = (*LastValue)(nil)
+
+// Observe implements SeriesPredictor.
+func (p *LastValue) Observe(x float64) { p.last, p.ready = x, true }
+
+// Predict implements SeriesPredictor.
+func (p *LastValue) Predict() (float64, bool) { return p.last, p.ready }
+
+// Name implements SeriesPredictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// MovingAverage predicts the mean of the last Window observations.
+type MovingAverage struct {
+	Window int
+
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewMovingAverage builds a moving-average predictor.
+func NewMovingAverage(window int) (*MovingAverage, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("ma window %d: %w", window, ErrInput)
+	}
+	return &MovingAverage{Window: window, buf: make([]float64, window)}, nil
+}
+
+var _ SeriesPredictor = (*MovingAverage)(nil)
+
+// Observe implements SeriesPredictor.
+func (p *MovingAverage) Observe(x float64) {
+	p.buf[p.next] = x
+	p.next++
+	if p.next == len(p.buf) {
+		p.next = 0
+		p.full = true
+	}
+}
+
+// Predict implements SeriesPredictor.
+func (p *MovingAverage) Predict() (float64, bool) {
+	n := p.next
+	if p.full {
+		n = len(p.buf)
+	}
+	if n == 0 {
+		return 0, false
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.buf[i]
+	}
+	return sum / float64(n), true
+}
+
+// Name implements SeriesPredictor.
+func (p *MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", p.Window) }
+
+// EWMA predicts an exponentially weighted moving average.
+type EWMA struct {
+	Alpha float64
+
+	value float64
+	ready bool
+}
+
+// NewEWMA builds an EWMA predictor (alpha in (0,1]).
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("ewma alpha %v: %w", alpha, ErrInput)
+	}
+	return &EWMA{Alpha: alpha}, nil
+}
+
+var _ SeriesPredictor = (*EWMA)(nil)
+
+// Observe implements SeriesPredictor.
+func (p *EWMA) Observe(x float64) {
+	if !p.ready {
+		p.value, p.ready = x, true
+		return
+	}
+	p.value = p.Alpha*x + (1-p.Alpha)*p.value
+}
+
+// Predict implements SeriesPredictor.
+func (p *EWMA) Predict() (float64, bool) { return p.value, p.ready }
+
+// Name implements SeriesPredictor.
+func (p *EWMA) Name() string { return fmt.Sprintf("ewma(%.2f)", p.Alpha) }

@@ -1,0 +1,620 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/channel"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+func obsOf(cat video.Category, fracs ...float64) []GroupObservation {
+	out := make([]GroupObservation, len(fracs))
+	for i, f := range fracs {
+		out[i] = GroupObservation{Category: cat, WatchFraction: f}
+	}
+	return out
+}
+
+func TestNewSwipeDistributionValidation(t *testing.T) {
+	if _, err := NewSwipeDistribution(obsOf(video.Category(0), 0.5)); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewSwipeDistribution(obsOf(video.News, -0.1)); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewSwipeDistribution(obsOf(video.News, 1.5)); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}
+
+func TestSwipeDistributionEmptyUniform(t *testing.T) {
+	d, err := NewSwipeDistribution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range video.AllCategories() {
+		e, eerr := d.ExpectedWatchFraction(c)
+		if eerr != nil {
+			t.Fatal(eerr)
+		}
+		// Uniform CDF → E[frac] ≈ 0.5.
+		if math.Abs(e-0.5) > 0.05 {
+			t.Fatalf("empty-category expectation %v, want ~0.5", e)
+		}
+	}
+}
+
+func TestSwipeCDFMonotoneNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var obs []GroupObservation
+	for i := 0; i < 500; i++ {
+		obs = append(obs, GroupObservation{Category: video.News, WatchFraction: rng.Float64()})
+	}
+	d, err := NewSwipeDistribution(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := d.CDF[video.News.Index()]
+	if len(cdf) != SwipeBins {
+		t.Fatalf("cdf bins %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("cdf not monotone")
+		}
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		t.Fatalf("cdf tail %v", cdf[len(cdf)-1])
+	}
+	if d.Samples[video.News.Index()] != 500 {
+		t.Fatalf("samples %d", d.Samples[video.News.Index()])
+	}
+}
+
+func TestExpectedWatchFractionKnownDistributions(t *testing.T) {
+	// All watch to completion → expectation ≈ 1.
+	d, err := NewSwipeDistribution(obsOf(video.News, 1, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.ExpectedWatchFraction(video.News)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.95 {
+		t.Fatalf("completion expectation %v, want ~1", e)
+	}
+	// All swipe instantly → expectation ≈ 0.
+	d, err = NewSwipeDistribution(obsOf(video.Game, 0, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err = d.ExpectedWatchFraction(video.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.06 {
+		t.Fatalf("instant-swipe expectation %v, want ~0", e)
+	}
+	// Uniform draws → ≈ 0.5.
+	rng := rand.New(rand.NewSource(2))
+	var fr []float64
+	for i := 0; i < 2000; i++ {
+		fr = append(fr, rng.Float64())
+	}
+	d, err = NewSwipeDistribution(obsOf(video.Music, fr...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err = d.ExpectedWatchFraction(video.Music)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-0.5) > 0.05 {
+		t.Fatalf("uniform expectation %v, want ~0.5", e)
+	}
+	if _, err := d.ExpectedWatchFraction(video.Category(9)); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}
+
+// E[max of m] must be ≥ E[single] and increase with m.
+func TestExpectedMaxWatchFractionMonotoneInGroupSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var fr []float64
+	for i := 0; i < 1000; i++ {
+		fr = append(fr, rng.Float64())
+	}
+	d, err := NewSwipeDistribution(obsOf(video.News, fr...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := d.ExpectedWatchFraction(video.News)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, m := range []int{1, 2, 5, 20, 100} {
+		mx, merr := d.ExpectedMaxWatchFraction(video.News, m)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if mx < prev-1e-9 {
+			t.Fatalf("E[max] not monotone at m=%d", m)
+		}
+		if m == 1 && math.Abs(mx-single) > 1e-9 {
+			t.Fatalf("E[max of 1] %v != E[single] %v", mx, single)
+		}
+		prev = mx
+	}
+	if _, err := d.ExpectedMaxWatchFraction(video.News, 0); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}
+
+func TestSwipeProbBefore(t *testing.T) {
+	d, err := NewSwipeDistribution(obsOf(video.Game, 0.1, 0.1, 0.1, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.SwipeProbBefore(video.Game, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-9 {
+		t.Fatalf("P(swipe≤0.5) = %v, want 0.75", p)
+	}
+	if _, err := d.SwipeProbBefore(video.Game, 2); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := d.SwipeProbBefore(video.Category(0), 0.5); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}
+
+// Sticky category (News) must have a CDF dominated by the fast-swipe
+// category (Game) — the Fig. 3(a) shape.
+func TestStickyVsFastSwipeCDFOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var obs []GroupObservation
+	for i := 0; i < 1000; i++ {
+		obs = append(obs,
+			GroupObservation{Category: video.News, WatchFraction: math.Min(1, 0.6+0.4*rng.Float64())},
+			GroupObservation{Category: video.Game, WatchFraction: 0.4 * rng.Float64()},
+		)
+	}
+	d, err := NewSwipeDistribution(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newsCDF := d.CDF[video.News.Index()]
+	gameCDF := d.CDF[video.Game.Index()]
+	for i := 0; i < SwipeBins-1; i++ {
+		if newsCDF[i] > gameCDF[i]+1e-9 {
+			t.Fatalf("bin %d: news cdf %v above game %v", i, newsCDF[i], gameCDF[i])
+		}
+	}
+	eNews, err := d.ExpectedWatchFraction(video.News)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eGame, err := d.ExpectedWatchFraction(video.Game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNews <= eGame {
+		t.Fatalf("news %v not watched longer than game %v", eNews, eGame)
+	}
+}
+
+func groupTwins(t *testing.T, n int) []*udt.Twin {
+	t.Helper()
+	twins := make([]*udt.Twin, n)
+	for i := range twins {
+		tw, err := udt.NewTwin(i, udt.Config{
+			ChannelEvery: 1, LocationEvery: 1, WatchEvery: 1, PreferenceEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw.Tick()
+		if _, err := tw.CollectView(video.News, 25, 0.8, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.CollectView(video.Game, 4, 0.15, true); err != nil {
+			t.Fatal(err)
+		}
+		pref, perr := behavior.NewRandomPreference(rand.New(rand.NewSource(int64(i))), video.News, 4)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, err := tw.CollectPreference(pref); err != nil {
+			t.Fatal(err)
+		}
+		twins[i] = tw
+	}
+	return twins
+}
+
+func TestObservationsFromTwins(t *testing.T) {
+	empty, err := ObservationsFromTwins(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("nil twins: %v, %v", empty, err)
+	}
+	twins := groupTwins(t, 3)
+	obs, err := ObservationsFromTwins(twins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 views per twin.
+	if len(obs) != 6 {
+		t.Fatalf("%d observations", len(obs))
+	}
+	for _, o := range obs {
+		if o.WatchFraction < 0 || o.WatchFraction > 1 {
+			t.Fatalf("fraction %v", o.WatchFraction)
+		}
+	}
+}
+
+func testCatalog(t *testing.T) *video.Catalog {
+	t.Helper()
+	cat, err := video.NewCatalog(video.CatalogConfig{NumVideos: 100}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestBuildGroupProfile(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := BuildGroupProfile(nil, cat, 10); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	twins := groupTwins(t, 5)
+	if _, err := BuildGroupProfile(twins, nil, 10); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := BuildGroupProfile(twins, cat, 0); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	p, err := BuildGroupProfile(twins, cat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size != 5 {
+		t.Fatalf("size %d", p.Size)
+	}
+	if len(p.Recommended) != 10 {
+		t.Fatalf("%d recommended", len(p.Recommended))
+	}
+	if err := p.Preference.Validate(); err != nil {
+		t.Fatalf("mean preference invalid: %v", err)
+	}
+	// News-leaning twins → News preference dominant.
+	if p.Preference[video.News.Index()] < 0.3 {
+		t.Fatalf("news preference %v", p.Preference[video.News.Index()])
+	}
+	// Mean engagement = (25+4)/2.
+	if math.Abs(p.MeanEngagementS-14.5) > 1e-9 {
+		t.Fatalf("mean engagement %v", p.MeanEngagementS)
+	}
+	// Recommended sorted by popularity×preference, descending.
+	for i := 1; i < len(p.Recommended); i++ {
+		si := cat.Popularity(p.Recommended[i].ID) * p.Preference[p.Recommended[i].Category.Index()]
+		sp := cat.Popularity(p.Recommended[i-1].ID) * p.Preference[p.Recommended[i-1].Category.Index()]
+		if si > sp+1e-12 {
+			t.Fatalf("recommendation order violated at %d", i)
+		}
+	}
+}
+
+func demandPredictor() DemandPredictor {
+	return DemandPredictor{
+		Params:             channel.DefaultParams(),
+		IntervalS:          300,
+		SwipeGapS:          0.5,
+		MeanVideoDurationS: 35,
+		CyclesPerBit:       50,
+	}
+}
+
+func TestDemandPredictorValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*DemandPredictor)
+	}{
+		{"interval", func(p *DemandPredictor) { p.IntervalS = 0 }},
+		{"gap", func(p *DemandPredictor) { p.SwipeGapS = -1 }},
+		{"duration", func(p *DemandPredictor) { p.MeanVideoDurationS = 0 }},
+		{"cycles", func(p *DemandPredictor) { p.CyclesPerBit = -1 }},
+		{"hitrate", func(p *DemandPredictor) { p.CacheHitRate = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := demandPredictor()
+			tt.mut(&p)
+			if err := p.Validate(); !errors.Is(err, ErrInput) {
+				t.Fatalf("want ErrInput, got %v", err)
+			}
+		})
+	}
+}
+
+func testProfile(t *testing.T) *GroupProfile {
+	t.Helper()
+	twins := groupTwins(t, 8)
+	p, err := BuildGroupProfile(twins, testCatalog(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPredictDemandBasics(t *testing.T) {
+	pr := demandPredictor()
+	profile := testProfile(t)
+	if _, err := pr.Predict(nil, 1e6, 10); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := pr.Predict(profile, 0, 10); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	d, err := pr.Predict(profile, 1.85e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RadioRBs <= 0 || d.TrafficBits <= 0 || d.EngagementS <= 0 {
+		t.Fatalf("degenerate demand %+v", d)
+	}
+	// Transcoding predicted since 1.85 Mbps < top rung.
+	if d.ComputeCycles <= 0 {
+		t.Fatalf("compute cycles %v", d.ComputeCycles)
+	}
+	// Top rung → no transcode.
+	dTop, err := pr.Predict(profile, 2.5e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dTop.ComputeCycles != 0 {
+		t.Fatalf("top-rung cycles %v", dTop.ComputeCycles)
+	}
+}
+
+func TestPredictDemandMonotoneInSNR(t *testing.T) {
+	pr := demandPredictor()
+	profile := testProfile(t)
+	dLow, err := pr.Predict(profile, 1.2e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dHigh, err := pr.Predict(profile, 1.2e6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dHigh.RadioRBs >= dLow.RadioRBs {
+		t.Fatalf("better snr must need fewer RBs: %v vs %v", dHigh.RadioRBs, dLow.RadioRBs)
+	}
+}
+
+func TestPredictTrafficScalesWithBitrate(t *testing.T) {
+	pr := demandPredictor()
+	profile := testProfile(t)
+	d1, err := pr.Predict(profile, 1e6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := pr.Predict(profile, 2e6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2.TrafficBits/d1.TrafficBits-2) > 1e-9 {
+		t.Fatalf("traffic not linear in bitrate: %v vs %v", d1.TrafficBits, d2.TrafficBits)
+	}
+}
+
+func TestSNRForecaster(t *testing.T) {
+	if _, err := NewSNRForecaster(0); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewSNRForecaster(1.5); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	f, err := NewSNRForecaster(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Forecast(); ok {
+		t.Fatal("forecast before any observation")
+	}
+	f.Observe(10)
+	v, ok := f.Forecast()
+	if !ok || v != 10 {
+		t.Fatalf("first observation %v", v)
+	}
+	f.Observe(20)
+	v, _ = f.Forecast()
+	if v != 15 {
+		t.Fatalf("ewma %v, want 15", v)
+	}
+}
+
+func TestBaselinePredictors(t *testing.T) {
+	if _, err := NewMovingAverage(0); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewEWMA(0); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+
+	lv := &LastValue{}
+	if _, ok := lv.Predict(); ok {
+		t.Fatal("empty last-value predicted")
+	}
+	lv.Observe(3)
+	lv.Observe(7)
+	if v, ok := lv.Predict(); !ok || v != 7 {
+		t.Fatalf("last value %v", v)
+	}
+	if lv.Name() != "last-value" {
+		t.Fatal("name")
+	}
+
+	ma, err := NewMovingAverage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ma.Predict(); ok {
+		t.Fatal("empty ma predicted")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		ma.Observe(x)
+	}
+	if v, ok := ma.Predict(); !ok || v != 3 {
+		t.Fatalf("ma %v, want 3 (mean of 2,3,4)", v)
+	}
+
+	ew, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew.Observe(10)
+	ew.Observe(0)
+	if v, ok := ew.Predict(); !ok || v != 5 {
+		t.Fatalf("ewma %v, want 5", v)
+	}
+}
+
+// Moving average over window 1 must behave exactly like last-value.
+func TestMovingAverageWindowOneEqualsLastValue(t *testing.T) {
+	f := func(xs []float64) bool {
+		ma, err := NewMovingAverage(1)
+		if err != nil {
+			return false
+		}
+		lv := &LastValue{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			ma.Observe(x)
+			lv.Observe(x)
+			mv, mok := ma.Predict()
+			lvv, lok := lv.Predict()
+			if mok != lok || mv != lvv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedMaxWasteFraction(t *testing.T) {
+	// Everyone completes → no waste at any depth.
+	d, err := NewSwipeDistribution(obsOf(video.News, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := d.ExpectedMaxWasteFraction(video.News, 5, 35, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf > 0.01 {
+		t.Fatalf("completion waste %v, want ~0", wf)
+	}
+	// Instant swipers → waste ≈ first segment + prefetch window.
+	d, err = NewSwipeDistribution(obsOf(video.Game, 0, 0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err = d.ExpectedMaxWasteFraction(video.Game, 3, 40, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swipe at bin edge 0.05 → watched 2 s, delivered ceil(2/4)+2
+	// segments = 12 s → waste 10 s of 40 s = 0.25.
+	if math.Abs(wf-0.25) > 0.02 {
+		t.Fatalf("instant-swipe waste %v, want ~0.25", wf)
+	}
+	// Validation.
+	if _, err := d.ExpectedMaxWasteFraction(video.Category(0), 3, 40, 4, 2); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := d.ExpectedMaxWasteFraction(video.Game, 0, 40, 4, 2); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := d.ExpectedMaxWasteFraction(video.Game, 3, 0, 4, 2); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := d.ExpectedMaxWasteFraction(video.Game, 3, 40, 4, -1); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}
+
+// Waste expectation grows with prefetch depth.
+func TestExpectedMaxWasteMonotoneInDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var fr []float64
+	for i := 0; i < 500; i++ {
+		fr = append(fr, 0.7*rng.Float64())
+	}
+	d, err := NewSwipeDistribution(obsOf(video.Music, fr...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for depth := 0; depth <= 6; depth++ {
+		wf, werr := d.ExpectedMaxWasteFraction(video.Music, 2, 35, 4, depth)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if wf < prev-1e-9 {
+			t.Fatalf("waste not monotone at depth %d: %v < %v", depth, wf, prev)
+		}
+		prev = wf
+	}
+}
+
+func TestPredictWithSegments(t *testing.T) {
+	pr := demandPredictor()
+	pr.SegmentS = 4
+	pr.PrefetchDepth = 2
+	profile := testProfile(t)
+	d, err := pr.Predict(profile, 1.85e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WasteBits < 0 {
+		t.Fatalf("negative waste %v", d.WasteBits)
+	}
+	if d.WasteBits >= d.TrafficBits {
+		t.Fatalf("waste %v not below traffic %v", d.WasteBits, d.TrafficBits)
+	}
+	// Without segmentation the waste is zero and traffic lower.
+	pr.SegmentS = 0
+	pr.PrefetchDepth = 0
+	d0, err := pr.Predict(profile, 1.85e6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.WasteBits != 0 {
+		t.Fatalf("no-segment waste %v", d0.WasteBits)
+	}
+	if d.TrafficBits < d0.TrafficBits {
+		t.Fatalf("segmented traffic %v below plain %v", d.TrafficBits, d0.TrafficBits)
+	}
+	// Validation of the new fields.
+	pr.SegmentS = -1
+	if err := pr.Validate(); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package reserve implements the resource reservation policies the
+// paper's demand prediction feeds (its stated motivation and future
+// work): given a forecast for the next reservation interval, decide
+// how much radio/computing capacity to set aside, then score the
+// decision against the measured demand — over-provisioning (waste)
+// against under-provisioning (violations).
+package reserve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInput indicates invalid reservation input.
+var ErrInput = errors.New("reserve: invalid input")
+
+// Policy decides the reservation for the next interval. Observe is
+// called with the measured demand after each interval so adaptive
+// policies can update their state.
+type Policy interface {
+	// Next returns the amount to reserve given the scheme's demand
+	// forecast for the coming interval (prediction-agnostic policies
+	// may ignore it).
+	Next(predicted float64) float64
+	// Observe folds the measured demand of the finished interval.
+	Observe(actual float64)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// PredictiveHeadroom reserves the forecast plus a relative margin —
+// the policy the paper's scheme enables.
+type PredictiveHeadroom struct {
+	// Margin is the relative headroom (0.1 = +10 %).
+	Margin float64
+}
+
+// NewPredictiveHeadroom validates the margin and returns the policy.
+func NewPredictiveHeadroom(margin float64) (*PredictiveHeadroom, error) {
+	if margin < 0 || math.IsNaN(margin) {
+		return nil, fmt.Errorf("margin %v: %w", margin, ErrInput)
+	}
+	return &PredictiveHeadroom{Margin: margin}, nil
+}
+
+var _ Policy = (*PredictiveHeadroom)(nil)
+
+// Next implements Policy.
+func (p *PredictiveHeadroom) Next(predicted float64) float64 {
+	return predicted * (1 + p.Margin)
+}
+
+// Observe implements Policy.
+func (p *PredictiveHeadroom) Observe(float64) {}
+
+// Name implements Policy.
+func (p *PredictiveHeadroom) Name() string {
+	return fmt.Sprintf("prediction+%.0f%%", p.Margin*100)
+}
+
+// PeakProvisioning reserves the largest demand seen so far times a
+// safety factor — the static worst-case baseline that never violates
+// after warm-up but wastes the most.
+type PeakProvisioning struct {
+	// Safety multiplies the observed peak (default 1 when zero).
+	Safety float64
+
+	peak float64
+	seen bool
+}
+
+var _ Policy = (*PeakProvisioning)(nil)
+
+// Next implements Policy.
+func (p *PeakProvisioning) Next(predicted float64) float64 {
+	s := p.Safety
+	if s == 0 {
+		s = 1
+	}
+	if !p.seen {
+		// Nothing observed yet: fall back to the forecast.
+		return predicted * s
+	}
+	return p.peak * s
+}
+
+// Observe implements Policy.
+func (p *PeakProvisioning) Observe(actual float64) {
+	if actual > p.peak {
+		p.peak = actual
+	}
+	p.seen = true
+}
+
+// Name implements Policy.
+func (p *PeakProvisioning) Name() string { return "peak-provisioning" }
+
+// EWMAHeadroom reserves an exponentially weighted average of the
+// measured demand plus a margin — the history-only adaptive baseline.
+type EWMAHeadroom struct {
+	Alpha, Margin float64
+
+	value float64
+	ready bool
+}
+
+// NewEWMAHeadroom validates parameters and returns the policy.
+func NewEWMAHeadroom(alpha, margin float64) (*EWMAHeadroom, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("alpha %v: %w", alpha, ErrInput)
+	}
+	if margin < 0 || math.IsNaN(margin) {
+		return nil, fmt.Errorf("margin %v: %w", margin, ErrInput)
+	}
+	return &EWMAHeadroom{Alpha: alpha, Margin: margin}, nil
+}
+
+var _ Policy = (*EWMAHeadroom)(nil)
+
+// Next implements Policy.
+func (p *EWMAHeadroom) Next(predicted float64) float64 {
+	if !p.ready {
+		return predicted * (1 + p.Margin)
+	}
+	return p.value * (1 + p.Margin)
+}
+
+// Observe implements Policy.
+func (p *EWMAHeadroom) Observe(actual float64) {
+	if !p.ready {
+		p.value, p.ready = actual, true
+		return
+	}
+	p.value = p.Alpha*actual + (1-p.Alpha)*p.value
+}
+
+// Name implements Policy.
+func (p *EWMAHeadroom) Name() string {
+	return fmt.Sprintf("ewma(%.2f)+%.0f%%", p.Alpha, p.Margin*100)
+}
+
+// Report scores one policy over a demand series.
+type Report struct {
+	PolicyName string
+	// Waste is the total over-provisioned capacity Σ max(0, r−a).
+	Waste float64
+	// ViolationRate is the fraction of intervals with actual > reserved.
+	ViolationRate float64
+	// Deficit is the total under-provisioned capacity Σ max(0, a−r).
+	Deficit float64
+	// Utilization is Σ actual / Σ reserved.
+	Utilization float64
+	// Intervals scored.
+	Intervals int
+}
+
+// Evaluate replays a (predicted, actual) demand series through the
+// policy: for each interval the policy reserves from the forecast,
+// the measured demand is scored, then the policy observes it.
+func Evaluate(p Policy, predicted, actual []float64) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("nil policy: %w", ErrInput)
+	}
+	if len(predicted) == 0 || len(predicted) != len(actual) {
+		return nil, fmt.Errorf("series %d vs %d: %w", len(predicted), len(actual), ErrInput)
+	}
+	rep := &Report{PolicyName: p.Name(), Intervals: len(predicted)}
+	var reservedSum, actualSum float64
+	var violations int
+	for i := range predicted {
+		if predicted[i] < 0 || actual[i] < 0 {
+			return nil, fmt.Errorf("negative demand at %d: %w", i, ErrInput)
+		}
+		r := p.Next(predicted[i])
+		if r < 0 {
+			return nil, fmt.Errorf("policy %q reserved %v: %w", p.Name(), r, ErrInput)
+		}
+		if actual[i] > r {
+			violations++
+			rep.Deficit += actual[i] - r
+		} else {
+			rep.Waste += r - actual[i]
+		}
+		reservedSum += r
+		actualSum += actual[i]
+		p.Observe(actual[i])
+	}
+	rep.ViolationRate = float64(violations) / float64(len(predicted))
+	if reservedSum > 0 {
+		rep.Utilization = actualSum / reservedSum
+	}
+	return rep, nil
+}

@@ -1,0 +1,187 @@
+package reserve
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPredictiveHeadroomValidation(t *testing.T) {
+	if _, err := NewPredictiveHeadroom(-0.1); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewPredictiveHeadroom(math.NaN()); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	p, err := NewPredictiveHeadroom(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Next(100); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("Next = %v, want 110", got)
+	}
+	if p.Name() != "prediction+10%" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestPeakProvisioning(t *testing.T) {
+	var p PeakProvisioning
+	// Before any observation, falls back to the forecast.
+	if got := p.Next(50); got != 50 {
+		t.Fatalf("cold Next = %v", got)
+	}
+	p.Observe(80)
+	p.Observe(60)
+	if got := p.Next(10); got != 80 {
+		t.Fatalf("Next = %v, want peak 80", got)
+	}
+	p.Safety = 1.5
+	if got := p.Next(10); math.Abs(got-120) > 1e-9 {
+		t.Fatalf("Next with safety = %v, want 120", got)
+	}
+	if p.Name() != "peak-provisioning" {
+		t.Fatal("name")
+	}
+}
+
+func TestEWMAHeadroomValidation(t *testing.T) {
+	if _, err := NewEWMAHeadroom(0, 0.1); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := NewEWMAHeadroom(0.5, -1); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	p, err := NewEWMAHeadroom(0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: forecast + margin.
+	if got := p.Next(100); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("cold Next = %v", got)
+	}
+	p.Observe(100)
+	p.Observe(0) // ewma -> 50
+	if got := p.Next(999); math.Abs(got-55) > 1e-9 {
+		t.Fatalf("Next = %v, want 55 (ewma 50 + 10%%)", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, []float64{1}, []float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	p, err := NewPredictiveHeadroom(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(p, nil, nil); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := Evaluate(p, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+	if _, err := Evaluate(p, []float64{-1}, []float64{1}); !errors.Is(err, ErrInput) {
+		t.Fatalf("negative demand: want ErrInput, got %v", err)
+	}
+}
+
+func TestEvaluatePerfectForecast(t *testing.T) {
+	p, err := NewPredictiveHeadroom(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := []float64{10, 20, 30}
+	rep, err := Evaluate(p, actual, actual) // forecast == actual
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationRate != 0 {
+		t.Fatalf("violations %v with headroom", rep.ViolationRate)
+	}
+	// Waste = 10% of each actual.
+	if math.Abs(rep.Waste-6) > 1e-9 {
+		t.Fatalf("waste %v, want 6", rep.Waste)
+	}
+	if math.Abs(rep.Utilization-1/1.1) > 1e-9 {
+		t.Fatalf("utilization %v", rep.Utilization)
+	}
+	if rep.Intervals != 3 || rep.Deficit != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestEvaluateUnderForecastViolates(t *testing.T) {
+	p, err := NewPredictiveHeadroom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(p, []float64{10, 10}, []float64{20, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationRate != 0.5 {
+		t.Fatalf("violation rate %v", rep.ViolationRate)
+	}
+	if rep.Deficit != 10 || rep.Waste != 5 {
+		t.Fatalf("deficit %v waste %v", rep.Deficit, rep.Waste)
+	}
+}
+
+func TestPeakNeverViolatesAfterPeak(t *testing.T) {
+	// Once the true peak is observed, peak provisioning never
+	// violates again.
+	var p PeakProvisioning
+	p.Observe(50) // warm up with the series peak
+	violations := 0
+	for _, a := range []float64{50, 30, 40, 20, 50, 10} {
+		if a > p.Next(0) {
+			violations++
+		}
+		p.Observe(a)
+	}
+	if violations != 0 {
+		t.Fatalf("%d violations after peak known", violations)
+	}
+}
+
+// Waste + actual == reserved for every interval without violation;
+// utilization is in (0, 1] whenever demand is positive.
+func TestEvaluateAccountingInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pred := make([]float64, 0, len(raw))
+		actual := make([]float64, 0, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			v := math.Abs(math.Mod(x, 1000))
+			pred = append(pred, v)
+			actual = append(actual, math.Abs(math.Mod(v*float64(i+1), 1000)))
+		}
+		p, err := NewPredictiveHeadroom(0.2)
+		if err != nil {
+			return false
+		}
+		rep, err := Evaluate(p, pred, actual)
+		if err != nil {
+			return false
+		}
+		var reservedSum, actualSum float64
+		q, _ := NewPredictiveHeadroom(0.2)
+		for i := range pred {
+			reservedSum += q.Next(pred[i])
+			actualSum += actual[i]
+			q.Observe(actual[i])
+		}
+		// Σreserved = Σactual + waste − deficit.
+		return math.Abs(reservedSum-(actualSum+rep.Waste-rep.Deficit)) < 1e-6*(1+reservedSum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

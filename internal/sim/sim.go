@@ -1,0 +1,1197 @@
+// Package sim is the slotted simulation engine that drives the whole
+// system: mobility → channel sampling → UDT collection → multicast
+// group construction (grouping) → group-level abstraction and demand
+// prediction (predict) → shared-feed multicast streaming with swipe
+// behavior → ground-truth demand measurement. One reservation interval
+// is 5 minutes (paper §III); predictions for interval t are made from
+// data up to t−1 and scored against the measured demand of t.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/channel"
+	"dtmsvs/internal/edge"
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/predict"
+	"dtmsvs/internal/radio"
+	"dtmsvs/internal/segment"
+	"dtmsvs/internal/stats"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+// ErrConfig indicates an invalid simulation configuration.
+var ErrConfig = errors.New("sim: invalid config")
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives every random choice; a fixed seed reproduces the
+	// run bit-for-bit.
+	Seed int64
+	// NumUsers on the campus.
+	NumUsers int
+	// NumBS base stations on the grid.
+	NumBS int
+	// TxPowerDBm per resource block (default 30).
+	TxPowerDBm float64
+	// CatalogSize is the number of videos (default 500).
+	CatalogSize int
+	// CategoryWeights biases the catalog mix; nil = News-heavy mix
+	// matching Fig. 3 ("users watch News videos most, Game least").
+	CategoryWeights []float64
+	// IntervalS is the reservation interval (default 300 s).
+	IntervalS float64
+	// TicksPerInterval is the UDT collection rate per interval
+	// (default 30, i.e. one collection every 10 s).
+	TicksPerInterval int
+	// NumIntervals simulated after warm-up.
+	NumIntervals int
+	// WarmupIntervals of individual browsing before grouping
+	// (default 2).
+	WarmupIntervals int
+	// RegroupEvery intervals (default 4).
+	RegroupEvery int
+	// Grouping configures the two-step group construction.
+	Grouping grouping.Config
+	// CompressorEpochs trains the 1D-CNN after warm-up (default 20).
+	CompressorEpochs int
+	// AgentEpisodes trains the DDQN after warm-up (default 150).
+	AgentEpisodes int
+	// TopNRecommend is the recommendation list length (default 50).
+	TopNRecommend int
+	// NominalRBsPerGroup caps each group's streaming rate
+	// (default 3).
+	NominalRBsPerGroup int
+	// CacheBytes of the edge server (default 2 GiB).
+	CacheBytes int64
+	// SNRAlpha is the worst-SNR EWMA weight (default 0.4).
+	SNRAlpha float64
+	// SwipeGapS between consecutive feed videos (default 0.5).
+	SwipeGapS float64
+	// CoverageQuantile sets the multicast MCS coverage target
+	// (default 0.1): the group SNR is the mean of the worst
+	// 2×CoverageQuantile share of members (a lower conditional tail
+	// expectation), matching eMBMS coverage-based MCS selection while
+	// staying robust to extreme-value noise.
+	CoverageQuantile float64
+	// FixedK, when > 0, bypasses the DDQN and always clusters into
+	// FixedK groups (baseline for experiment E2).
+	FixedK int
+	// RBBudget, when > 0, enables reservation-with-admission: each
+	// interval the engine reserves ceil(prediction × (1+ReserveMargin))
+	// resource blocks per group from a shared budget; groups whose
+	// grant is cut stream at the highest rung the grant sustains.
+	// 0 disables admission (every group gets its nominal allocation).
+	RBBudget int
+	// ReserveMargin is the reservation headroom when RBBudget > 0
+	// (default 0.1).
+	ReserveMargin float64
+	// SegmentS is the video segment length for prefetch-aware
+	// delivery (default 4 s).
+	SegmentS float64
+	// PrefetchDepth is the prefetch window in segments beyond the
+	// group playhead (default 2; -1 means no prefetch). Deeper
+	// prefetch wastes more traffic when the group swipes — the
+	// paper's over-provisioning effect.
+	PrefetchDepth int
+	// ChurnPerInterval is the fraction of users replaced by fresh
+	// arrivals (new preference, mobility and cold twin) at each
+	// interval boundary — the user dynamics that force the paper's
+	// "frequent and accurate multicast group updates". 0 disables
+	// churn.
+	ChurnPerInterval float64
+	// PerBSGrouping constructs multicast groups independently under
+	// each base station (the paper's Fig. 1 architecture: "BSs
+	// utilize multicast technology to transmit short videos to each
+	// multicast group") instead of campus-wide.
+	PerBSGrouping bool
+	// OracleK replaces the DDQN with an exhaustive scan over
+	// [KMin, KMax] at every group construction — the classical
+	// silhouette-maximizing baseline the DDQN amortizes. Mutually
+	// exclusive with FixedK.
+	OracleK bool
+	// FadingRho enables temporally correlated fast fading (AR(1)
+	// coefficient between collection ticks; 0 = i.i.d. Rayleigh).
+	FadingRho float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxPowerDBm == 0 {
+		c.TxPowerDBm = 30
+	}
+	if c.CatalogSize == 0 {
+		c.CatalogSize = 500
+	}
+	if c.CategoryWeights == nil {
+		// News > Sports > Music > Comedy > Game, as in Fig. 3(a).
+		c.CategoryWeights = []float64{5, 3, 2.5, 2, 1}
+	}
+	if c.IntervalS == 0 {
+		c.IntervalS = 300
+	}
+	if c.TicksPerInterval == 0 {
+		c.TicksPerInterval = 30
+	}
+	if c.WarmupIntervals == 0 {
+		c.WarmupIntervals = 2
+	}
+	if c.RegroupEvery == 0 {
+		c.RegroupEvery = 4
+	}
+	if c.CompressorEpochs == 0 {
+		c.CompressorEpochs = 20
+	}
+	if c.AgentEpisodes == 0 {
+		c.AgentEpisodes = 150
+	}
+	if c.TopNRecommend == 0 {
+		c.TopNRecommend = 50
+	}
+	if c.NominalRBsPerGroup == 0 {
+		c.NominalRBsPerGroup = 3
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.SNRAlpha == 0 {
+		c.SNRAlpha = 0.4
+	}
+	if c.SwipeGapS == 0 {
+		c.SwipeGapS = 0.5
+	}
+	if c.CoverageQuantile == 0 {
+		c.CoverageQuantile = 0.1
+	}
+	if c.RBBudget > 0 && c.ReserveMargin == 0 {
+		c.ReserveMargin = 0.1
+	}
+	if c.SegmentS == 0 {
+		c.SegmentS = 4
+	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 2
+	}
+	if c.PrefetchDepth < 0 {
+		c.PrefetchDepth = 0
+	}
+	if c.Grouping.WindowSteps == 0 {
+		c.Grouping.WindowSteps = 16
+	}
+	if c.Grouping.PosScale == 0 {
+		c.Grouping.PosScale = 2000
+	}
+	if c.Grouping.KMin == 0 {
+		c.Grouping.KMin = 2
+	}
+	if c.Grouping.KMax == 0 {
+		c.Grouping.KMax = 8
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.NumUsers <= 0:
+		return fmt.Errorf("users %d: %w", d.NumUsers, ErrConfig)
+	case d.NumBS <= 0:
+		return fmt.Errorf("base stations %d: %w", d.NumBS, ErrConfig)
+	case d.NumIntervals <= 0:
+		return fmt.Errorf("intervals %d: %w", d.NumIntervals, ErrConfig)
+	case d.FixedK < 0 || d.FixedK > d.NumUsers:
+		return fmt.Errorf("fixed k %d for %d users: %w", d.FixedK, d.NumUsers, ErrConfig)
+	case d.RBBudget < 0 || d.ReserveMargin < 0:
+		return fmt.Errorf("rb budget %d margin %v: %w", d.RBBudget, d.ReserveMargin, ErrConfig)
+	case d.SegmentS < 0 || d.PrefetchDepth < 0:
+		return fmt.Errorf("segment %v depth %d: %w", d.SegmentS, d.PrefetchDepth, ErrConfig)
+	case d.ChurnPerInterval < 0 || d.ChurnPerInterval >= 1:
+		return fmt.Errorf("churn %v: %w", d.ChurnPerInterval, ErrConfig)
+	case d.OracleK && d.FixedK > 0:
+		return fmt.Errorf("oracle-k and fixed-k both set: %w", ErrConfig)
+	}
+	if err := d.Grouping.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GroupIntervalRecord is one (interval, group) row of the output
+// trace: predicted vs measured demand.
+type GroupIntervalRecord struct {
+	Interval     int     `json:"interval"`
+	GroupID      int     `json:"groupId"`
+	Size         int     `json:"size"`
+	PredictedRBs float64 `json:"predictedRBs"`
+	ActualRBs    float64 `json:"actualRBs"`
+	// AllocatedRBs is the admission grant when Config.RBBudget > 0
+	// (0 otherwise).
+	AllocatedRBs    int     `json:"allocatedRBs"`
+	PredictedCycles float64 `json:"predictedCycles"`
+	ActualCycles    float64 `json:"actualCycles"`
+	PredictedBits   float64 `json:"predictedBits"`
+	ActualBits      float64 `json:"actualBits"`
+	// Waste bits are the delivered-but-unplayed share of traffic
+	// caused by swiping under segment prefetching.
+	PredictedWasteBits float64 `json:"predictedWasteBits"`
+	ActualWasteBits    float64 `json:"actualWasteBits"`
+	// ActualEngagementS is the measured mean per-member watch seconds.
+	ActualEngagementS float64 `json:"actualEngagementS"`
+	WorstSNRdB        float64 `json:"worstSNRdB"`
+	BitrateBps        float64 `json:"bitrateBps"`
+}
+
+// Trace is the full simulation output.
+type Trace struct {
+	Records []GroupIntervalRecord
+	// SwipeByGroup holds the final abstracted swiping distribution
+	// per group id.
+	SwipeByGroup map[int]*predict.SwipeDistribution
+	// K is the grouping number in use at the end of the run.
+	K int
+	// Silhouette of the final grouping.
+	Silhouette float64
+	// CacheHitRate of the edge server over the whole run.
+	CacheHitRate float64
+	// StabilityByRegroup holds the Rand index between consecutive
+	// group constructions (1 = identical partitions).
+	StabilityByRegroup []float64
+	// ChurnedUsers counts users replaced over the run.
+	ChurnedUsers int
+}
+
+// GroupSeries extracts the (predicted, actual) RB series of one group.
+func (t *Trace) GroupSeries(groupID int) (pred, actual []float64) {
+	for _, r := range t.Records {
+		if r.GroupID == groupID {
+			pred = append(pred, r.PredictedRBs)
+			actual = append(actual, r.ActualRBs)
+		}
+	}
+	return pred, actual
+}
+
+// RadioAccuracy returns the paper's prediction-accuracy metric over
+// all groups' radio demand.
+func (t *Trace) RadioAccuracy() (float64, error) {
+	var pred, actual []float64
+	for _, r := range t.Records {
+		pred = append(pred, r.PredictedRBs)
+		actual = append(actual, r.ActualRBs)
+	}
+	return stats.PredictionAccuracy(pred, actual)
+}
+
+// ComputeAccuracy returns the volume accuracy over computing demand
+// (cycles). Transcoding demand is bursty — zero in cache-warm
+// intervals — so the volume metric (1 − Σ|err|/Σactual) is used
+// instead of the per-sample percentage metric.
+func (t *Trace) ComputeAccuracy() (float64, error) {
+	var pred, actual []float64
+	for _, r := range t.Records {
+		pred = append(pred, r.PredictedCycles)
+		actual = append(actual, r.ActualCycles)
+	}
+	return stats.VolumeAccuracy(pred, actual)
+}
+
+// WasteAccuracy returns the volume accuracy of the wasted-traffic
+// prediction — the paper's over-provisioning quantity.
+func (t *Trace) WasteAccuracy() (float64, error) {
+	var pred, actual []float64
+	for _, r := range t.Records {
+		pred = append(pred, r.PredictedWasteBits)
+		actual = append(actual, r.ActualWasteBits)
+	}
+	return stats.VolumeAccuracy(pred, actual)
+}
+
+// user bundles one simulated user's state.
+type user struct {
+	id      int
+	profile *behavior.Profile
+	mob     mobility.Model
+	link    *channel.Link
+	twin    *udt.Twin
+	// meanSNR is the user's mean sampled SNR over the current
+	// interval's ticks.
+	meanSNR stats.Online
+	// meanX/meanY accumulate the interval's mean position.
+	meanX, meanY stats.Online
+	lastSNR      float64
+	// posPrev/posPrev2 are the mean positions of the two previous
+	// intervals, used for velocity extrapolation.
+	posPrev, posPrev2 mobility.Point
+	havePos           int
+	// snrOffset is the DT calibration offset: EWMA of observed SNR
+	// minus the deterministic propagation model, absorbing shadowing
+	// and mean fading per user.
+	snrOffset *predict.SNRForecaster
+	// snrEWMA tracks the user's observed mean SNR directly; fused
+	// with the model-based forecast to damp extrapolation error.
+	snrEWMA *predict.SNRForecaster
+	// prevDisp is the last interval-to-interval displacement; persist
+	// tracks the cosine similarity of consecutive displacements — the
+	// user's velocity persistence, which sets how far the twin
+	// extrapolates their position (waypoint turners ≈ 0.5, straight
+	// walkers ≈ 1, statics irrelevant).
+	prevDispX, prevDispY float64
+	persist              *predict.EWMA
+}
+
+// groupState is the engine's per-group bookkeeping.
+type groupState struct {
+	id       int
+	members  []int
+	forecast *predict.SNRForecaster
+	profile  *predict.GroupProfile
+}
+
+// Simulation is a configured engine instance.
+type Simulation struct {
+	cfg      Config
+	rng      *rand.Rand
+	params   channel.Params
+	stations []*channel.BaseStation
+	campus   *mobility.Map
+	users    []*user
+	catalog  *video.Catalog
+	server   *edge.Server
+	builder  *grouping.Builder
+	groups   []*groupState
+	meanDur  float64
+
+	// sched admits per-group RB reservations when RBBudget > 0.
+	sched *radio.Scheduler
+
+	// cyclesPerTxS tracks, per ladder level, the observed transcode
+	// cycles per transmitted second. The edge cache is shared across
+	// groups and stays warm per rung, so the tracker lives on the
+	// engine (it must survive regrouping); only the first use of a
+	// level anywhere is a cold-transcode interval.
+	cyclesPerTxS map[int]*predict.EWMA
+	// wastePerPlayS calibrates the waste forecast online: the EWMA of
+	// measured waste per playback second. The closed-form swipe-CDF
+	// model seeds the forecast, but it assumes independent per-view
+	// watch draws while the abstraction stores per-user means, so the
+	// measured rate takes over once observed.
+	wastePerPlayS *predict.EWMA
+
+	lastResult *grouping.Result
+	// prevAssign holds the previous construction's per-user group
+	// assignment for stability (Rand index) tracking.
+	prevAssign []int
+	stability  []float64
+	churned    int
+}
+
+// New constructs a simulation.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	campus := mobility.CampusMap()
+	stations, err := channel.GridDeploy(campus, c.NumBS, c.TxPowerDBm)
+	if err != nil {
+		return nil, err
+	}
+	params := channel.DefaultParams()
+	params.FadingRho = c.FadingRho
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	catalog, err := video.NewCatalog(video.CatalogConfig{
+		NumVideos:       c.CatalogSize,
+		CategoryWeights: c.CategoryWeights,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	var durSum float64
+	for _, v := range catalog.Videos {
+		durSum += v.DurationS
+	}
+	meanDur := durSum / float64(catalog.Size())
+
+	server, err := edge.NewServer(c.CacheBytes, edge.DefaultTranscodeModel(), catalog, c.CatalogSize/10)
+	if err != nil {
+		return nil, err
+	}
+
+	builder, err := grouping.New(c.Grouping, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	users := make([]*user, c.NumUsers)
+
+	wastePerPlayS, err := predict.NewEWMA(0.3)
+	if err != nil {
+		return nil, err
+	}
+	var sched *radio.Scheduler
+	if c.RBBudget > 0 {
+		sched, err = radio.NewScheduler(c.RBBudget)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	eng := &Simulation{
+		cfg:           c,
+		sched:         sched,
+		rng:           rng,
+		params:        params,
+		stations:      stations,
+		campus:        campus,
+		users:         users,
+		catalog:       catalog,
+		server:        server,
+		builder:       builder,
+		meanDur:       meanDur,
+		cyclesPerTxS:  make(map[int]*predict.EWMA),
+		wastePerPlayS: wastePerPlayS,
+	}
+	for i := range users {
+		u, uerr := eng.newUser(i)
+		if uerr != nil {
+			return nil, uerr
+		}
+		users[i] = u
+	}
+	return eng, nil
+}
+
+// newUser creates one simulated user: a favorite-category-biased
+// preference (weighted like the catalog so News dominates), one of
+// four mobility classes, a link to the nearest BS and a cold twin.
+func (s *Simulation) newUser(id int) (*user, error) {
+	cats := video.AllCategories()
+	favDist, derr := stats.NewCategorical(s.cfg.CategoryWeights)
+	if derr != nil {
+		return nil, derr
+	}
+	fav := cats[favDist.Sample(s.rng)]
+	pref, perr := behavior.NewRandomPreference(s.rng, fav, 6)
+	if perr != nil {
+		return nil, perr
+	}
+	profile, perr := behavior.NewProfile(pref, 0.5+0.5*s.rng.Float64())
+	if perr != nil {
+		return nil, perr
+	}
+	var mob mobility.Model
+	switch id % 4 {
+	case 0:
+		mob, perr = mobility.NewRandomWaypoint(s.campus, 0.4, 1.2, 90, s.rng)
+	case 1:
+		mob, perr = mobility.NewLandmarkWalk(s.campus, 3+s.rng.Intn(3), 0.8, s.rng)
+	case 2:
+		mob, perr = mobility.NewGaussMarkov(s.campus, 0.9, 0.9, 0.2, 0.25, s.rng)
+	default:
+		mob = &mobility.Static{P: s.campus.RandomPoint(s.rng)}
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	bs, berr := channel.NearestBS(s.stations, mob.Position())
+	if berr != nil {
+		return nil, berr
+	}
+	link, lerr := channel.NewLink(s.params, bs, s.rng)
+	if lerr != nil {
+		return nil, lerr
+	}
+	twin, terr := udt.NewTwin(id, udt.Config{HistoryLen: 4 * s.cfg.TicksPerInterval})
+	if terr != nil {
+		return nil, terr
+	}
+	offset, oerr := predict.NewSNRForecaster(0.5)
+	if oerr != nil {
+		return nil, oerr
+	}
+	ewma, eerr := predict.NewSNRForecaster(0.6)
+	if eerr != nil {
+		return nil, eerr
+	}
+	persist, serr := predict.NewEWMA(0.3)
+	if serr != nil {
+		return nil, serr
+	}
+	return &user{
+		id: id, profile: profile, mob: mob, link: link, twin: twin,
+		snrOffset: offset, snrEWMA: ewma, persist: persist,
+	}, nil
+}
+
+// churnUsers replaces each user with probability ChurnPerInterval by
+// a fresh arrival (cold twin, new preference and trajectory) and
+// returns the number replaced.
+func (s *Simulation) churnUsers() (int, error) {
+	if s.cfg.ChurnPerInterval <= 0 {
+		return 0, nil
+	}
+	var n int
+	for i := range s.users {
+		if s.rng.Float64() >= s.cfg.ChurnPerInterval {
+			continue
+		}
+		u, err := s.newUser(i)
+		if err != nil {
+			return n, fmt.Errorf("churn user %d: %w", i, err)
+		}
+		s.users[i] = u
+		n++
+	}
+	return n, nil
+}
+
+// Catalog exposes the generated catalog (for examples/benches).
+func (s *Simulation) Catalog() *video.Catalog { return s.catalog }
+
+// collectTicks runs one interval's worth of mobility + channel
+// collection into the UDTs. Users hand over to the nearest base
+// station at the start of the interval.
+func (s *Simulation) collectTicks() error {
+	dt := s.cfg.IntervalS / float64(s.cfg.TicksPerInterval)
+	for tick := 0; tick < s.cfg.TicksPerInterval; tick++ {
+		for _, u := range s.users {
+			pos, err := u.mob.Advance(dt)
+			if err != nil {
+				return fmt.Errorf("user %d mobility: %w", u.id, err)
+			}
+			nearest, err := channel.NearestBS(s.stations, pos)
+			if err != nil {
+				return err
+			}
+			if nearest.ID != u.link.BS().ID {
+				if err := u.link.Handover(nearest); err != nil {
+					return err
+				}
+			}
+			snr := u.link.Sample(pos)
+			u.lastSNR = snr
+			u.meanSNR.Add(snr)
+			u.meanX.Add(pos.X)
+			u.meanY.Add(pos.Y)
+			u.twin.Tick()
+			if _, err := u.twin.CollectChannel(channel.CQI(snr)); err != nil {
+				return fmt.Errorf("user %d channel: %w", u.id, err)
+			}
+			u.twin.CollectLocation(pos.X, pos.Y)
+			if _, err := u.twin.CollectPreference(u.profile.Pref); err != nil {
+				return fmt.Errorf("user %d preference: %w", u.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// closeInterval folds the finished interval's observations into each
+// user's DT calibration state and clears the per-interval
+// accumulators.
+func (s *Simulation) closeInterval() {
+	for _, u := range s.users {
+		if u.meanSNR.N() > 0 {
+			meanPos := mobility.Point{X: u.meanX.Mean(), Y: u.meanY.Mean()}
+			d := u.link.BS().Pos.Dist(meanPos)
+			model := s.params.MeanSNRdB(u.link.BS().TxPowerDBm, d)
+			u.snrOffset.Observe(u.meanSNR.Mean() - model)
+			u.snrEWMA.Observe(u.meanSNR.Mean())
+			if u.havePos >= 1 {
+				dx, dy := meanPos.X-u.posPrev.X, meanPos.Y-u.posPrev.Y
+				norm := math.Hypot(dx, dy)
+				prevNorm := math.Hypot(u.prevDispX, u.prevDispY)
+				if norm > 1 && prevNorm > 1 {
+					cos := (dx*u.prevDispX + dy*u.prevDispY) / (norm * prevNorm)
+					if cos < 0 {
+						cos = 0
+					}
+					u.persist.Observe(cos)
+				}
+				u.prevDispX, u.prevDispY = dx, dy
+			}
+			u.posPrev2 = u.posPrev
+			u.posPrev = meanPos
+			if u.havePos < 2 {
+				u.havePos++
+			}
+		}
+		u.meanSNR = stats.Online{}
+		u.meanX = stats.Online{}
+		u.meanY = stats.Online{}
+	}
+}
+
+// predictUserSNR forecasts a user's next-interval mean SNR from the
+// digital twin: damped linear position extrapolation from the last
+// two interval mean positions, the deterministic propagation model at
+// the predicted serving BS plus the per-user calibration offset, and
+// a fusion with the directly tracked SNR EWMA. The damping (0.5) and
+// fusion guard against extrapolation overshoot when users turn at
+// waypoints.
+func (s *Simulation) predictUserSNR(u *user) float64 {
+	// Extrapolation damping = the user's learned velocity persistence
+	// (waypoint turners ~0.4-0.6, straight walkers ~1).
+	damp := 0.6
+	if pEst, ok := u.persist.Predict(); ok {
+		damp = pEst
+	}
+	// The measured quantity is the mean SNR over the interval's path,
+	// so integrate the propagation model along the extrapolated path
+	// (interval start ≈ posPrev + 0.5·v, interval end ≈ posPrev +
+	// 1.5·v, both damped by the learned persistence) instead of
+	// evaluating a single point.
+	var model float64
+	if u.havePos >= 2 {
+		dx := damp * (u.posPrev.X - u.posPrev2.X)
+		dy := damp * (u.posPrev.Y - u.posPrev2.Y)
+		const samples = 6
+		var sum float64
+		for k := 0; k < samples; k++ {
+			f := 0.5 + float64(k)/float64(samples-1) // 0.5 .. 1.5 intervals ahead
+			pt := s.campus.Clamp(mobility.Point{X: u.posPrev.X + f*dx, Y: u.posPrev.Y + f*dy})
+			bs, berr := channel.NearestBS(s.stations, pt)
+			if berr != nil {
+				bs = u.link.BS()
+			}
+			sum += s.params.MeanSNRdB(bs.TxPowerDBm, bs.Pos.Dist(pt))
+		}
+		model = sum / samples
+	} else {
+		pos := u.posPrev
+		if u.havePos == 0 {
+			pos = u.mob.Position()
+		}
+		bs, berr := channel.NearestBS(s.stations, pos)
+		if berr != nil {
+			bs = u.link.BS()
+		}
+		model = s.params.MeanSNRdB(bs.TxPowerDBm, bs.Pos.Dist(pos))
+	}
+	offset, okOff := u.snrOffset.Forecast()
+	if !okOff {
+		// No calibration yet: assume mean Rayleigh fading (-2.5 dB).
+		return model - 2.5
+	}
+	modelPred := model + offset
+	if ewma, ok := u.snrEWMA.Forecast(); ok {
+		return 0.8*modelPred + 0.2*ewma
+	}
+	return modelPred
+}
+
+// predictGroupWorstSNR is the group-level DT channel forecast at the
+// same coverage statistic the scheduler serves.
+func (s *Simulation) predictGroupWorstSNR(g *groupState) float64 {
+	snrs := make([]float64, 0, len(g.members))
+	for _, m := range g.members {
+		snrs = append(snrs, s.predictUserSNR(s.users[m]))
+	}
+	return stats.TailMean(snrs, 2*s.cfg.CoverageQuantile)
+}
+
+// warmupBrowse lets every user browse individually for one interval to
+// populate the watch/engagement series of the twins.
+func (s *Simulation) warmupBrowse() error {
+	for _, u := range s.users {
+		linkBps := s.params.RateBps(u.meanSNR.Mean()) * float64(s.cfg.NominalRBsPerGroup)
+		events, err := behavior.Session(s.catalog, u.profile, s.cfg.IntervalS, linkBps, s.rng)
+		if err != nil {
+			return fmt.Errorf("user %d session: %w", u.id, err)
+		}
+		for _, e := range events {
+			if _, err := u.twin.CollectView(e.Video.Category, e.WatchS, e.Engagement(), e.Swiped); err != nil {
+				return fmt.Errorf("user %d view: %w", u.id, err)
+			}
+			if err := u.profile.Pref.Update(e.Video.Category, e.Engagement(), 0.05); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildGroups runs the two-step construction (or the fixed-K
+// baseline) and resets per-group forecasters, preserving forecasts of
+// groups whose membership is unchanged.
+func (s *Simulation) rebuildGroups() error {
+	memberSets, lastRes, err := s.constructGroups()
+	if err != nil {
+		return err
+	}
+	assign := make([]int, len(s.users))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for gid, members := range memberSets {
+		for _, m := range members {
+			assign[m] = gid
+		}
+	}
+	if s.prevAssign != nil {
+		if ri, rerr := grouping.RandIndex(s.prevAssign, assign); rerr == nil {
+			s.stability = append(s.stability, ri)
+		}
+	}
+	s.prevAssign = assign
+	s.lastResult = lastRes
+	s.groups = make([]*groupState, len(memberSets))
+	for gid, members := range memberSets {
+		f, ferr := predict.NewSNRForecaster(s.cfg.SNRAlpha)
+		if ferr != nil {
+			return ferr
+		}
+		ms := make([]int, len(members))
+		copy(ms, members)
+		s.groups[gid] = &groupState{id: gid, members: ms, forecast: f}
+	}
+	return nil
+}
+
+// constructGroups runs the two-step construction, campus-wide or per
+// base station, returning the member sets (indexed by global group
+// id) and a representative grouping.Result for run-level statistics
+// (campus-wide mode: the whole construction; per-BS mode: the largest
+// cell's construction).
+func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
+	buildSubset := func(idxs []int) (*grouping.Result, error) {
+		twins := make([]*udt.Twin, len(idxs))
+		for i, idx := range idxs {
+			twins[i] = s.users[idx].twin
+		}
+		if s.cfg.FixedK > 0 {
+			k := s.cfg.FixedK
+			if k > len(twins) {
+				k = len(twins)
+			}
+			return s.builder.BuildFixedK(twins, k)
+		}
+		if s.cfg.OracleK {
+			k, _, oerr := s.builder.BestKExhaustive(twins)
+			if oerr != nil {
+				return nil, oerr
+			}
+			return s.builder.BuildFixedK(twins, k)
+		}
+		return s.builder.Build(twins)
+	}
+
+	if !s.cfg.PerBSGrouping {
+		all := make([]int, len(s.users))
+		for i := range all {
+			all[i] = i
+		}
+		res, err := buildSubset(all)
+		if err != nil {
+			return nil, nil, fmt.Errorf("group construction: %w", err)
+		}
+		memberSets := make([][]int, len(res.Groups))
+		for i, g := range res.Groups {
+			memberSets[i] = append([]int(nil), g.Members...)
+		}
+		return memberSets, res, nil
+	}
+
+	// Per-BS: partition users by serving base station, then cluster
+	// within each cell. Cells too small to cluster become one group.
+	byBS := make(map[int][]int)
+	for i, u := range s.users {
+		id := u.link.BS().ID
+		byBS[id] = append(byBS[id], i)
+	}
+	bsIDs := make([]int, 0, len(byBS))
+	for id := range byBS {
+		bsIDs = append(bsIDs, id)
+	}
+	sort.Ints(bsIDs)
+
+	var memberSets [][]int
+	var largest *grouping.Result
+	var largestSize int
+	for _, id := range bsIDs {
+		idxs := byBS[id]
+		if len(idxs) <= s.cfg.Grouping.KMin {
+			memberSets = append(memberSets, append([]int(nil), idxs...))
+			continue
+		}
+		res, err := buildSubset(idxs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bs %d group construction: %w", id, err)
+		}
+		for _, g := range res.Groups {
+			if len(g.Members) == 0 {
+				continue
+			}
+			global := make([]int, len(g.Members))
+			for i, m := range g.Members {
+				global[i] = idxs[m]
+			}
+			memberSets = append(memberSets, global)
+		}
+		if len(idxs) > largestSize {
+			largest, largestSize = res, len(idxs)
+		}
+	}
+	if len(memberSets) == 0 {
+		return nil, nil, fmt.Errorf("per-bs grouping produced no groups: %w", ErrConfig)
+	}
+	return memberSets, largest, nil
+}
+
+// groupWorstSNR returns the coverage SNR the multicast MCS must
+// serve: the mean of the worst-tail member SNRs (see
+// Config.CoverageQuantile).
+func (s *Simulation) groupWorstSNR(g *groupState) float64 {
+	snrs := make([]float64, 0, len(g.members))
+	for _, m := range g.members {
+		snrs = append(snrs, s.users[m].meanSNR.Mean())
+	}
+	return stats.TailMean(snrs, 2*s.cfg.CoverageQuantile)
+}
+
+// abstractGroups rebuilds each group's profile from the twins'
+// cumulative view counters and folds the interval's worst SNR into
+// the forecaster. Counters are kept cumulative (not reset) so the
+// swiping distributions sharpen over time and remain available right
+// after a regroup.
+func (s *Simulation) abstractGroups() error {
+	for _, g := range s.groups {
+		twins := make([]*udt.Twin, len(g.members))
+		for i, m := range g.members {
+			twins[i] = s.users[m].twin
+		}
+		profile, err := predict.BuildGroupProfile(twins, s.catalog, s.cfg.TopNRecommend)
+		if err != nil {
+			return fmt.Errorf("group %d profile: %w", g.id, err)
+		}
+		g.profile = profile
+		g.forecast.Observe(s.groupWorstSNR(g))
+	}
+	return nil
+}
+
+// groupBitrate picks the ladder rung the group can sustain with its
+// nominal RB allocation at the forecast worst SNR.
+func (s *Simulation) groupBitrate(worstSNRdB float64) video.Representation {
+	budget := s.params.RateBps(worstSNRdB) * float64(s.cfg.NominalRBsPerGroup)
+	probe := &video.Video{Ladder: video.DefaultLadder()}
+	return probe.RepAtMost(budget)
+}
+
+// streamInterval simulates one interval of shared-feed multicast for a
+// group and returns the measured demand.
+func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*predict.Demand, error) {
+	if g.profile == nil {
+		return nil, fmt.Errorf("group %d streamed before abstraction: %w", g.id, ErrConfig)
+	}
+	catDist, err := stats.NewCategorical(g.profile.Preference)
+	if err != nil {
+		return nil, err
+	}
+	var traffic, wasteBits, cycles, engagement float64
+	clock := 0.0
+	recIdx := 0
+	for clock < s.cfg.IntervalS {
+		// Next feed video: mostly from the recommendation list,
+		// occasionally explore by preference-weighted category.
+		var v *video.Video
+		if len(g.profile.Recommended) > 0 && s.rng.Float64() < 0.8 {
+			v = g.profile.Recommended[recIdx%len(g.profile.Recommended)]
+			recIdx++
+		} else {
+			cat := video.AllCategories()[catDist.Sample(s.rng)]
+			var verr error
+			v, verr = s.catalog.SampleFromCategory(cat, s.rng)
+			if verr != nil {
+				v = s.catalog.SamplePopular(s.rng)
+			}
+		}
+		// Each member watches until their own swipe; the BS transmits
+		// until the last member swipes.
+		var maxFrac float64
+		for _, m := range g.members {
+			u := s.users[m]
+			frac, ferr := u.profile.WatchFraction(v.Category, s.rng)
+			if ferr != nil {
+				return nil, ferr
+			}
+			watch := frac * v.DurationS
+			if clock+watch > s.cfg.IntervalS {
+				watch = s.cfg.IntervalS - clock
+				frac = watch / v.DurationS
+			}
+			if _, cerr := u.twin.CollectView(v.Category, watch, frac, frac < 0.999); cerr != nil {
+				return nil, cerr
+			}
+			if uerr := u.profile.Pref.Update(v.Category, frac, 0.05); uerr != nil {
+				return nil, uerr
+			}
+			engagement += watch
+			if frac > maxFrac {
+				maxFrac = frac
+			}
+		}
+		tx := maxFrac * v.DurationS
+		if clock+tx > s.cfg.IntervalS {
+			tx = s.cfg.IntervalS - clock
+		}
+		// Segment-level delivery: the BS has transmitted the watched
+		// prefix rounded up to segment boundaries plus the prefetch
+		// window; the overshoot is wasted traffic.
+		delivered, waste, perr := segment.Plan(tx, v.DurationS, s.cfg.SegmentS, s.cfg.PrefetchDepth)
+		if perr != nil {
+			return nil, perr
+		}
+		cy, serr := s.server.Serve(v, rep, delivered)
+		if serr != nil {
+			return nil, serr
+		}
+		cycles += cy
+		traffic += delivered * rep.BitrateBps
+		wasteBits += waste * rep.BitrateBps
+		clock += tx + s.cfg.SwipeGapS
+	}
+	perRB := s.params.RateBps(s.groupWorstSNR(g))
+	actualRBs := 0.0
+	if perRB > 0 {
+		actualRBs = (traffic / s.cfg.IntervalS) / perRB
+	}
+	return &predict.Demand{
+		RadioRBs:      actualRBs,
+		ComputeCycles: cycles,
+		TrafficBits:   traffic,
+		WasteBits:     wasteBits,
+		EngagementS:   engagement / float64(len(g.members)),
+	}, nil
+}
+
+// Run executes the full simulation and returns the trace.
+func (s *Simulation) Run() (*Trace, error) {
+	// Warm-up: individual browsing to populate twins and calibrate
+	// the per-user SNR offsets.
+	for w := 0; w < s.cfg.WarmupIntervals; w++ {
+		if err := s.collectTicks(); err != nil {
+			return nil, err
+		}
+		if err := s.warmupBrowse(); err != nil {
+			return nil, err
+		}
+		s.closeInterval()
+	}
+	twins := make([]*udt.Twin, len(s.users))
+	for i, u := range s.users {
+		twins[i] = u.twin
+	}
+	if _, err := s.builder.TrainCompressor(twins, s.cfg.CompressorEpochs); err != nil {
+		return nil, fmt.Errorf("train compressor: %w", err)
+	}
+	if s.cfg.FixedK == 0 && !s.cfg.OracleK {
+		if _, err := s.builder.TrainAgent(twins, s.cfg.AgentEpisodes); err != nil {
+			return nil, fmt.Errorf("train agent: %w", err)
+		}
+	}
+	if err := s.rebuildGroups(); err != nil {
+		return nil, err
+	}
+	if err := s.abstractGroups(); err != nil {
+		return nil, err
+	}
+
+	trace := &Trace{SwipeByGroup: make(map[int]*predict.SwipeDistribution)}
+	predictor := predict.DemandPredictor{
+		Params:             s.params,
+		IntervalS:          s.cfg.IntervalS,
+		SwipeGapS:          s.cfg.SwipeGapS,
+		MeanVideoDurationS: s.meanDur,
+		CyclesPerBit:       edge.DefaultTranscodeModel().CyclesPerBit,
+		SegmentS:           s.cfg.SegmentS,
+		PrefetchDepth:      s.cfg.PrefetchDepth,
+	}
+
+	for interval := 0; interval < s.cfg.NumIntervals; interval++ {
+		// 1. Predict each group's demand for this interval from the
+		//    previous interval's abstraction and channel forecast.
+		type pendingPred struct {
+			demand    *predict.Demand
+			snr       float64
+			rep       video.Representation
+			allocated int
+		}
+		preds := make(map[int]pendingPred, len(s.groups))
+		for _, g := range s.groups {
+			snr := s.predictGroupWorstSNR(g)
+			rep := s.groupBitrate(snr)
+			predictor.CacheHitRate = s.server.Cache().HitRate()
+			d, err := predictor.Predict(g.profile, rep.BitrateBps, snr)
+			if err != nil {
+				return nil, fmt.Errorf("interval %d group %d predict: %w", interval, g.id, err)
+			}
+			// Calibrate the waste forecast with the measured waste
+			// per playback second once available.
+			if est, ok := s.wastePerPlayS.Predict(); ok {
+				playbackS := (d.TrafficBits - d.WasteBits) / rep.BitrateBps
+				corrected := est * playbackS * rep.BitrateBps
+				d.TrafficBits += corrected - d.WasteBits
+				d.WasteBits = corrected
+			}
+			// Refine the computing forecast: each ladder level has
+			// its own steady-state cycles-per-transmitted-second
+			// (the cache stays warm per rung); the first use of a
+			// level is predicted as a cold transcode of the feed.
+			predTxS := d.TrafficBits / rep.BitrateBps
+			topRate := video.DefaultLadder()[len(video.DefaultLadder())-1].BitrateBps
+			if tracker, ok := s.cyclesPerTxS[rep.Level]; ok {
+				if est, okP := tracker.Predict(); okP {
+					d.ComputeCycles = est * predTxS
+				}
+			} else if rep.BitrateBps < topRate {
+				d.ComputeCycles = edge.DefaultTranscodeModel().CyclesPerBit * topRate * predTxS
+			} else {
+				d.ComputeCycles = 0
+			}
+			preds[g.id] = pendingPred{demand: d, snr: snr, rep: rep}
+		}
+
+		// Admission: reserve from the shared RB budget and clamp each
+		// group's rung to what its grant sustains, re-predicting the
+		// demand at the granted bitrate.
+		if s.sched != nil {
+			s.sched.Reset()
+			for _, g := range s.groups {
+				p := preds[g.id]
+				want := int(math.Ceil(p.demand.RadioRBs * (1 + s.cfg.ReserveMargin)))
+				if want < 1 {
+					want = 1
+				}
+				granted := want
+				if free := s.sched.Free(); granted > free {
+					granted = free
+				}
+				if granted > 0 {
+					if err := s.sched.Allocate(g.id, granted, p.rep.BitrateBps); err != nil {
+						return nil, fmt.Errorf("interval %d group %d admit: %w", interval, g.id, err)
+					}
+				}
+				p.allocated = granted
+				budget := s.params.RateBps(p.snr) * float64(granted)
+				capped := (&video.Video{Ladder: video.DefaultLadder()}).RepAtMost(budget)
+				if capped.Level != p.rep.Level {
+					p.rep = capped
+					predictor.CacheHitRate = s.server.Cache().HitRate()
+					d, perr := predictor.Predict(g.profile, capped.BitrateBps, p.snr)
+					if perr != nil {
+						return nil, fmt.Errorf("interval %d group %d re-predict: %w", interval, g.id, perr)
+					}
+					predTxS := d.TrafficBits / capped.BitrateBps
+					topRate := video.DefaultLadder()[len(video.DefaultLadder())-1].BitrateBps
+					if tracker, ok := s.cyclesPerTxS[capped.Level]; ok {
+						if est, okP := tracker.Predict(); okP {
+							d.ComputeCycles = est * predTxS
+						}
+					} else if capped.BitrateBps < topRate {
+						d.ComputeCycles = edge.DefaultTranscodeModel().CyclesPerBit * topRate * predTxS
+					} else {
+						d.ComputeCycles = 0
+					}
+					p.demand = d
+				}
+				preds[g.id] = p
+			}
+		}
+
+		// 2. Simulate the interval: channel/mobility collection, then
+		//    multicast streaming with real swipes.
+		if err := s.collectTicks(); err != nil {
+			return nil, err
+		}
+		s.server.ResetInterval()
+		for _, g := range s.groups {
+			p := preds[g.id]
+			actual, err := s.streamInterval(g, p.rep)
+			if err != nil {
+				return nil, fmt.Errorf("interval %d group %d stream: %w", interval, g.id, err)
+			}
+			if playbackBits := actual.TrafficBits - actual.WasteBits; playbackBits > 0 {
+				playbackS := playbackBits / p.rep.BitrateBps
+				s.wastePerPlayS.Observe(actual.WasteBits / playbackS / p.rep.BitrateBps)
+			}
+			if txS := actual.TrafficBits / p.rep.BitrateBps; txS > 0 {
+				tracker, ok := s.cyclesPerTxS[p.rep.Level]
+				if !ok {
+					cyc, cerr := predict.NewEWMA(0.5)
+					if cerr != nil {
+						return nil, cerr
+					}
+					tracker = cyc
+					s.cyclesPerTxS[p.rep.Level] = tracker
+				}
+				tracker.Observe(actual.ComputeCycles / txS)
+			}
+			trace.Records = append(trace.Records, GroupIntervalRecord{
+				Interval:           interval,
+				GroupID:            g.id,
+				Size:               len(g.members),
+				PredictedRBs:       p.demand.RadioRBs,
+				ActualRBs:          actual.RadioRBs,
+				AllocatedRBs:       p.allocated,
+				PredictedCycles:    p.demand.ComputeCycles,
+				ActualCycles:       actual.ComputeCycles,
+				PredictedBits:      p.demand.TrafficBits,
+				ActualBits:         actual.TrafficBits,
+				PredictedWasteBits: p.demand.WasteBits,
+				ActualWasteBits:    actual.WasteBits,
+				ActualEngagementS:  actual.EngagementS,
+				WorstSNRdB:         p.snr,
+				BitrateBps:         p.rep.BitrateBps,
+			})
+		}
+
+		// 3. Re-abstract group profiles from this interval's data.
+		if err := s.abstractGroups(); err != nil {
+			return nil, err
+		}
+
+		// 4. User churn, then periodic regrouping to track dynamics.
+		churned, cerr := s.churnUsers()
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.churned += churned
+		if s.cfg.RegroupEvery > 0 && (interval+1)%s.cfg.RegroupEvery == 0 && interval+1 < s.cfg.NumIntervals {
+			if err := s.rebuildGroups(); err != nil {
+				return nil, err
+			}
+			if err := s.abstractGroups(); err != nil {
+				return nil, err
+			}
+		}
+
+		s.closeInterval()
+	}
+
+	for _, g := range s.groups {
+		if g.profile != nil {
+			trace.SwipeByGroup[g.id] = g.profile.Swipe
+		}
+	}
+	trace.K = len(s.groups)
+	if s.lastResult != nil {
+		trace.Silhouette = s.lastResult.Silhouette
+	}
+	trace.CacheHitRate = s.server.Cache().HitRate()
+	trace.StabilityByRegroup = append([]float64(nil), s.stability...)
+	trace.ChurnedUsers = s.churned
+	return trace, nil
+}

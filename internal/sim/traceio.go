@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRecordsJSON serializes the trace records as a JSON array.
+func WriteRecordsJSON(w io.Writer, records []GroupIntervalRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// ReadRecordsJSON decodes a JSON array of trace records.
+func ReadRecordsJSON(r io.Reader) ([]GroupIntervalRecord, error) {
+	var out []GroupIntervalRecord
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	return out, nil
+}
+
+// WriteRecordsCSV writes the trace records as CSV with a header row.
+func WriteRecordsCSV(w io.Writer, records []GroupIntervalRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"interval", "group_id", "size",
+		"predicted_rbs", "actual_rbs", "allocated_rbs",
+		"predicted_cycles", "actual_cycles",
+		"predicted_bits", "actual_bits",
+		"predicted_waste_bits", "actual_waste_bits",
+		"actual_engagement_s",
+		"worst_snr_db", "bitrate_bps",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }
+	for i, r := range records {
+		row := []string{
+			strconv.Itoa(r.Interval),
+			strconv.Itoa(r.GroupID),
+			strconv.Itoa(r.Size),
+			f(r.PredictedRBs), f(r.ActualRBs), strconv.Itoa(r.AllocatedRBs),
+			f(r.PredictedCycles), f(r.ActualCycles),
+			f(r.PredictedBits), f(r.ActualBits),
+			f(r.PredictedWasteBits), f(r.ActualWasteBits),
+			f(r.ActualEngagementS),
+			f(r.WorstSNRdB), f(r.BitrateBps),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary aggregates a trace into run-level statistics.
+type Summary struct {
+	Intervals       int     `json:"intervals"`
+	Groups          int     `json:"groups"`
+	RadioAccuracy   float64 `json:"radioAccuracy"`
+	ComputeAccuracy float64 `json:"computeAccuracy"`
+	MeanActualRBs   float64 `json:"meanActualRBs"`
+	PeakActualRBs   float64 `json:"peakActualRBs"`
+	TotalBits       float64 `json:"totalBits"`
+	TotalCycles     float64 `json:"totalCycles"`
+}
+
+// Summarize computes the run-level summary of a trace.
+func (t *Trace) Summarize() (*Summary, error) {
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("empty trace: %w", ErrConfig)
+	}
+	radio, err := t.RadioAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	compute, err := t.ComputeAccuracy()
+	if err != nil {
+		// A run with zero transcoding has no compute accuracy; report 1.
+		compute = 1
+	}
+	s := &Summary{RadioAccuracy: radio, ComputeAccuracy: compute}
+	intervals := map[int]bool{}
+	groups := map[int]bool{}
+	var rbSum float64
+	for _, r := range t.Records {
+		intervals[r.Interval] = true
+		groups[r.GroupID] = true
+		rbSum += r.ActualRBs
+		if r.ActualRBs > s.PeakActualRBs {
+			s.PeakActualRBs = r.ActualRBs
+		}
+		s.TotalBits += r.ActualBits
+		s.TotalCycles += r.ActualCycles
+	}
+	s.Intervals = len(intervals)
+	s.Groups = len(groups)
+	s.MeanActualRBs = rbSum / float64(len(t.Records))
+	return s, nil
+}

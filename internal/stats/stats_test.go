@@ -1,0 +1,436 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewZipf(5, -1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewZipf(5, math.NaN()); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z, err := NewZipf(100, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("zipf pmf sums to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(100) != 0 {
+		t.Fatal("out-of-range prob must be 0")
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z, err := NewZipf(20, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("zipf pmf not decreasing at %d", i)
+		}
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	z, err := NewZipf(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, 10)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 0; i < 10; i++ {
+		emp := float64(counts[i]) / n
+		if math.Abs(emp-z.Prob(i)) > 0.01 {
+			t.Fatalf("rank %d empirical %v vs theoretical %v", i, emp, z.Prob(i))
+		}
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	if _, err := NewLogNormal(0, -1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	l, err := NewLogNormal(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var o Online
+	for i := 0; i < 100000; i++ {
+		x := l.Sample(rng)
+		if x <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+		o.Add(x)
+	}
+	if math.Abs(o.Mean()-l.Mean())/l.Mean() > 0.05 {
+		t.Fatalf("empirical mean %v vs theoretical %v", o.Mean(), l.Mean())
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	if _, err := NewTruncNormal(0, 1, 5, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	tn, err := NewTruncNormal(0, 10, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		x := tn.Sample(rng)
+		if x < -1 || x > 1 {
+			t.Fatalf("trunc sample %v outside bounds", x)
+		}
+	}
+}
+
+func TestExponential(t *testing.T) {
+	if _, err := NewExponential(0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	e, err := NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var o Online
+	for i := 0; i < 100000; i++ {
+		o.Add(e.Sample(rng))
+	}
+	if math.Abs(o.Mean()-0.5) > 0.02 {
+		t.Fatalf("exp mean %v, want 0.5", o.Mean())
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	if _, err := NewCategorical(nil); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewCategorical([]float64{0, 0}); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewCategorical([]float64{1, -1}); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	c, err := NewCategorical([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Prob(0)-0.25) > 1e-12 || math.Abs(c.Prob(1)-0.75) > 1e-12 {
+		t.Fatalf("probs %v %v", c.Prob(0), c.Prob(1))
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := [2]int{}
+	for i := 0; i < 100000; i++ {
+		counts[c.Sample(rng)]++
+	}
+	if math.Abs(float64(counts[1])/100000-0.75) > 0.01 {
+		t.Fatalf("empirical %v", counts)
+	}
+}
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.N() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N=%d", o.N())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", o.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(o.Var()-32.0/7.0) > 1e-9 {
+		t.Fatalf("var %v", o.Var())
+	}
+	if math.Abs(o.Std()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Fatalf("std %v", o.Std())
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var o Online
+		var sum float64
+		for _, x := range xs {
+			o.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		batchVar := ss / float64(len(xs)-1)
+		tol := 1e-6 * (1 + math.Abs(batchVar))
+		return math.Abs(o.Mean()-mean) < tol && math.Abs(o.Var()-batchVar) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 4); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := NewHistogram(0, 1, 0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 5, 9.9, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total %d", h.Total())
+	}
+	// -1 clamps into bin 0; 42 clamps into bin 4.
+	if h.Counts[0] != 3 || h.Counts[2] != 1 || h.Counts[4] != 2 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	pmf := h.PMF()
+	var sum float64
+	for _, p := range pmf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+	cdf := h.CDF()
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-12 {
+		t.Fatalf("cdf tail %v", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("cdf must be non-decreasing")
+		}
+	}
+}
+
+func TestHistogramEmptyPMF(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range h.PMF() {
+		if p != 0 {
+			t.Fatal("empty histogram PMF must be all zero")
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{1}, -0.1)) {
+		t.Fatal("invalid q must be NaN")
+	}
+	xs := []float64{3, 1, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 3 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := Quantile([]float64{10}, 0.7); got != 10 {
+		t.Fatalf("single-sample quantile = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Fatal("Quantile must not mutate input")
+	}
+}
+
+func TestMetricsErrors(t *testing.T) {
+	for _, fn := range []func([]float64, []float64) (float64, error){MAPE, RMSE, MAE, PredictionAccuracy, R2} {
+		if _, err := fn(nil, nil); !errors.Is(err, ErrMetric) {
+			t.Fatalf("want ErrMetric, got %v", err)
+		}
+		if _, err := fn([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMetric) {
+			t.Fatalf("want ErrMetric, got %v", err)
+		}
+	}
+	if _, err := MAPE([]float64{1, 2}, []float64{0, 0}); !errors.Is(err, ErrMetric) {
+		t.Fatalf("all-zero actuals must fail, got %v", err)
+	}
+	if _, err := R2([]float64{1, 2}, []float64{3, 3}); !errors.Is(err, ErrMetric) {
+		t.Fatalf("constant actuals must fail R2, got %v", err)
+	}
+}
+
+func TestMetricsValues(t *testing.T) {
+	pred := []float64{110, 90}
+	actual := []float64{100, 100}
+	mape, err := MAPE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mape-0.1) > 1e-12 {
+		t.Fatalf("mape %v", mape)
+	}
+	acc, err := PredictionAccuracy(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-0.9) > 1e-12 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	rmse, err := RMSE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rmse-10) > 1e-12 {
+		t.Fatalf("rmse %v", rmse)
+	}
+	mae, err := MAE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mae-10) > 1e-12 {
+		t.Fatalf("mae %v", mae)
+	}
+	varied := []float64{100, 200}
+	r2, err := R2(varied, varied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("perfect r2 %v", r2)
+	}
+}
+
+func TestPredictionAccuracyClamps(t *testing.T) {
+	// Wildly wrong prediction: accuracy floors at 0 rather than going
+	// negative.
+	acc, err := PredictionAccuracy([]float64{1000}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0 {
+		t.Fatalf("accuracy %v, want 0", acc)
+	}
+	acc, err = PredictionAccuracy([]float64{1, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy %v, want 1", acc)
+	}
+}
+
+func TestMAPESkipsZeroActuals(t *testing.T) {
+	mape, err := MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mape-0.1) > 1e-12 {
+		t.Fatalf("mape %v, want 0.1 (zero-actual skipped)", mape)
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	if !math.IsNaN(TailMean(nil, 0.2)) {
+		t.Fatal("empty tail mean must be NaN")
+	}
+	if !math.IsNaN(TailMean([]float64{1}, 0)) || !math.IsNaN(TailMean([]float64{1}, 1.5)) {
+		t.Fatal("invalid q must be NaN")
+	}
+	xs := []float64{5, 1, 4, 2, 3}
+	// Bottom 40% of 5 values = 2 values {1, 2}.
+	if got := TailMean(xs, 0.4); got != 1.5 {
+		t.Fatalf("tail mean %v, want 1.5", got)
+	}
+	// q=1 is the plain mean.
+	if got := TailMean(xs, 1); got != 3 {
+		t.Fatalf("full tail mean %v, want 3", got)
+	}
+	// Tiny q still averages at least one value (the minimum).
+	if got := TailMean(xs, 0.01); got != 1 {
+		t.Fatalf("min tail %v, want 1", got)
+	}
+	// Input not mutated.
+	if xs[0] != 5 {
+		t.Fatal("TailMean must not reorder input")
+	}
+}
+
+// TailMean is monotone in q and bounded by min and mean.
+func TestTailMeanProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0.1, 0.3, 0.6, 1.0} {
+			tm := TailMean(xs, q)
+			if tm < prev-1e-9 {
+				return false
+			}
+			prev = tm
+		}
+		mn, mean := xs[0], 0.0
+		for _, x := range xs {
+			if x < mn {
+				mn = x
+			}
+			mean += x
+		}
+		mean /= float64(len(xs))
+		full := TailMean(xs, 1)
+		return TailMean(xs, 0.01) >= mn-1e-9 && math.Abs(full-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

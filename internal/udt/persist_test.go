@@ -1,0 +1,170 @@
+package udt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/video"
+)
+
+// populatedTwin builds a twin with data in every series.
+func populatedTwin(t *testing.T) *Twin {
+	t.Helper()
+	tw := newTwin(t, Config{ChannelEvery: 1, LocationEvery: 1, WatchEvery: 1, PreferenceEvery: 1})
+	pref := behavior.Preference{0.4, 0.2, 0.2, 0.1, 0.1}
+	for tick := 1; tick <= 12; tick++ {
+		tw.Tick()
+		if _, err := tw.CollectChannel(1 + tick%15); err != nil {
+			t.Fatal(err)
+		}
+		tw.CollectLocation(float64(10*tick), float64(5*tick))
+		if _, err := tw.CollectView(video.Music, float64(tick), 0.5, tick%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.CollectPreference(pref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tw
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	tw := populatedTwin(t)
+	snap := tw.Snapshot()
+	back, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.UserID != tw.UserID || back.Ticks() != tw.Ticks() {
+		t.Fatalf("identity lost: %d/%d vs %d/%d", back.UserID, back.Ticks(), tw.UserID, tw.Ticks())
+	}
+	// Feature windows must be identical.
+	w1, err := tw.FeatureWindow(8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := back.FeatureWindow(8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("feature window differs at %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	// Counters survive.
+	s1, v1 := tw.SwipeStats()
+	s2, v2 := back.SwipeStats()
+	if s1 != s2 || v1 != v2 {
+		t.Fatalf("swipe stats %d/%d vs %d/%d", s1, v1, s2, v2)
+	}
+	if tw.WatchByCategory() != back.WatchByCategory() {
+		t.Fatal("watch counters differ")
+	}
+	if tw.EngagementByCategory() != back.EngagementByCategory() {
+		t.Fatal("engagement counters differ")
+	}
+	// Preference survives.
+	p1, p2 := tw.Preference(), back.Preference()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("preference differs")
+		}
+	}
+	// Staleness survives.
+	for _, a := range []Attribute{AttrChannel, AttrLocation, AttrWatch, AttrPreference} {
+		if tw.Staleness(a) != back.Staleness(a) {
+			t.Fatalf("staleness %v differs", a)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tw := populatedTwin(t)
+	snap := tw.Snapshot()
+	snap.WatchByCat[0] = 9999
+	snap.Preference[0] = 9999
+	if tw.WatchByCategory()[0] == 9999 {
+		t.Fatal("snapshot aliases twin counters")
+	}
+	if tw.Preference()[0] == 9999 {
+		t.Fatal("snapshot aliases twin preference")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	if _, err := Restore(nil); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	tw := populatedTwin(t)
+	snap := tw.Snapshot()
+	bad := *snap
+	bad.Preference = []float64{1}
+	if _, err := Restore(&bad); !errors.Is(err, ErrParam) {
+		t.Fatalf("short preference: want ErrParam, got %v", err)
+	}
+	bad = *snap
+	bad.Preference = []float64{2, 2, 2, 2, 2}
+	if _, err := Restore(&bad); err == nil {
+		t.Fatal("non-normalized preference must fail")
+	}
+	bad = *snap
+	bad.ViewsByCat = []int{1}
+	if _, err := Restore(&bad); !errors.Is(err, ErrParam) {
+		t.Fatalf("counter arity: want ErrParam, got %v", err)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	tw := populatedTwin(t)
+	snap := tw.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.MeanCQI(4) != tw.MeanCQI(4) {
+		t.Fatal("cqi differs after JSON round trip")
+	}
+	x1, y1 := tw.LastLocation()
+	x2, y2 := restored.LastLocation()
+	if x1 != x2 || y1 != y2 {
+		t.Fatal("location differs after JSON round trip")
+	}
+}
+
+func TestReadSnapshotError(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("{bad")); err == nil {
+		t.Fatal("malformed snapshot must error")
+	}
+}
+
+func TestRestoreTruncatesOversizedHistory(t *testing.T) {
+	tw := populatedTwin(t)
+	snap := tw.Snapshot()
+	// Shrink the ring capacity below the recorded history: restore
+	// must keep only the newest values.
+	snap.Config.HistoryLen = 4
+	back, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last collected CQI is 1 + 12%15 = 13; window(1) returns it.
+	w, err := back.FeatureWindow(1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 13.0/15 {
+		t.Fatalf("newest cqi feature %v, want %v", w[0], 13.0/15)
+	}
+}

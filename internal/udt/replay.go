@@ -1,0 +1,73 @@
+package udt
+
+import (
+	"fmt"
+	"sort"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/video"
+)
+
+// ReplayDataset builds one twin per user from an offline viewing
+// trace (e.g. the synthetic short-video-streaming-challenge dataset
+// from internal/video, or a real trace converted to its schema). Each
+// record becomes a view collection; per-user preferences are learned
+// from the observed engagements with the given learning rate. This is
+// the offline path into the grouping/abstraction pipeline when no
+// live simulation is running.
+func ReplayDataset(records []video.DatasetRecord, cfg Config, prefLR float64) ([]*Twin, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("empty dataset: %w", ErrParam)
+	}
+	if prefLR <= 0 || prefLR > 1 {
+		return nil, fmt.Errorf("preference learning rate %v: %w", prefLR, ErrParam)
+	}
+	// Group records per user, preserving timestamp order.
+	byUser := map[int][]video.DatasetRecord{}
+	for _, r := range records {
+		if r.UserID < 0 {
+			return nil, fmt.Errorf("record with user id %d: %w", r.UserID, ErrParam)
+		}
+		byUser[r.UserID] = append(byUser[r.UserID], r)
+	}
+	userIDs := make([]int, 0, len(byUser))
+	for id := range byUser {
+		userIDs = append(userIDs, id)
+	}
+	sort.Ints(userIDs)
+
+	twins := make([]*Twin, 0, len(userIDs))
+	for _, id := range userIDs {
+		recs := byUser[id]
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].TimestampS < recs[j].TimestampS })
+		tw, err := NewTwin(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pref := behavior.NewUniformPreference()
+		for _, r := range recs {
+			tw.Tick()
+			engagement := 0.0
+			if r.DurationS > 0 {
+				engagement = r.WatchS / r.DurationS
+			}
+			if engagement > 1 {
+				engagement = 1
+			}
+			if engagement < 0 {
+				engagement = 0
+			}
+			if _, err := tw.CollectView(r.Category, r.WatchS, engagement, r.Swiped); err != nil {
+				return nil, fmt.Errorf("user %d view: %w", id, err)
+			}
+			if err := pref.Update(r.Category, engagement, prefLR); err != nil {
+				return nil, fmt.Errorf("user %d preference: %w", id, err)
+			}
+			if _, err := tw.CollectPreference(pref); err != nil {
+				return nil, fmt.Errorf("user %d preference snapshot: %w", id, err)
+			}
+		}
+		twins = append(twins, tw)
+	}
+	return twins, nil
+}

@@ -1,0 +1,95 @@
+package udt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/video"
+)
+
+func replayDataset(t *testing.T) []video.DatasetRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cat, err := video.NewCatalog(video.CatalogConfig{NumVideos: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := video.GenerateDataset(cat, video.DatasetConfig{Users: 8, EventsPerUser: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestReplayDatasetValidation(t *testing.T) {
+	if _, err := ReplayDataset(nil, Config{}, 0.1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	recs := replayDataset(t)
+	if _, err := ReplayDataset(recs, Config{}, 0); !errors.Is(err, ErrParam) {
+		t.Fatalf("lr 0: want ErrParam, got %v", err)
+	}
+	bad := []video.DatasetRecord{{UserID: -1, Category: video.News}}
+	if _, err := ReplayDataset(bad, Config{}, 0.1); !errors.Is(err, ErrParam) {
+		t.Fatalf("negative user: want ErrParam, got %v", err)
+	}
+}
+
+func TestReplayDatasetBuildsTwins(t *testing.T) {
+	recs := replayDataset(t)
+	cfg := Config{WatchEvery: 1, PreferenceEvery: 1}
+	twins, err := ReplayDataset(recs, cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twins) != 8 {
+		t.Fatalf("%d twins, want 8", len(twins))
+	}
+	// Twins sorted by user id.
+	for i, tw := range twins {
+		if tw.UserID != i {
+			t.Fatalf("twin %d has id %d", i, tw.UserID)
+		}
+		_, views := tw.SwipeStats()
+		if views != 20 {
+			t.Fatalf("twin %d has %d views, want 20", i, views)
+		}
+		if err := tw.Preference().Validate(); err != nil {
+			t.Fatalf("twin %d preference: %v", i, err)
+		}
+		// Watch series populated: feature window non-zero.
+		w, werr := tw.FeatureWindow(8, 2000)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if sum == 0 {
+			t.Fatalf("twin %d has empty feature window", i)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	recs := replayDataset(t)
+	cfg := Config{WatchEvery: 1, PreferenceEvery: 1}
+	t1, err := ReplayDataset(recs, cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ReplayDataset(recs, cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		p1, p2 := t1[i].Preference(), t2[i].Preference()
+		for j := range p1 {
+			if p1[j] != p2[j] {
+				t.Fatal("replay must be deterministic")
+			}
+		}
+	}
+}

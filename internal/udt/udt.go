@@ -1,0 +1,406 @@
+// Package udt implements user digital twins (paper §II-A): per-user
+// edge-side stores of time-series status — channel condition,
+// location, watching duration and preference — each collected at its
+// own frequency. The grouping pipeline reads fixed-size feature
+// windows out of the twins; the prediction pipeline reads
+// watch-duration and preference summaries.
+package udt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dtmsvs/internal/behavior"
+	"dtmsvs/internal/vecmath"
+	"dtmsvs/internal/video"
+)
+
+// ErrParam indicates an invalid twin parameter.
+var ErrParam = errors.New("udt: invalid parameter")
+
+// Attribute identifies one collected data stream.
+type Attribute int
+
+// The four attributes the paper collects into UDTs.
+const (
+	AttrChannel    Attribute = iota + 1 // CQI
+	AttrLocation                        // (x, y) pairs — stored as two series
+	AttrWatch                           // watch duration per view
+	AttrPreference                      // preference vector snapshots
+)
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	switch a {
+	case AttrChannel:
+		return "channel"
+	case AttrLocation:
+		return "location"
+	case AttrWatch:
+		return "watch"
+	case AttrPreference:
+		return "preference"
+	default:
+		return fmt.Sprintf("Attribute(%d)", int(a))
+	}
+}
+
+// ring is a fixed-capacity float64 ring buffer.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newRing(capacity int) *ring { return &ring{buf: make([]float64, capacity)} }
+
+func (r *ring) add(x float64) {
+	r.buf[r.next] = x
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// window returns the most recent n values, oldest first. When fewer
+// than n are stored, the result is left-padded with the oldest value
+// (or zeros when empty) so it always has length n.
+func (r *ring) window(n int) []float64 {
+	out := make([]float64, n)
+	have := r.len()
+	if have == 0 {
+		return out
+	}
+	// Collect up to n most recent in chronological order.
+	take := have
+	if take > n {
+		take = n
+	}
+	start := r.next - take
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < take; i++ {
+		out[n-take+i] = r.buf[(start+i)%len(r.buf)]
+	}
+	// Left-pad with the oldest collected value.
+	for i := 0; i < n-take; i++ {
+		out[i] = out[n-take]
+	}
+	return out
+}
+
+// Config sets twin capacities and collection frequencies.
+type Config struct {
+	// HistoryLen is the ring capacity per scalar series (default 256).
+	HistoryLen int
+	// ChannelEvery, LocationEvery, WatchEvery, PreferenceEvery are
+	// collection periods in simulation ticks: the twin accepts a
+	// sample only when the tick counter is a multiple of the period.
+	// Defaults: 1, 2, 1, 5 — channel and watch duration change fast,
+	// location slower, preference slowest, matching the paper's
+	// "different data attributes are collected with different
+	// frequencies".
+	ChannelEvery, LocationEvery, WatchEvery, PreferenceEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HistoryLen == 0 {
+		c.HistoryLen = 256
+	}
+	if c.ChannelEvery == 0 {
+		c.ChannelEvery = 1
+	}
+	if c.LocationEvery == 0 {
+		c.LocationEvery = 2
+	}
+	if c.WatchEvery == 0 {
+		c.WatchEvery = 1
+	}
+	if c.PreferenceEvery == 0 {
+		c.PreferenceEvery = 5
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.HistoryLen < 2 {
+		return fmt.Errorf("history len %d: %w", d.HistoryLen, ErrParam)
+	}
+	for _, period := range []int{d.ChannelEvery, d.LocationEvery, d.WatchEvery, d.PreferenceEvery} {
+		if period < 1 {
+			return fmt.Errorf("collection period %d: %w", period, ErrParam)
+		}
+	}
+	return nil
+}
+
+// Twin is one user's digital twin. It is safe for concurrent use: the
+// BS-side collectors write while the grouping pipeline reads.
+type Twin struct {
+	UserID int
+
+	mu sync.RWMutex
+
+	cfg Config
+
+	cqi        *ring
+	locX, locY *ring
+	watch      *ring // watch durations (s)
+	engage     *ring // engagement ratios [0,1]
+	pref       behavior.Preference
+	// watchByCat accumulates total watch seconds per category since
+	// the last ResetIntervalCounters call.
+	watchByCat  [video.NumCategories]float64
+	engageByCat [video.NumCategories]float64
+	viewsByCat  [video.NumCategories]int
+	swipes      int
+	views       int
+
+	ticks     int
+	staleness map[Attribute]int
+}
+
+// NewTwin constructs a twin for the user.
+func NewTwin(userID int, cfg Config) (*Twin, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	return &Twin{
+		UserID: userID,
+		cfg:    c,
+		cqi:    newRing(c.HistoryLen),
+		locX:   newRing(c.HistoryLen),
+		locY:   newRing(c.HistoryLen),
+		watch:  newRing(c.HistoryLen),
+		engage: newRing(c.HistoryLen),
+		pref:   behavior.NewUniformPreference(),
+		staleness: map[Attribute]int{
+			AttrChannel: 0, AttrLocation: 0, AttrWatch: 0, AttrPreference: 0,
+		},
+	}, nil
+}
+
+// Tick advances the twin's collection clock by one simulation tick.
+func (t *Twin) Tick() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ticks++
+	for a := range t.staleness {
+		t.staleness[a]++
+	}
+}
+
+// Ticks returns the collection clock.
+func (t *Twin) Ticks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ticks
+}
+
+// Staleness returns ticks since the attribute was last accepted.
+func (t *Twin) Staleness(a Attribute) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.staleness[a]
+}
+
+// due reports whether the attribute's collection period has elapsed.
+// Caller must hold the lock.
+func (t *Twin) due(period int) bool { return t.ticks%period == 0 }
+
+// CollectChannel records a CQI sample if the channel period is due.
+// Returns whether the sample was accepted.
+func (t *Twin) CollectChannel(cqi int) (bool, error) {
+	if cqi < 1 || cqi > 15 {
+		return false, fmt.Errorf("cqi %d: %w", cqi, ErrParam)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.due(t.cfg.ChannelEvery) {
+		return false, nil
+	}
+	t.cqi.add(float64(cqi))
+	t.staleness[AttrChannel] = 0
+	return true, nil
+}
+
+// CollectLocation records an (x, y) sample if due.
+func (t *Twin) CollectLocation(x, y float64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.due(t.cfg.LocationEvery) {
+		return false
+	}
+	t.locX.add(x)
+	t.locY.add(y)
+	t.staleness[AttrLocation] = 0
+	return true
+}
+
+// CollectView records a completed view (watch duration, engagement,
+// category, swipe) if the watch period is due. View counters used for
+// interval-level swiping statistics are always updated, matching the
+// paper's separation between raw status series and abstracted
+// group-level data.
+func (t *Twin) CollectView(cat video.Category, watchS, engagement float64, swiped bool) (bool, error) {
+	idx := cat.Index()
+	if idx < 0 {
+		return false, fmt.Errorf("category %v: %w", cat, ErrParam)
+	}
+	if watchS < 0 || engagement < 0 || engagement > 1 {
+		return false, fmt.Errorf("watch %v engagement %v: %w", watchS, engagement, ErrParam)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.watchByCat[idx] += watchS
+	t.engageByCat[idx] += engagement
+	t.viewsByCat[idx]++
+	t.views++
+	if swiped {
+		t.swipes++
+	}
+	if !t.due(t.cfg.WatchEvery) {
+		return false, nil
+	}
+	t.watch.add(watchS)
+	t.engage.add(engagement)
+	t.staleness[AttrWatch] = 0
+	return true, nil
+}
+
+// CollectPreference snapshots the user's preference vector if due.
+func (t *Twin) CollectPreference(p behavior.Preference) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.due(t.cfg.PreferenceEvery) {
+		return false, nil
+	}
+	t.pref = p.Clone()
+	t.staleness[AttrPreference] = 0
+	return true, nil
+}
+
+// Preference returns the last collected preference snapshot.
+func (t *Twin) Preference() behavior.Preference {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pref.Clone()
+}
+
+// WatchByCategory returns total watch seconds per category since the
+// last interval reset.
+func (t *Twin) WatchByCategory() [video.NumCategories]float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.watchByCat
+}
+
+// EngagementByCategory returns the summed engagement fractions per
+// category since the last interval reset; divided by the view counts
+// it yields the mean watched fraction per category — the direct input
+// to the group swiping-probability distribution.
+func (t *Twin) EngagementByCategory() [video.NumCategories]float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.engageByCat
+}
+
+// ViewsByCategory returns view counts per category since the last
+// interval reset.
+func (t *Twin) ViewsByCategory() [video.NumCategories]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.viewsByCat
+}
+
+// SwipeStats returns (swipes, views) since the last interval reset.
+func (t *Twin) SwipeStats() (swipes, views int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.swipes, t.views
+}
+
+// ResetIntervalCounters clears the per-interval accumulators (called
+// at each reservation-interval boundary).
+func (t *Twin) ResetIntervalCounters() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.watchByCat = [video.NumCategories]float64{}
+	t.engageByCat = [video.NumCategories]float64{}
+	t.viewsByCat = [video.NumCategories]int{}
+	t.swipes = 0
+	t.views = 0
+}
+
+// NumFeatureChannels is the number of channels in a feature window:
+// CQI, x, y, watch duration, engagement.
+const NumFeatureChannels = 5
+
+// FeatureWindow returns a flattened channel-major window of the last
+// steps samples per channel: [cqi..., x..., y..., watch..., engage...].
+// Values are scaled to roughly [0, 1] so the CNN sees balanced inputs:
+// CQI/15, x/scale, y/scale, watch/60 s, engagement as-is.
+func (t *Twin) FeatureWindow(steps int, posScale float64) (vecmath.Vec, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("window of %d steps: %w", steps, ErrParam)
+	}
+	if posScale <= 0 {
+		return nil, fmt.Errorf("position scale %v: %w", posScale, ErrParam)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(vecmath.Vec, 0, NumFeatureChannels*steps)
+	for _, v := range t.cqi.window(steps) {
+		out = append(out, v/15)
+	}
+	for _, v := range t.locX.window(steps) {
+		out = append(out, v/posScale)
+	}
+	for _, v := range t.locY.window(steps) {
+		out = append(out, v/posScale)
+	}
+	for _, v := range t.watch.window(steps) {
+		out = append(out, v/60)
+	}
+	out = append(out, t.engage.window(steps)...)
+	return out, nil
+}
+
+// MeanCQI returns the mean collected CQI over the last steps samples
+// (0 when nothing collected).
+func (t *Twin) MeanCQI(steps int) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	w := t.cqi.window(steps)
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w))
+}
+
+// LastLocation returns the most recent collected position (0,0 when
+// nothing collected).
+func (t *Twin) LastLocation() (x, y float64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	wx := t.locX.window(1)
+	wy := t.locY.window(1)
+	return wx[0], wy[0]
+}

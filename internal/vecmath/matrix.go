@@ -1,0 +1,140 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("new matrix %dx%d: %w", rows, cols, ErrShape)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// MustMatrix is NewMatrix that panics on invalid shape; for use in
+// tests and package-internal constructions with constant shapes.
+func MustMatrix(rows, cols int) *Matrix {
+	m, err := NewMatrix(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// FillRandUniform fills the matrix with samples from U(-scale, scale).
+func (m *Matrix) FillRandUniform(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// FillXavier fills with the Glorot/Xavier uniform initialization for a
+// layer with the given fan-in and fan-out.
+func (m *Matrix) FillXavier(rng *rand.Rand, fanIn, fanOut int) {
+	scale := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.FillRandUniform(rng, scale)
+}
+
+// MulVec computes m * x and returns a new vector of length m.Rows.
+func (m *Matrix) MulVec(x Vec) (Vec, error) {
+	if m.Cols != len(x) {
+		return nil, fmt.Errorf("mulvec %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShape)
+	}
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MulVecT computes mᵀ * x (x has length m.Rows) and returns a vector
+// of length m.Cols. Used for backpropagation through dense layers.
+func (m *Matrix) MulVecT(x Vec) (Vec, error) {
+	if m.Rows != len(x) {
+		return nil, fmt.Errorf("mulvecT %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShape)
+	}
+	out := make(Vec, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, w := range row {
+			out[j] += w * xi
+		}
+	}
+	return out, nil
+}
+
+// AddOuter accumulates m += alpha * a ⊗ b where len(a)==Rows and
+// len(b)==Cols. Used for weight-gradient accumulation.
+func (m *Matrix) AddOuter(alpha float64, a, b Vec) error {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		return fmt.Errorf("addouter %dx%d by %d,%d: %w", m.Rows, m.Cols, len(a), len(b), ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		ai := alpha * a[i]
+		if ai == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j := range row {
+			row[j] += ai * b[j]
+		}
+	}
+	return nil
+}
+
+// Correlate1D computes a "valid" 1-D cross-correlation of input x with
+// kernel k at the given stride: out[t] = Σ_j x[t*stride+j]*k[j].
+// Output length is (len(x)-len(k))/stride + 1.
+func Correlate1D(x, k Vec, stride int) (Vec, error) {
+	if stride <= 0 {
+		return nil, fmt.Errorf("correlate1d stride %d: %w", stride, ErrShape)
+	}
+	if len(k) == 0 || len(x) < len(k) {
+		return nil, fmt.Errorf("correlate1d input %d kernel %d: %w", len(x), len(k), ErrShape)
+	}
+	n := (len(x)-len(k))/stride + 1
+	out := make(Vec, n)
+	for t := 0; t < n; t++ {
+		base := t * stride
+		var s float64
+		for j, kj := range k {
+			s += x[base+j] * kj
+		}
+		out[t] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,360 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Vec
+		want    float64
+		wantErr bool
+	}{
+		{name: "basic", a: Vec{1, 2, 3}, b: Vec{4, 5, 6}, want: 32},
+		{name: "empty", a: Vec{}, b: Vec{}, want: 0},
+		{name: "negatives", a: Vec{-1, 1}, b: Vec{1, -1}, want: -2},
+		{name: "mismatch", a: Vec{1}, b: Vec{1, 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Dot(tt.a, tt.b)
+			if tt.wantErr {
+				if !errors.Is(err, ErrShape) {
+					t.Fatalf("want ErrShape, got %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if got != tt.want {
+				t.Fatalf("Dot = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	y := Vec{1, 2, 3}
+	if err := AXPY(2, Vec{1, 1, 1}, y); err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{3, 4, 5}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	Scale(0.5, y)
+	want = Vec{1.5, 2, 2.5}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Scale[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if err := AXPY(1, Vec{1}, Vec{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := Vec{1, 2}, Vec{3, 5}
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 4 || sum[1] != 7 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff[0] != 2 || diff[1] != 3 {
+		t.Fatalf("Sub = %v", diff)
+	}
+	if _, err := Add(Vec{1}, Vec{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := Sub(Vec{1}, Vec{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestNormDist(t *testing.T) {
+	if got := Norm2(Vec{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	d, err := Dist(Vec{0, 0}, Vec{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	sq, err := SqDist(Vec{1, 1}, Vec{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq != 5 {
+		t.Fatalf("SqDist = %v, want 5", sq)
+	}
+	if _, err := SqDist(Vec{1}, Vec{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestArgMaxMin(t *testing.T) {
+	v := Vec{1, 5, 5, -2}
+	if got := ArgMax(v); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(v); got != 3 {
+		t.Fatalf("ArgMin = %d, want 3", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %d, want -1", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Fatalf("ArgMin(nil) = %d, want -1", got)
+	}
+	if !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Fatal("Max/Min of empty must be NaN")
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return Softmax(nil) == nil
+		}
+		// Constrain to a sane numeric range.
+		v := make(Vec, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v = append(v, math.Mod(x, 50))
+		}
+		s := Softmax(v)
+		var sum float64
+		for _, p := range s {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxOrderPreserved(t *testing.T) {
+	s := Softmax(Vec{1, 3, 2})
+	if !(s[1] > s[2] && s[2] > s[0]) {
+		t.Fatalf("softmax order violated: %v", s)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Fatalf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+	if got := Mean(Vec{2, 4}); got != 3 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Sum(Vec{1, 2, 3}); got != 6 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 3); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := NewMatrix(3, -1); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	m, err := NewMatrix(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("bad matrix: %+v", m)
+	}
+}
+
+func TestMatrixAtSetRowClone(t *testing.T) {
+	m := MustMatrix(2, 2)
+	m.Set(0, 1, 7)
+	m.Set(1, 0, -2)
+	if m.At(0, 1) != 7 || m.At(1, 0) != -2 {
+		t.Fatal("At/Set mismatch")
+	}
+	r := m.Row(1)
+	r[1] = 9 // view mutates backing store
+	if m.At(1, 1) != 9 {
+		t.Fatal("Row must be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) == 42 {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MustMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got, err := m.MulVec(Vec{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if _, err := m.MulVec(Vec{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := MustMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	got, err := m.MulVecT(Vec{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{9, 12, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", got, want)
+		}
+	}
+	if _, err := m.MulVecT(Vec{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := MustMatrix(2, 2)
+	if err := m.AddOuter(2, Vec{1, 2}, Vec{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 8, 12, 16}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddOuter data = %v, want %v", m.Data, want)
+		}
+	}
+	if err := m.AddOuter(1, Vec{1}, Vec{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+// MulVecT is the adjoint of MulVec: <Mx, y> == <x, Mᵀy>.
+func TestMulVecAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := MustMatrix(rows, cols)
+		m.FillRandUniform(rng, 1)
+		x := make(Vec, cols)
+		y := make(Vec, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		mx, err := m.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mty, err := m.MulVecT(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := Dot(mx, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Dot(x, mty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(lhs, rhs, 1e-9) {
+			t.Fatalf("adjoint violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestCorrelate1D(t *testing.T) {
+	out, err := Correlate1D(Vec{1, 2, 3, 4}, Vec{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{3, 5, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Correlate1D = %v, want %v", out, want)
+		}
+	}
+	out, err = Correlate1D(Vec{1, 2, 3, 4, 5}, Vec{1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 4 || out[1] != 8 {
+		t.Fatalf("strided Correlate1D = %v", out)
+	}
+	if _, err := Correlate1D(Vec{1}, Vec{1, 2}, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := Correlate1D(Vec{1, 2}, Vec{1}, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestFillXavierBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := MustMatrix(8, 8)
+	m.FillXavier(rng, 8, 8)
+	bound := math.Sqrt(6.0 / 16.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > bound {
+			t.Fatalf("xavier value %v outside ±%v", v, bound)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] == 99 {
+		t.Fatal("Clone must copy")
+	}
+	if len(Zeros(4)) != 4 {
+		t.Fatal("Zeros length")
+	}
+}
