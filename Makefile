@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick benchmark pass (single count, with allocation stats).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Full measured run: count 5, results recorded to BENCH_baseline.json
+# (override via BENCH_COUNT / BENCH_TIME / BENCH_OUT).
+bench-baseline:
+	./scripts/bench.sh

@@ -23,6 +23,7 @@ func benchConfig(seed int64) Config {
 		CompressorEpochs: 8,
 		AgentEpisodes:    80,
 		PrefetchDepth:    -1, // paper's delivery model has no prefetch
+		Parallelism:      0,  // all cores; the trace is identical at any setting
 	}
 }
 

@@ -34,12 +34,14 @@ func run() error {
 		users     = flag.Int("users", 100, "base number of users")
 		intervals = flag.Int("intervals", 24, "reservation intervals")
 		counts    = flag.String("counts", "50,100,200", "comma-separated user counts for -exp users")
+		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
 	)
 	flag.Parse()
 
 	cfg := dtmsvs.DefaultConfig(*seed)
 	cfg.NumUsers = *users
 	cfg.NumIntervals = *intervals
+	cfg.Parallelism = *par
 
 	switch *exp {
 	case "compute":

@@ -31,6 +31,7 @@ func run() error {
 		fixedK    = flag.Int("fixed-k", 0, "bypass the DDQN with a fixed grouping number (0 = use DDQN)")
 		noCNN     = flag.Bool("no-cnn", false, "disable the 1D-CNN compressor (raw-feature baseline)")
 		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
+		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; trace is identical for any value)")
 		format    = flag.String("format", "json", `trace format: "json" or "csv"`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")
 	)
@@ -43,6 +44,7 @@ func run() error {
 	cfg.FixedK = *fixedK
 	cfg.Grouping.UseCNN = !*noCNN
 	cfg.RBBudget = *budget
+	cfg.Parallelism = *par
 
 	trace, err := dtmsvs.Run(cfg)
 	if err != nil {

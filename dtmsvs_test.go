@@ -107,7 +107,10 @@ func TestSharedTraceExtractors(t *testing.T) {
 }
 
 func TestRunComputeDemand(t *testing.T) {
-	res, err := RunComputeDemand(smallConfig(3))
+	// Seed chosen so the tiny scenario actually incurs transcode
+	// cycles (some seeds stream entirely cache-warm at one rung,
+	// which makes the volume metric undefined).
+	res, err := RunComputeDemand(smallConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}

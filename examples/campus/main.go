@@ -14,6 +14,7 @@ import (
 	"dtmsvs/internal/channel"
 	"dtmsvs/internal/grouping"
 	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/parallel"
 	"dtmsvs/internal/udt"
 	"dtmsvs/internal/video"
 )
@@ -110,6 +111,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Fan the K-means assignment and silhouette scans across all
+	// cores; results are bit-identical to the sequential path.
+	builder.SetPool(parallel.New(0))
 	if _, err := builder.TrainCompressor(twins, 15); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ func main() {
 		NumUsers:     60,
 		NumBS:        4,
 		NumIntervals: 12, // one hour of 5-minute reservation intervals
+		Parallelism:  0,  // fan across all cores; the trace is identical at any setting
 	}
 
 	trace, err := dtmsvs.Run(cfg)

@@ -1,0 +1,3 @@
+module dtmsvs
+
+go 1.24

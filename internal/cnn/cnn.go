@@ -57,6 +57,11 @@ type Compressor struct {
 	decoder *nn.Network
 	opt     *nn.Adam
 	inDim   int
+
+	// gradBuf and params are training scratch, built lazily on the
+	// first TrainStep and reused so the fit loop stays allocation-free.
+	gradBuf vecmath.Vec
+	params  []nn.Param
 }
 
 // New builds a compressor from the config with weights drawn from rng.
@@ -111,12 +116,18 @@ func (c *Compressor) Config() Config { return c.cfg }
 // InputDim returns the flattened window size Channels×Window.
 func (c *Compressor) InputDim() int { return c.inDim }
 
-// Encode compresses one flattened window into a CodeDim vector.
+// Encode compresses one flattened window into a CodeDim vector. The
+// returned code is caller-owned (a copy of the network scratch).
 func (c *Compressor) Encode(window vecmath.Vec) (vecmath.Vec, error) {
 	if len(window) != c.inDim {
 		return nil, fmt.Errorf("encode input %d want %d: %w", len(window), c.inDim, ErrConfig)
 	}
-	return c.encoder.Forward(window)
+	c.encoder.SetTraining(false)
+	code, err := c.encoder.Forward(window)
+	if err != nil {
+		return nil, err
+	}
+	return vecmath.Clone(code), nil
 }
 
 // EncodeBatch compresses many windows.
@@ -132,18 +143,32 @@ func (c *Compressor) EncodeBatch(windows []vecmath.Vec) ([]vecmath.Vec, error) {
 	return out, nil
 }
 
-// Reconstruct runs the full autoencoder on one window.
+// Reconstruct runs the full autoencoder on one window. The returned
+// reconstruction is caller-owned.
 func (c *Compressor) Reconstruct(window vecmath.Vec) (vecmath.Vec, error) {
-	code, err := c.Encode(window)
+	if len(window) != c.inDim {
+		return nil, fmt.Errorf("reconstruct input %d want %d: %w", len(window), c.inDim, ErrConfig)
+	}
+	c.encoder.SetTraining(false)
+	c.decoder.SetTraining(false)
+	code, err := c.encoder.Forward(window)
 	if err != nil {
 		return nil, err
 	}
-	return c.decoder.Forward(code)
+	recon, err := c.decoder.Forward(code)
+	if err != nil {
+		return nil, err
+	}
+	return vecmath.Clone(recon), nil
 }
 
 // TrainStep performs one reconstruction-loss gradient step on a single
-// window and returns the loss.
+// window and returns the loss. Steady-state it allocates nothing: the
+// loss gradient lives in a compressor-owned scratch buffer and the
+// layers reuse their own.
 func (c *Compressor) TrainStep(window vecmath.Vec) (float64, error) {
+	c.encoder.SetTraining(true)
+	c.decoder.SetTraining(true)
 	code, err := c.encoder.Forward(window)
 	if err != nil {
 		return 0, err
@@ -152,7 +177,11 @@ func (c *Compressor) TrainStep(window vecmath.Vec) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	loss, grad, err := nn.MSELoss(recon, window)
+	if cap(c.gradBuf) < len(recon) {
+		c.gradBuf = make(vecmath.Vec, len(recon))
+	}
+	grad := c.gradBuf[:len(recon)]
+	loss, err := nn.MSELossInto(grad, recon, window)
 	if err != nil {
 		return 0, err
 	}
@@ -165,9 +194,14 @@ func (c *Compressor) TrainStep(window vecmath.Vec) (float64, error) {
 	if _, err := c.encoder.Backward(codeGrad); err != nil {
 		return 0, err
 	}
-	params := append(c.encoder.Params(), c.decoder.Params()...)
-	nn.ClipGrads(params, 5)
-	if err := c.opt.Step(params); err != nil {
+	if c.params == nil {
+		enc, dec := c.encoder.Params(), c.decoder.Params()
+		c.params = make([]nn.Param, 0, len(enc)+len(dec))
+		c.params = append(c.params, enc...)
+		c.params = append(c.params, dec...)
+	}
+	nn.ClipGrads(c.params, 5)
+	if err := c.opt.Step(c.params); err != nil {
 		return 0, err
 	}
 	return loss, nil

@@ -65,17 +65,26 @@ func (r *ReplayBuffer) Add(t Transition) {
 
 // Sample draws n transitions uniformly with replacement.
 func (r *ReplayBuffer) Sample(n int, rng *rand.Rand) ([]Transition, error) {
-	if r.Len() == 0 {
-		return nil, fmt.Errorf("sample from empty replay buffer: %w", ErrConfig)
-	}
 	if n <= 0 {
 		return nil, fmt.Errorf("sample n=%d: %w", n, ErrConfig)
 	}
 	out := make([]Transition, n)
-	for i := range out {
-		out[i] = r.buf[rng.Intn(r.Len())]
+	if err := r.SampleInto(out, rng); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SampleInto fills dst with uniform-with-replacement draws without
+// allocating; the learner reuses one minibatch buffer across steps.
+func (r *ReplayBuffer) SampleInto(dst []Transition, rng *rand.Rand) error {
+	if r.Len() == 0 {
+		return fmt.Errorf("sample from empty replay buffer: %w", ErrConfig)
+	}
+	for i := range dst {
+		dst[i] = r.buf[rng.Intn(r.Len())]
+	}
+	return nil
 }
 
 // Config parameterizes the agent.
@@ -199,6 +208,29 @@ func (q *qnet) copyFrom(src *qnet) error {
 	return q.l3.CopyWeightsFrom(src.l3)
 }
 
+// forwardBatch pushes a whole minibatch of states through the MLP as
+// one matrix op per layer (inference only — nothing is cached for
+// backprop). h1 and h2 are caller-owned hidden-activation scratch.
+func (q *qnet) forwardBatch(x, h1, h2, out *vecmath.Matrix) error {
+	if err := q.l1.ForwardBatch(h1, x); err != nil {
+		return err
+	}
+	reluInPlace(h1.Data)
+	if err := q.l2.ForwardBatch(h2, h1); err != nil {
+		return err
+	}
+	reluInPlace(h2.Data)
+	return q.l3.ForwardBatch(out, h2)
+}
+
+func reluInPlace(v []float64) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
 // Agent is a double-DQN learner over a discrete action space.
 type Agent struct {
 	cfg    Config
@@ -210,6 +242,18 @@ type Agent struct {
 
 	eps        float64
 	learnSteps int
+
+	// Minibatch scratch, allocated once in New so Learn runs with zero
+	// steady-state allocations: the sampled batch, the stacked
+	// next-state matrix, hidden activations, the two batched Q outputs
+	// (target and online), and the TD target / loss-gradient vectors.
+	batch          []Transition
+	nextX          *vecmath.Matrix
+	h1, h2         *vecmath.Matrix
+	qNextT, qNextO *vecmath.Matrix
+	tgtBuf         vecmath.Vec
+	gradBuf        vecmath.Vec
+	params         []nn.Param
 }
 
 // New builds an agent. The rng drives weight init, exploration and
@@ -234,11 +278,31 @@ func New(cfg Config, rng *rand.Rand) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{
+	a := &Agent{
 		cfg: c, online: online, target: target,
 		opt: nn.NewAdam(c.LearningRate), replay: replay,
 		rng: rng, eps: c.EpsStart,
-	}, nil
+	}
+	a.batch = make([]Transition, c.BatchSize)
+	if a.nextX, err = vecmath.NewMatrix(c.BatchSize, c.StateDim); err != nil {
+		return nil, err
+	}
+	if a.h1, err = vecmath.NewMatrix(c.BatchSize, c.Hidden); err != nil {
+		return nil, err
+	}
+	if a.h2, err = vecmath.NewMatrix(c.BatchSize, c.Hidden); err != nil {
+		return nil, err
+	}
+	if a.qNextT, err = vecmath.NewMatrix(c.BatchSize, c.NumActions); err != nil {
+		return nil, err
+	}
+	if a.qNextO, err = vecmath.NewMatrix(c.BatchSize, c.NumActions); err != nil {
+		return nil, err
+	}
+	a.tgtBuf = make(vecmath.Vec, c.NumActions)
+	a.gradBuf = make(vecmath.Vec, c.NumActions)
+	a.params = a.online.net.Params()
+	return a, nil
 }
 
 // Epsilon returns the current exploration rate.
@@ -247,8 +311,19 @@ func (a *Agent) Epsilon() float64 { return a.eps }
 // ReplayLen returns the number of buffered transitions.
 func (a *Agent) ReplayLen() int { return a.replay.Len() }
 
-// QValues returns the online network's Q estimate for a state.
+// QValues returns the online network's Q estimate for a state. The
+// returned vector is caller-owned (a copy of the network scratch).
 func (a *Agent) QValues(state vecmath.Vec) (vecmath.Vec, error) {
+	q, err := a.qValuesScratch(state)
+	if err != nil {
+		return nil, err
+	}
+	return vecmath.Clone(q), nil
+}
+
+// qValuesScratch is the internal fast path: the returned slice aliases
+// the network's scratch and is overwritten by the next forward pass.
+func (a *Agent) qValuesScratch(state vecmath.Vec) (vecmath.Vec, error) {
 	if len(state) != a.cfg.StateDim {
 		return nil, fmt.Errorf("state dim %d want %d: %w", len(state), a.cfg.StateDim, ErrConfig)
 	}
@@ -265,7 +340,7 @@ func (a *Agent) Act(state vecmath.Vec) (int, error) {
 
 // Greedy selects the argmax action of the online network.
 func (a *Agent) Greedy(state vecmath.Vec) (int, error) {
-	q, err := a.QValues(state)
+	q, err := a.qValuesScratch(state)
 	if err != nil {
 		return 0, err
 	}
@@ -292,59 +367,75 @@ func (a *Agent) Observe(t Transition) error {
 // Learn performs one double-DQN gradient step over a replay batch and
 // returns the mean TD loss. It is a no-op (returns 0, false, nil)
 // until WarmUp transitions are buffered.
+//
+// The next-state evaluation is batched: all sampled next states are
+// stacked into one matrix and pushed through the target (and, for
+// double-DQN, the online) network as a single matrix op per layer,
+// instead of per-sample vector passes. Only the gradient pass over the
+// current states remains per-sample, and it reuses layer scratch, so a
+// learn step allocates nothing in steady state.
 func (a *Agent) Learn() (loss float64, learned bool, err error) {
 	if a.replay.Len() < a.cfg.WarmUp {
 		return 0, false, nil
 	}
-	batch, err := a.replay.Sample(a.cfg.BatchSize, a.rng)
-	if err != nil {
+	if err := a.replay.SampleInto(a.batch, a.rng); err != nil {
 		return 0, false, err
+	}
+	anyNext := false
+	for i, tr := range a.batch {
+		row := a.nextX.Row(i)
+		if tr.Done {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		copy(row, tr.NextState)
+		anyNext = true
+	}
+	if anyNext {
+		if err := a.target.forwardBatch(a.nextX, a.h1, a.h2, a.qNextT); err != nil {
+			return 0, false, err
+		}
+		if !a.cfg.Vanilla {
+			if err := a.online.forwardBatch(a.nextX, a.h1, a.h2, a.qNextO); err != nil {
+				return 0, false, err
+			}
+		}
 	}
 	a.online.net.ZeroGrads()
 	var total float64
-	for _, tr := range batch {
+	for i, tr := range a.batch {
 		q, ferr := a.online.net.Forward(tr.State)
 		if ferr != nil {
 			return 0, false, ferr
 		}
 		target := tr.Reward
 		if !tr.Done {
-			qNextTarget, terr := a.target.net.Forward(tr.NextState)
-			if terr != nil {
-				return 0, false, terr
-			}
+			qNextTarget := a.qNextT.Row(i)
 			best := vecmath.ArgMax(qNextTarget)
 			if !a.cfg.Vanilla {
 				// Double-DQN: the online net picks the action, the
 				// target net evaluates it — removing the max-operator
 				// overestimation bias.
-				qNextOnline, nerr := a.online.net.Forward(tr.NextState)
-				if nerr != nil {
-					return 0, false, nerr
-				}
-				best = vecmath.ArgMax(qNextOnline)
+				best = vecmath.ArgMax(a.qNextO.Row(i))
 			}
 			target += a.cfg.Gamma * qNextTarget[best]
-			// Re-prime online caches for tr.State before backward.
-			q, ferr = a.online.net.Forward(tr.State)
-			if ferr != nil {
-				return 0, false, ferr
-			}
 		}
-		tgt := vecmath.Clone(q)
-		tgt[tr.Action] = target
-		l, grad, lerr := nn.HuberLoss(q, tgt, 1)
+		copy(a.tgtBuf, q)
+		a.tgtBuf[tr.Action] = target
+		l, lerr := nn.HuberLossInto(a.gradBuf, q, a.tgtBuf, 1)
 		if lerr != nil {
 			return 0, false, lerr
 		}
 		total += l
-		if _, berr := a.online.net.Backward(grad); berr != nil {
+		if _, berr := a.online.net.Backward(a.gradBuf); berr != nil {
 			return 0, false, berr
 		}
 	}
-	params := a.online.net.Params()
+	params := a.params
 	// Average the accumulated gradients over the batch.
-	inv := 1 / float64(len(batch))
+	inv := 1 / float64(len(a.batch))
 	for _, p := range params {
 		for j := range p.G {
 			p.G[j] *= inv
@@ -360,7 +451,7 @@ func (a *Agent) Learn() (loss float64, learned bool, err error) {
 			return 0, false, cerr
 		}
 	}
-	return total / float64(len(batch)), true, nil
+	return total / float64(len(a.batch)), true, nil
 }
 
 // SaveState captures the online network's weights (the target

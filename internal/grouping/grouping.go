@@ -15,6 +15,7 @@ import (
 	"dtmsvs/internal/cnn"
 	"dtmsvs/internal/ddqn"
 	"dtmsvs/internal/kmeans"
+	"dtmsvs/internal/parallel"
 	"dtmsvs/internal/stats"
 	"dtmsvs/internal/udt"
 	"dtmsvs/internal/vecmath"
@@ -104,7 +105,13 @@ type Builder struct {
 	compressor *cnn.Compressor
 	agent      *ddqn.Agent
 	rng        *rand.Rand
+	pool       *parallel.Pool
 }
+
+// SetPool fans the K-means assignment and silhouette scans across the
+// given worker pool (nil restores the sequential path). Results are
+// bit-identical either way.
+func (b *Builder) SetPool(p *parallel.Pool) { b.pool = p }
 
 // New constructs a builder.
 func New(cfg Config, rng *rand.Rand) (*Builder, error) {
@@ -260,15 +267,24 @@ func envState(codes []vecmath.Vec) (vecmath.Vec, error) {
 
 // reward scores a candidate K on the codes: silhouette minus the
 // per-group cost penalty. K=1 uses a normalized-inertia proxy since
-// silhouette is undefined.
-func (b *Builder) reward(codes []vecmath.Vec, k int) (float64, *kmeans.Result, error) {
-	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+// silhouette is undefined. dists optionally carries the precomputed
+// pairwise distances of codes — the training loops evaluate many K on
+// one fixed code set, and the cache turns each silhouette from
+// O(n²·d) into O(n²) with bit-identical results.
+func (b *Builder) reward(codes []vecmath.Vec, dists *kmeans.DistMatrix, k int) (float64, *kmeans.Result, error) {
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{Pool: b.pool})
 	if err != nil {
 		return 0, nil, err
 	}
 	var quality float64
 	if k >= 2 {
-		s, serr := kmeans.Silhouette(codes, res.Assign, k)
+		var s float64
+		var serr error
+		if dists != nil {
+			s, serr = kmeans.SilhouetteDists(dists, res.Assign, k, b.pool)
+		} else {
+			s, serr = kmeans.SilhouettePool(codes, res.Assign, k, b.pool)
+		}
 		if serr != nil {
 			return 0, nil, serr
 		}
@@ -300,6 +316,7 @@ func (b *Builder) kOfAction(action int) int {
 type kEnv struct {
 	b     *Builder
 	codes []vecmath.Vec
+	dists *kmeans.DistMatrix
 	state vecmath.Vec
 }
 
@@ -313,7 +330,7 @@ func (e *kEnv) Step(action int) (vecmath.Vec, float64, bool, error) {
 		// Infeasible K for this population: strongly negative reward.
 		return e.state, -1, true, nil
 	}
-	r, _, err := e.b.reward(e.codes, k)
+	r, _, err := e.b.reward(e.codes, e.dists, k)
 	if err != nil {
 		return e.state, 0, true, err
 	}
@@ -322,7 +339,9 @@ func (e *kEnv) Step(action int) (vecmath.Vec, float64, bool, error) {
 
 // TrainAgent trains the DDQN on the K-selection MDP over the given
 // twin snapshot for the given number of episodes, returning
-// per-episode rewards.
+// per-episode rewards. The codes are fixed for the whole run, so their
+// pairwise distances are computed once up front and shared by every
+// episode's silhouette evaluation.
 func (b *Builder) TrainAgent(twins []*udt.Twin, episodes int) ([]float64, error) {
 	codes, err := b.Codes(twins)
 	if err != nil {
@@ -332,7 +351,11 @@ func (b *Builder) TrainAgent(twins []*udt.Twin, episodes int) ([]float64, error)
 	if err != nil {
 		return nil, err
 	}
-	env := &kEnv{b: b, codes: codes, state: state}
+	dists, err := kmeans.PairDistances(codes, b.pool)
+	if err != nil {
+		return nil, err
+	}
+	env := &kEnv{b: b, codes: codes, dists: dists, state: state}
 	return b.agent.Train(env, episodes, 1)
 }
 
@@ -365,7 +388,7 @@ func (b *Builder) assemble(codes []vecmath.Vec, res *kmeans.Result) (*Result, er
 	var sil float64
 	if res.K >= 2 {
 		var err error
-		sil, err = kmeans.Silhouette(codes, res.Assign, res.K)
+		sil, err = kmeans.SilhouettePool(codes, res.Assign, res.K, b.pool)
 		if err != nil {
 			return nil, err
 		}
@@ -384,7 +407,7 @@ func (b *Builder) Build(twins []*udt.Twin) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{Pool: b.pool})
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +424,7 @@ func (b *Builder) BuildFixedK(twins []*udt.Twin, k int) (*Result, error) {
 	if k > len(codes) {
 		return nil, fmt.Errorf("k=%d for %d users: %w", k, len(codes), ErrConfig)
 	}
-	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{})
+	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{Pool: b.pool})
 	if err != nil {
 		return nil, err
 	}
@@ -456,9 +479,13 @@ func (b *Builder) BestKExhaustive(twins []*udt.Twin) (int, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	dists, err := kmeans.PairDistances(codes, b.pool)
+	if err != nil {
+		return 0, 0, err
+	}
 	bestK, bestR := 0, math.Inf(-1)
 	for k := b.cfg.KMin; k <= b.cfg.KMax && k <= len(codes); k++ {
-		r, _, rerr := b.reward(codes, k)
+		r, _, rerr := b.reward(codes, dists, k)
 		if rerr != nil {
 			return 0, 0, rerr
 		}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"dtmsvs/internal/parallel"
 	"dtmsvs/internal/vecmath"
 )
 
@@ -60,6 +61,11 @@ type Options struct {
 	// seeding makes single runs good; a few restarts remove the
 	// residual seeding variance.
 	Restarts int
+	// Pool optionally fans the assignment step (and Silhouette, via
+	// SilhouettePool) across workers. The result is bit-identical to
+	// the sequential path: every point's nearest-centroid decision is
+	// independent, and reductions stay in index order.
+	Pool *parallel.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -108,10 +114,7 @@ func SeedPlusPlus(points []vecmath.Vec, k int, rng *rand.Rand) ([]vecmath.Vec, e
 		var total float64
 		last := centroids[len(centroids)-1]
 		for i, p := range points {
-			d, err := vecmath.SqDist(p, last)
-			if err != nil {
-				return nil, err
-			}
+			d := vecmath.SqDistUnchecked(p, last)
 			if len(centroids) == 1 || d < d2[i] {
 				d2[i] = d
 			}
@@ -137,6 +140,41 @@ func SeedPlusPlus(points []vecmath.Vec, k int, rng *rand.Rand) ([]vecmath.Vec, e
 		centroids = append(centroids, vecmath.Clone(points[idx]))
 	}
 	return centroids, nil
+}
+
+// AssignPoints writes the index of the nearest centroid (squared
+// Euclidean distance, ties to the lowest index) for every point into
+// assign. It is the zero-allocation K-means assignment kernel; pool
+// may be nil for the sequential path, and the output is identical
+// either way. Dimensions must be uniform — callers go through
+// validate (or Run) first.
+func AssignPoints(points, centroids []vecmath.Vec, assign []int, pool *parallel.Pool) error {
+	if len(assign) != len(points) {
+		return fmt.Errorf("assign %d for %d points: %w", len(assign), len(points), ErrInput)
+	}
+	if len(centroids) == 0 {
+		return fmt.Errorf("no centroids: %w", ErrInput)
+	}
+	if pool != nil && pool.Workers() > 1 {
+		return pool.For(len(points), func(i int) error {
+			assign[i] = nearestCentroid(points[i], centroids)
+			return nil
+		})
+	}
+	for i, p := range points {
+		assign[i] = nearestCentroid(p, centroids)
+	}
+	return nil
+}
+
+func nearestCentroid(p vecmath.Vec, centroids []vecmath.Vec) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := vecmath.SqDistUnchecked(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
 }
 
 // Run clusters points into k groups using K-means++ seeding followed
@@ -175,19 +213,10 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 
 	var iter int
 	for iter = 0; iter < o.MaxIter; iter++ {
-		// Assignment step.
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				d, derr := vecmath.SqDist(p, cent)
-				if derr != nil {
-					return nil, derr
-				}
-				if d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
+		// Assignment step — the hot kernel, fanned across the pool
+		// when one is configured.
+		if err := AssignPoints(points, centroids, assign, o.Pool); err != nil {
+			return nil, err
 		}
 		// Update step.
 		for c := range sums {
@@ -210,16 +239,13 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 				// its centroid to avoid dead clusters.
 				far, farD := 0, -1.0
 				for i, p := range points {
-					d, derr := vecmath.SqDist(p, centroids[assign[i]])
-					if derr != nil {
-						return nil, derr
-					}
+					d := vecmath.SqDistUnchecked(p, centroids[assign[i]])
 					if d > farD {
 						far, farD = i, d
 					}
 				}
 				moved += 1 // force another iteration
-				centroids[c] = vecmath.Clone(points[far])
+				copy(centroids[c], points[far])
 				continue
 			}
 			inv := 1 / float64(counts[c])
@@ -240,11 +266,7 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 
 	var inertia float64
 	for i, p := range points {
-		d, derr := vecmath.SqDist(p, centroids[assign[i]])
-		if derr != nil {
-			return nil, derr
-		}
-		inertia += d
+		inertia += vecmath.SqDistUnchecked(p, centroids[assign[i]])
 	}
 	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
 }
@@ -253,11 +275,66 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 // in [-1, 1]; higher is better. Singleton clusters contribute 0 per
 // the usual convention. Returns an error for k < 2.
 func Silhouette(points []vecmath.Vec, assign []int, k int) (float64, error) {
+	return SilhouettePool(points, assign, k, nil)
+}
+
+// DistMatrix caches the pairwise Euclidean distances of a fixed point
+// set. The DDQN reward evaluates silhouettes of many clusterings over
+// the same codes; precomputing the distances turns each evaluation
+// from O(n²·d) into O(n²) lookups with bit-identical results.
+type DistMatrix struct {
+	N int
+	D []float64 // row-major n×n, D[i*N+j] = dist(points[i], points[j])
+}
+
+// At returns the distance between points i and j.
+func (m *DistMatrix) At(i, j int) float64 { return m.D[i*m.N+j] }
+
+// PairDistances computes the full distance matrix, fanning rows across
+// the pool (nil = sequential; identical output either way).
+func PairDistances(points []vecmath.Vec, pool *parallel.Pool) (*DistMatrix, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("pair distances of no points: %w", ErrInput)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("pair distances point %d dim %d want %d: %w", i, len(p), dim, ErrInput)
+		}
+	}
+	m := &DistMatrix{N: n, D: make([]float64, n*n)}
+	fill := func(i int) error {
+		p := points[i]
+		row := m.D[i*n : (i+1)*n]
+		for j, q := range points {
+			row[j] = math.Sqrt(vecmath.SqDistUnchecked(p, q))
+		}
+		return nil
+	}
+	if pool != nil {
+		if err := pool.For(n, fill); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	for i := 0; i < n; i++ {
+		if err := fill(i); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// SilhouetteDists is Silhouette over a precomputed distance matrix.
+// The accumulation order matches SilhouettePool exactly, so the result
+// is bit-identical to computing from the raw points.
+func SilhouetteDists(dists *DistMatrix, assign []int, k int, pool *parallel.Pool) (float64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("silhouette k=%d: %w", k, ErrInput)
 	}
-	if len(points) != len(assign) || len(points) == 0 {
-		return 0, fmt.Errorf("silhouette %d points %d assigns: %w", len(points), len(assign), ErrInput)
+	if dists == nil || dists.N == 0 || len(assign) != dists.N {
+		return 0, fmt.Errorf("silhouette dists for %d assigns: %w", len(assign), ErrInput)
 	}
 	sizes := make([]int, k)
 	for _, a := range assign {
@@ -266,42 +343,121 @@ func Silhouette(points []vecmath.Vec, assign []int, k int) (float64, error) {
 		}
 		sizes[a]++
 	}
+	n := dists.N
+	contrib := make([]float64, n)
+	sumTo := make([]float64, n*k)
+	one := func(i int) error {
+		st := sumTo[i*k : (i+1)*k]
+		row := dists.D[i*n : (i+1)*n]
+		for j, d := range row {
+			if i == j {
+				continue
+			}
+			st[assign[j]] += d
+		}
+		contrib[i] = silhouetteOf(st, sizes, assign[i])
+		return nil
+	}
+	if pool != nil {
+		if err := pool.For(n, one); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := one(i); err != nil {
+				return 0, err
+			}
+		}
+	}
 	var total float64
+	for _, c := range contrib {
+		total += c
+	}
+	return total / float64(n), nil
+}
+
+// silhouetteOf turns one point's per-cluster distance sums into its
+// silhouette contribution (0 for singletons or missing neighbors).
+func silhouetteOf(sumTo []float64, sizes []int, own int) float64 {
+	if sizes[own] <= 1 {
+		return 0
+	}
+	a := sumTo[own] / float64(sizes[own]-1)
+	b := math.Inf(1)
+	for c := range sumTo {
+		if c == own || sizes[c] == 0 {
+			continue
+		}
+		if m := sumTo[c] / float64(sizes[c]); m < b {
+			b = m
+		}
+	}
+	if math.IsInf(b, 1) {
+		return 0
+	}
+	den := math.Max(a, b)
+	if den <= 0 {
+		return 0
+	}
+	return (b - a) / den
+}
+
+// SilhouettePool is Silhouette with the O(n²) per-point distance scan
+// fanned across a worker pool (nil = sequential). Each point's
+// contribution is computed into its own slot and the final mean is
+// reduced in index order, so the result is bit-identical to the
+// sequential path.
+func SilhouettePool(points []vecmath.Vec, assign []int, k int, pool *parallel.Pool) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("silhouette k=%d: %w", k, ErrInput)
+	}
+	if len(points) != len(assign) || len(points) == 0 {
+		return 0, fmt.Errorf("silhouette %d points %d assigns: %w", len(points), len(assign), ErrInput)
+	}
+	dim := len(points[0])
 	for i, p := range points {
-		sumTo := make([]float64, k)
+		if len(p) != dim {
+			return 0, fmt.Errorf("silhouette point %d dim %d want %d: %w", i, len(p), dim, ErrInput)
+		}
+	}
+	sizes := make([]int, k)
+	for _, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("silhouette assign %d outside [0,%d): %w", a, k, ErrInput)
+		}
+		sizes[a]++
+	}
+	n := len(points)
+	contrib := make([]float64, n)
+	sumTo := make([]float64, n*k) // per-point scratch rows, index-owned
+	one := func(i int) error {
+		p := points[i]
+		st := sumTo[i*k : (i+1)*k]
 		for j, q := range points {
 			if i == j {
 				continue
 			}
-			d, err := vecmath.Dist(p, q)
-			if err != nil {
+			st[assign[j]] += math.Sqrt(vecmath.SqDistUnchecked(p, q))
+		}
+		contrib[i] = silhouetteOf(st, sizes, assign[i])
+		return nil
+	}
+	if pool != nil {
+		if err := pool.For(n, one); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if err := one(i); err != nil {
 				return 0, err
 			}
-			sumTo[assign[j]] += d
-		}
-		own := assign[i]
-		if sizes[own] <= 1 {
-			continue // silhouette of singleton is 0
-		}
-		a := sumTo[own] / float64(sizes[own]-1)
-		b := math.Inf(1)
-		for c := 0; c < k; c++ {
-			if c == own || sizes[c] == 0 {
-				continue
-			}
-			if m := sumTo[c] / float64(sizes[c]); m < b {
-				b = m
-			}
-		}
-		if math.IsInf(b, 1) {
-			continue
-		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
 		}
 	}
-	return total / float64(len(points)), nil
+	var total float64
+	for _, c := range contrib {
+		total += c
+	}
+	return total / float64(n), nil
 }
 
 // DaviesBouldin returns the Davies-Bouldin index (lower is better).

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// TestDenseForwardBackwardAllocFree is the allocation regression gate
+// for the training hot path: a steady-state Dense forward+backward
+// must not touch the heap.
+func TestDenseForwardBackwardAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := NewDense(32, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(vecmath.Vec, 32)
+	grad := make(vecmath.Vec, 16)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range grad {
+		grad[i] = rng.NormFloat64()
+	}
+	// Prime scratch.
+	if _, err := d.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := d.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Backward(grad); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Dense forward+backward allocates %v per run", n)
+	}
+}
+
+// TestInferenceForwardAllocFreeAndUncached checks the inference-only
+// path: no lastIn capture, no allocations, and Backward refuses to run
+// against the stale cache.
+func TestInferenceForwardAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := NewDense(8, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(vecmath.Vec, 8)
+	d.SetTraining(false)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := d.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("inference Forward allocates %v per run", n)
+	}
+	if _, err := d.Backward(make(vecmath.Vec, 4)); err == nil {
+		t.Fatal("Backward after inference-mode Forward must error")
+	}
+	d.SetTraining(true)
+	if _, err := d.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Backward(make(vecmath.Vec, 4)); err != nil {
+		t.Fatalf("Backward after training-mode Forward: %v", err)
+	}
+}
+
+// TestNetworkTrainStepAllocFree covers the stack the CNN compressor
+// trains: conv → relu → pool → dense → tanh, forward and backward.
+func TestNetworkTrainStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv, err := NewConv1D(5, 16, 8, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool1D(8, conv.OutLen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := NewDense(8*pool.OutLen(), 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(5*16, conv, &ReLU{}, pool, head, &Tanh{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make(vecmath.Vec, 5*16)
+	grad := make(vecmath.Vec, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range grad {
+		grad[i] = rng.NormFloat64()
+	}
+	if _, err := net.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		net.ZeroGrads()
+		if _, err := net.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("network forward+backward allocates %v per run", n)
+	}
+}

@@ -24,7 +24,11 @@ type Conv1D struct {
 	w, gw [][]vecmath.Vec
 	b, gb vecmath.Vec
 
+	infer  bool
+	primed bool
 	lastIn vecmath.Vec
+	out    vecmath.Vec
+	dx     vecmath.Vec
 }
 
 // NewConv1D builds a conv layer with Xavier-style initialization.
@@ -53,14 +57,22 @@ func NewConv1D(inCh, inLen, filters, kernel, stride int, rng *rand.Rand) (*Conv1
 			gw[f][c] = make(vecmath.Vec, kernel)
 		}
 	}
-	return &Conv1D{
+	c := &Conv1D{
 		InCh: inCh, InLen: inLen, Filters: filters, Kernel: kernel, Stride: stride,
 		w: w, gw: gw,
 		b: make(vecmath.Vec, filters), gb: make(vecmath.Vec, filters),
-	}, nil
+	}
+	c.lastIn = make(vecmath.Vec, inCh*inLen)
+	c.out = make(vecmath.Vec, filters*c.OutLen())
+	c.dx = make(vecmath.Vec, inCh*inLen)
+	return c, nil
 }
 
 var _ Layer = (*Conv1D)(nil)
+var _ TrainMode = (*Conv1D)(nil)
+
+// SetTraining implements TrainMode.
+func (c *Conv1D) SetTraining(train bool) { c.infer = !train }
 
 // OutLen returns the temporal length of each output channel.
 func (c *Conv1D) OutLen() int { return (c.InLen-c.Kernel)/c.Stride + 1 }
@@ -78,9 +90,17 @@ func (c *Conv1D) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 	if len(x) != c.InCh*c.InLen {
 		return nil, fmt.Errorf("conv1d forward got %d want %d: %w", len(x), c.InCh*c.InLen, ErrShape)
 	}
-	c.lastIn = vecmath.Clone(x)
+	if c.infer {
+		c.primed = false
+	} else {
+		copy(c.lastIn, x)
+		c.primed = true
+	}
 	outLen := c.OutLen()
-	out := make(vecmath.Vec, c.Filters*outLen)
+	out := c.out
+	for i := range out {
+		out[i] = 0
+	}
 	for f := 0; f < c.Filters; f++ {
 		dst := out[f*outLen : (f+1)*outLen]
 		for ch := 0; ch < c.InCh; ch++ {
@@ -108,10 +128,13 @@ func (c *Conv1D) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
 	if len(grad) != c.Filters*outLen {
 		return nil, fmt.Errorf("conv1d backward got %d want %d: %w", len(grad), c.Filters*outLen, ErrShape)
 	}
-	if c.lastIn == nil {
-		return nil, fmt.Errorf("conv1d backward before forward: %w", ErrShape)
+	if !c.primed {
+		return nil, fmt.Errorf("conv1d backward before training-mode forward: %w", ErrShape)
 	}
-	dx := make(vecmath.Vec, len(c.lastIn))
+	dx := c.dx
+	for i := range dx {
+		dx[i] = 0
+	}
 	for f := 0; f < c.Filters; f++ {
 		g := grad[f*outLen : (f+1)*outLen]
 		for _, gv := range g {
@@ -156,6 +179,9 @@ type MaxPool1D struct {
 	Ch, InLen, Window int
 
 	lastArg []int // index of max per output element
+	primed  bool
+	out     vecmath.Vec
+	dx      vecmath.Vec
 }
 
 // NewMaxPool1D validates the shape and returns the layer.
@@ -163,7 +189,11 @@ func NewMaxPool1D(ch, inLen, window int) (*MaxPool1D, error) {
 	if ch <= 0 || inLen <= 0 || window <= 0 || window > inLen {
 		return nil, fmt.Errorf("maxpool ch=%d len=%d w=%d: %w", ch, inLen, window, ErrShape)
 	}
-	return &MaxPool1D{Ch: ch, InLen: inLen, Window: window}, nil
+	p := &MaxPool1D{Ch: ch, InLen: inLen, Window: window}
+	p.lastArg = make([]int, ch*p.OutLen())
+	p.out = make(vecmath.Vec, ch*p.OutLen())
+	p.dx = make(vecmath.Vec, ch*inLen)
+	return p, nil
 }
 
 var _ Layer = (*MaxPool1D)(nil)
@@ -185,8 +215,8 @@ func (p *MaxPool1D) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 		return nil, fmt.Errorf("maxpool forward got %d want %d: %w", len(x), p.Ch*p.InLen, ErrShape)
 	}
 	outLen := p.OutLen()
-	out := make(vecmath.Vec, p.Ch*outLen)
-	p.lastArg = make([]int, p.Ch*outLen)
+	out := p.out
+	p.primed = true
 	for c := 0; c < p.Ch; c++ {
 		src := x[c*p.InLen : (c+1)*p.InLen]
 		for t := 0; t < outLen; t++ {
@@ -207,10 +237,13 @@ func (p *MaxPool1D) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 // Backward implements Layer.
 func (p *MaxPool1D) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
 	outLen := p.OutLen()
-	if len(grad) != p.Ch*outLen || p.lastArg == nil {
+	if len(grad) != p.Ch*outLen || !p.primed {
 		return nil, fmt.Errorf("maxpool backward got %d want %d: %w", len(grad), p.Ch*outLen, ErrShape)
 	}
-	dx := make(vecmath.Vec, p.Ch*p.InLen)
+	dx := p.dx
+	for i := range dx {
+		dx[i] = 0
+	}
 	for i, g := range grad {
 		dx[p.lastArg[i]] += g
 	}

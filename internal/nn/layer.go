@@ -3,6 +3,12 @@
 // agent (internal/ddqn). It supports single-sample forward/backward
 // passes over dense, conv1d, pooling and activation layers with SGD or
 // Adam optimization. Networks are deterministic given a seeded RNG.
+//
+// Layers own preallocated scratch buffers: Forward and Backward return
+// views into layer-owned memory that the next call overwrites, so a
+// full training step runs with zero steady-state heap allocations.
+// Callers that need an output to survive the next pass must copy it
+// (vecmath.Clone).
 package nn
 
 import (
@@ -20,7 +26,8 @@ var ErrShape = errors.New("nn: shape mismatch")
 // Layer is one differentiable stage of a network. Forward consumes an
 // input vector and returns the output; Backward consumes the gradient
 // of the loss w.r.t. the output and returns the gradient w.r.t. the
-// input, accumulating parameter gradients internally.
+// input, accumulating parameter gradients internally. Returned slices
+// are layer-owned scratch, overwritten by the next call.
 type Layer interface {
 	// Forward runs the layer on x, caching whatever Backward needs.
 	Forward(x vecmath.Vec) (vecmath.Vec, error)
@@ -32,6 +39,14 @@ type Layer interface {
 	// OutSize reports the output width for the given input width,
 	// or an error if the input width is unsupported.
 	OutSize(in int) (int, error)
+}
+
+// TrainMode is implemented by layers that cache forward activations
+// for backprop. SetTraining(false) skips the caching on
+// inference-only paths (e.g. encoding after the compressor is fitted);
+// a Backward call after an inference-mode Forward returns an error.
+type TrainMode interface {
+	SetTraining(train bool)
 }
 
 // Param couples a parameter slice with its gradient accumulator.
@@ -50,6 +65,17 @@ func ZeroGrads(layers []Layer) {
 	}
 }
 
+// ensure returns (*buf)[:n], reallocating only when capacity is short:
+// the grow-once, reuse-forever pattern behind the scratch buffers of
+// shape-agnostic layers.
+func ensure(buf *vecmath.Vec, n int) vecmath.Vec {
+	if cap(*buf) < n {
+		*buf = make(vecmath.Vec, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Dense is a fully connected layer: y = W·x + b.
 type Dense struct {
 	InDim, OutDim int
@@ -57,7 +83,15 @@ type Dense struct {
 	w, gw *vecmath.Matrix
 	b, gb vecmath.Vec
 
+	// infer disables lastIn capture (zero value = training mode, so
+	// existing construction sites keep their semantics).
+	infer bool
+	// primed reports that lastIn holds the input of a training-mode
+	// Forward that Backward has not consumed yet.
+	primed bool
 	lastIn vecmath.Vec
+	out    vecmath.Vec
+	dx     vecmath.Vec
 }
 
 // NewDense builds a dense layer with Xavier-initialized weights.
@@ -78,25 +112,48 @@ func NewDense(inDim, outDim int, rng *rand.Rand) (*Dense, error) {
 		InDim: inDim, OutDim: outDim,
 		w: w, gw: gw,
 		b: make(vecmath.Vec, outDim), gb: make(vecmath.Vec, outDim),
+		lastIn: make(vecmath.Vec, inDim),
+		out:    make(vecmath.Vec, outDim),
+		dx:     make(vecmath.Vec, inDim),
 	}, nil
 }
 
 var _ Layer = (*Dense)(nil)
+var _ TrainMode = (*Dense)(nil)
+
+// SetTraining implements TrainMode.
+func (d *Dense) SetTraining(train bool) { d.infer = !train }
 
 // Forward implements Layer.
 func (d *Dense) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 	if len(x) != d.InDim {
 		return nil, fmt.Errorf("dense forward got %d want %d: %w", len(x), d.InDim, ErrShape)
 	}
-	d.lastIn = vecmath.Clone(x)
-	out, err := d.w.MulVec(x)
-	if err != nil {
+	if d.infer {
+		d.primed = false
+	} else {
+		copy(d.lastIn, x)
+		d.primed = true
+	}
+	if err := d.w.MulVecInto(d.out, x); err != nil {
 		return nil, err
 	}
-	for i := range out {
-		out[i] += d.b[i]
+	vecmath.AXPYUnchecked(1, d.b, d.out)
+	return d.out, nil
+}
+
+// ForwardBatch maps every row of x (a batch of InDim-wide inputs)
+// through the layer in one matrix op: dst row r = W·x_r + b. It is an
+// inference-only path — nothing is cached for Backward. Shapes: x is
+// (n × InDim), dst is (n × OutDim).
+func (d *Dense) ForwardBatch(dst, x *vecmath.Matrix) error {
+	if err := d.w.MulBatchInto(dst, x); err != nil {
+		return err
 	}
-	return out, nil
+	for r := 0; r < dst.Rows; r++ {
+		vecmath.AXPYUnchecked(1, d.b, dst.Row(r))
+	}
+	return nil
 }
 
 // Backward implements Layer.
@@ -104,16 +161,15 @@ func (d *Dense) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
 	if len(grad) != d.OutDim {
 		return nil, fmt.Errorf("dense backward got %d want %d: %w", len(grad), d.OutDim, ErrShape)
 	}
-	if d.lastIn == nil {
-		return nil, fmt.Errorf("dense backward before forward: %w", ErrShape)
+	if !d.primed {
+		return nil, fmt.Errorf("dense backward before training-mode forward: %w", ErrShape)
 	}
-	if err := d.gw.AddOuter(1, grad, d.lastIn); err != nil {
+	d.gw.AddOuterInto(1, grad, d.lastIn)
+	vecmath.AXPYUnchecked(1, grad, d.gb)
+	if err := d.w.MulVecTInto(d.dx, grad); err != nil {
 		return nil, err
 	}
-	for i := range grad {
-		d.gb[i] += grad[i]
-	}
-	return d.w.MulVecT(grad)
+	return d.dx, nil
 }
 
 // Params implements Layer.
@@ -142,18 +198,21 @@ func (d *Dense) CopyWeightsFrom(src *Dense) error {
 
 // ReLU is the rectified-linear activation.
 type ReLU struct {
-	lastIn vecmath.Vec
+	// out doubles as the backward cache: out[i] > 0 iff lastIn[i] > 0.
+	out vecmath.Vec
+	dx  vecmath.Vec
 }
 
 var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x vecmath.Vec) (vecmath.Vec, error) {
-	r.lastIn = vecmath.Clone(x)
-	out := make(vecmath.Vec, len(x))
+	out := ensure(&r.out, len(x))
 	for i, v := range x {
 		if v > 0 {
 			out[i] = v
+		} else {
+			out[i] = 0
 		}
 	}
 	return out, nil
@@ -161,16 +220,18 @@ func (r *ReLU) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
-	if len(grad) != len(r.lastIn) {
-		return nil, fmt.Errorf("relu backward got %d want %d: %w", len(grad), len(r.lastIn), ErrShape)
+	if len(grad) != len(r.out) {
+		return nil, fmt.Errorf("relu backward got %d want %d: %w", len(grad), len(r.out), ErrShape)
 	}
-	out := make(vecmath.Vec, len(grad))
+	dx := ensure(&r.dx, len(grad))
 	for i, g := range grad {
-		if r.lastIn[i] > 0 {
-			out[i] = g
+		if r.out[i] > 0 {
+			dx[i] = g
+		} else {
+			dx[i] = 0
 		}
 	}
-	return out, nil
+	return dx, nil
 }
 
 // Params implements Layer.
@@ -181,32 +242,32 @@ func (r *ReLU) OutSize(in int) (int, error) { return in, nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	lastOut vecmath.Vec
+	out vecmath.Vec // doubles as the backward cache (y = tanh x)
+	dx  vecmath.Vec
 }
 
 var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x vecmath.Vec) (vecmath.Vec, error) {
-	out := make(vecmath.Vec, len(x))
+	out := ensure(&t.out, len(x))
 	for i, v := range x {
 		out[i] = math.Tanh(v)
 	}
-	t.lastOut = vecmath.Clone(out)
 	return out, nil
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
-	if len(grad) != len(t.lastOut) {
-		return nil, fmt.Errorf("tanh backward got %d want %d: %w", len(grad), len(t.lastOut), ErrShape)
+	if len(grad) != len(t.out) {
+		return nil, fmt.Errorf("tanh backward got %d want %d: %w", len(grad), len(t.out), ErrShape)
 	}
-	out := make(vecmath.Vec, len(grad))
+	dx := ensure(&t.dx, len(grad))
 	for i, g := range grad {
-		y := t.lastOut[i]
-		out[i] = g * (1 - y*y)
+		y := t.out[i]
+		dx[i] = g * (1 - y*y)
 	}
-	return out, nil
+	return dx, nil
 }
 
 // Params implements Layer.
@@ -217,32 +278,32 @@ func (t *Tanh) OutSize(in int) (int, error) { return in, nil }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	lastOut vecmath.Vec
+	out vecmath.Vec // doubles as the backward cache (y = σ(x))
+	dx  vecmath.Vec
 }
 
 var _ Layer = (*Sigmoid)(nil)
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x vecmath.Vec) (vecmath.Vec, error) {
-	out := make(vecmath.Vec, len(x))
+	out := ensure(&s.out, len(x))
 	for i, v := range x {
 		out[i] = 1 / (1 + math.Exp(-v))
 	}
-	s.lastOut = vecmath.Clone(out)
 	return out, nil
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
-	if len(grad) != len(s.lastOut) {
-		return nil, fmt.Errorf("sigmoid backward got %d want %d: %w", len(grad), len(s.lastOut), ErrShape)
+	if len(grad) != len(s.out) {
+		return nil, fmt.Errorf("sigmoid backward got %d want %d: %w", len(grad), len(s.out), ErrShape)
 	}
-	out := make(vecmath.Vec, len(grad))
+	dx := ensure(&s.dx, len(grad))
 	for i, g := range grad {
-		y := s.lastOut[i]
-		out[i] = g * y * (1 - y)
+		y := s.out[i]
+		dx[i] = g * y * (1 - y)
 	}
-	return out, nil
+	return dx, nil
 }
 
 // Params implements Layer.

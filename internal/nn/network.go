@@ -10,6 +10,10 @@ import (
 // Network chains layers into a sequential model.
 type Network struct {
 	layers []Layer
+	// params caches the flattened parameter list: layer param sets are
+	// static, and rebuilding the slice every ZeroGrads/Step would be
+	// the only allocation left in a training step.
+	params []Param
 }
 
 // NewNetwork validates that consecutive layer shapes are compatible
@@ -62,15 +66,35 @@ func (n *Network) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
 }
 
 // ZeroGrads clears all gradient accumulators.
-func (n *Network) ZeroGrads() { ZeroGrads(n.layers) }
-
-// Params returns all parameter/grad pairs.
-func (n *Network) Params() []Param {
-	var out []Param
-	for _, l := range n.layers {
-		out = append(out, l.Params()...)
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
 	}
-	return out
+}
+
+// SetTraining toggles activation caching on every layer that supports
+// it. With train=false, Forward skips the backprop caches (and clones)
+// entirely — the inference-only fast path; a subsequent Backward
+// returns an error until training mode is restored.
+func (n *Network) SetTraining(train bool) {
+	for _, l := range n.layers {
+		if tm, ok := l.(TrainMode); ok {
+			tm.SetTraining(train)
+		}
+	}
+}
+
+// Params returns all parameter/grad pairs. The slice is cached — the
+// caller must not append to it.
+func (n *Network) Params() []Param {
+	if n.params == nil {
+		for _, l := range n.layers {
+			n.params = append(n.params, l.Params()...)
+		}
+	}
+	return n.params
 }
 
 // NumParams returns the total number of scalar parameters.
@@ -84,10 +108,20 @@ func (n *Network) NumParams() int {
 
 // MSELoss returns ½·mean((pred−target)²) and the gradient w.r.t. pred.
 func MSELoss(pred, target vecmath.Vec) (float64, vecmath.Vec, error) {
-	if len(pred) == 0 || len(pred) != len(target) {
-		return 0, nil, fmt.Errorf("mse %d vs %d: %w", len(pred), len(target), ErrShape)
-	}
 	grad := make(vecmath.Vec, len(pred))
+	loss, err := MSELossInto(grad, pred, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// MSELossInto is MSELoss writing the gradient into a caller-owned
+// buffer (len(grad) == len(pred)) instead of allocating.
+func MSELossInto(grad, pred, target vecmath.Vec) (float64, error) {
+	if len(pred) == 0 || len(pred) != len(target) || len(grad) != len(pred) {
+		return 0, fmt.Errorf("mse %d vs %d grad %d: %w", len(pred), len(target), len(grad), ErrShape)
+	}
 	var loss float64
 	inv := 1 / float64(len(pred))
 	for i := range pred {
@@ -95,20 +129,30 @@ func MSELoss(pred, target vecmath.Vec) (float64, vecmath.Vec, error) {
 		loss += 0.5 * d * d * inv
 		grad[i] = d * inv
 	}
-	return loss, grad, nil
+	return loss, nil
 }
 
 // HuberLoss returns the mean Huber loss with threshold delta and its
 // gradient. It is the standard DQN loss (smooth L1) — quadratic near
 // zero, linear in the tails, which stabilizes TD training.
 func HuberLoss(pred, target vecmath.Vec, delta float64) (float64, vecmath.Vec, error) {
-	if len(pred) == 0 || len(pred) != len(target) {
-		return 0, nil, fmt.Errorf("huber %d vs %d: %w", len(pred), len(target), ErrShape)
+	grad := make(vecmath.Vec, len(pred))
+	loss, err := HuberLossInto(grad, pred, target, delta)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// HuberLossInto is HuberLoss writing the gradient into a caller-owned
+// buffer (len(grad) == len(pred)) instead of allocating.
+func HuberLossInto(grad, pred, target vecmath.Vec, delta float64) (float64, error) {
+	if len(pred) == 0 || len(pred) != len(target) || len(grad) != len(pred) {
+		return 0, fmt.Errorf("huber %d vs %d grad %d: %w", len(pred), len(target), len(grad), ErrShape)
 	}
 	if delta <= 0 {
-		return 0, nil, fmt.Errorf("huber delta=%v: %w", delta, ErrShape)
+		return 0, fmt.Errorf("huber delta=%v: %w", delta, ErrShape)
 	}
-	grad := make(vecmath.Vec, len(pred))
 	var loss float64
 	inv := 1 / float64(len(pred))
 	for i := range pred {
@@ -125,7 +169,7 @@ func HuberLoss(pred, target vecmath.Vec, delta float64) (float64, vecmath.Vec, e
 			}
 		}
 	}
-	return loss, grad, nil
+	return loss, nil
 }
 
 // Optimizer updates parameters given accumulated gradients.

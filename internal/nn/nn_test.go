@@ -144,7 +144,8 @@ func TestTanhSigmoidGradients(t *testing.T) {
 		for i := range x {
 			xp := vecmath.Clone(x)
 			xp[i] += eps
-			op, _ := layer.Forward(xp)
+			opRaw, _ := layer.Forward(xp)
+			op := vecmath.Clone(opRaw) // Forward returns layer-owned scratch
 			xm := vecmath.Clone(x)
 			xm[i] -= eps
 			om, _ := layer.Forward(xm)

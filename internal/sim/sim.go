@@ -19,6 +19,7 @@ import (
 	"dtmsvs/internal/edge"
 	"dtmsvs/internal/grouping"
 	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/parallel"
 	"dtmsvs/internal/predict"
 	"dtmsvs/internal/radio"
 	"dtmsvs/internal/segment"
@@ -120,6 +121,12 @@ type Config struct {
 	// FadingRho enables temporally correlated fast fading (AR(1)
 	// coefficient between collection ticks; 0 = i.i.d. Rayleigh).
 	FadingRho float64
+	// Parallelism is the number of worker goroutines the engine fans
+	// per-user and per-group work across (0 = runtime.NumCPU(), 1 =
+	// fully sequential). The trace is bit-identical for every value:
+	// each user, group and churn arrival draws from its own random
+	// stream derived from Seed, and all reductions run in index order.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -214,6 +221,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("segment %v depth %d: %w", d.SegmentS, d.PrefetchDepth, ErrConfig)
 	case d.ChurnPerInterval < 0 || d.ChurnPerInterval >= 1:
 		return fmt.Errorf("churn %v: %w", d.ChurnPerInterval, ErrConfig)
+	case d.Parallelism < 0:
+		return fmt.Errorf("parallelism %d: %w", d.Parallelism, ErrConfig)
 	case d.OracleK && d.FixedK > 0:
 		return fmt.Errorf("oracle-k and fixed-k both set: %w", ErrConfig)
 	}
@@ -313,9 +322,27 @@ func (t *Trace) WasteAccuracy() (float64, error) {
 	return stats.VolumeAccuracy(pred, actual)
 }
 
+// Random-stream tags: the first id fed to parallel.DeriveSeed after
+// the run seed, keeping each family of derived streams disjoint.
+const (
+	// streamUser derives (tag, user slot, churn generation): every
+	// user — including each fresh churn arrival in the same slot —
+	// owns an independent draw sequence for its mobility, channel,
+	// behavior and churn decisions.
+	streamUser uint64 = 1
+	// streamGroup derives (tag, construction counter, group id): the
+	// shared-feed video selection draws of each multicast group.
+	streamGroup uint64 = 2
+)
+
 // user bundles one simulated user's state.
 type user struct {
-	id      int
+	id int
+	// rng is the user's private random stream; all of the user's
+	// stochastic state (mobility, link fading, swipe draws, churn
+	// decision) draws from it, which is what makes per-user fan-out
+	// deterministic under any Parallelism.
+	rng     *rand.Rand
 	profile *behavior.Profile
 	mob     mobility.Model
 	link    *channel.Link
@@ -348,7 +375,10 @@ type user struct {
 
 // groupState is the engine's per-group bookkeeping.
 type groupState struct {
-	id       int
+	id int
+	// rng drives the group's shared-feed video selection; derived per
+	// construction so streaming stays deterministic under parallelism.
+	rng      *rand.Rand
 	members  []int
 	forecast *predict.SNRForecaster
 	profile  *predict.GroupProfile
@@ -356,17 +386,27 @@ type groupState struct {
 
 // Simulation is a configured engine instance.
 type Simulation struct {
-	cfg      Config
-	rng      *rand.Rand
-	params   channel.Params
-	stations []*channel.BaseStation
-	campus   *mobility.Map
-	users    []*user
-	catalog  *video.Catalog
-	server   *edge.Server
-	builder  *grouping.Builder
-	groups   []*groupState
-	meanDur  float64
+	cfg Config
+	// rng seeds run-level construction (catalog, builder training);
+	// per-user and per-group randomness lives on derived streams.
+	rng *rand.Rand
+	// pool fans per-user and per-group stages across workers.
+	pool *parallel.Pool
+	// userGen counts churn replacements per user slot; it feeds the
+	// stream derivation so each arrival gets fresh randomness.
+	userGen []uint64
+	// constructions counts group constructions, deriving each round's
+	// per-group streams.
+	constructions uint64
+	params        channel.Params
+	stations      []*channel.BaseStation
+	campus        *mobility.Map
+	users         []*user
+	catalog       *video.Catalog
+	server        *edge.Server
+	builder       *grouping.Builder
+	groups        []*groupState
+	meanDur       float64
 
 	// sched admits per-group RB reservations when RBBudget > 0.
 	sched *radio.Scheduler
@@ -448,10 +488,15 @@ func New(cfg Config) (*Simulation, error) {
 		}
 	}
 
+	pool := parallel.New(c.Parallelism)
+	builder.SetPool(pool)
+
 	eng := &Simulation{
 		cfg:           c,
 		sched:         sched,
 		rng:           rng,
+		pool:          pool,
+		userGen:       make([]uint64, c.NumUsers),
 		params:        params,
 		stations:      stations,
 		campus:        campus,
@@ -463,12 +508,15 @@ func New(cfg Config) (*Simulation, error) {
 		cyclesPerTxS:  make(map[int]*predict.EWMA),
 		wastePerPlayS: wastePerPlayS,
 	}
-	for i := range users {
-		u, uerr := eng.newUser(i)
+	if err := pool.For(len(users), func(i int) error {
+		u, uerr := eng.newUser(i, parallel.NewRand(c.Seed, streamUser, uint64(i), 0))
 		if uerr != nil {
-			return nil, uerr
+			return uerr
 		}
 		users[i] = u
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return eng, nil
 }
@@ -476,31 +524,33 @@ func New(cfg Config) (*Simulation, error) {
 // newUser creates one simulated user: a favorite-category-biased
 // preference (weighted like the catalog so News dominates), one of
 // four mobility classes, a link to the nearest BS and a cold twin.
-func (s *Simulation) newUser(id int) (*user, error) {
+// Every random choice — construction included — draws from the user's
+// private stream, so creation order never matters.
+func (s *Simulation) newUser(id int, rng *rand.Rand) (*user, error) {
 	cats := video.AllCategories()
 	favDist, derr := stats.NewCategorical(s.cfg.CategoryWeights)
 	if derr != nil {
 		return nil, derr
 	}
-	fav := cats[favDist.Sample(s.rng)]
-	pref, perr := behavior.NewRandomPreference(s.rng, fav, 6)
+	fav := cats[favDist.Sample(rng)]
+	pref, perr := behavior.NewRandomPreference(rng, fav, 6)
 	if perr != nil {
 		return nil, perr
 	}
-	profile, perr := behavior.NewProfile(pref, 0.5+0.5*s.rng.Float64())
+	profile, perr := behavior.NewProfile(pref, 0.5+0.5*rng.Float64())
 	if perr != nil {
 		return nil, perr
 	}
 	var mob mobility.Model
 	switch id % 4 {
 	case 0:
-		mob, perr = mobility.NewRandomWaypoint(s.campus, 0.4, 1.2, 90, s.rng)
+		mob, perr = mobility.NewRandomWaypoint(s.campus, 0.4, 1.2, 90, rng)
 	case 1:
-		mob, perr = mobility.NewLandmarkWalk(s.campus, 3+s.rng.Intn(3), 0.8, s.rng)
+		mob, perr = mobility.NewLandmarkWalk(s.campus, 3+rng.Intn(3), 0.8, rng)
 	case 2:
-		mob, perr = mobility.NewGaussMarkov(s.campus, 0.9, 0.9, 0.2, 0.25, s.rng)
+		mob, perr = mobility.NewGaussMarkov(s.campus, 0.9, 0.9, 0.2, 0.25, rng)
 	default:
-		mob = &mobility.Static{P: s.campus.RandomPoint(s.rng)}
+		mob = &mobility.Static{P: s.campus.RandomPoint(rng)}
 	}
 	if perr != nil {
 		return nil, perr
@@ -509,7 +559,7 @@ func (s *Simulation) newUser(id int) (*user, error) {
 	if berr != nil {
 		return nil, berr
 	}
-	link, lerr := channel.NewLink(s.params, bs, s.rng)
+	link, lerr := channel.NewLink(s.params, bs, rng)
 	if lerr != nil {
 		return nil, lerr
 	}
@@ -530,29 +580,45 @@ func (s *Simulation) newUser(id int) (*user, error) {
 		return nil, serr
 	}
 	return &user{
-		id: id, profile: profile, mob: mob, link: link, twin: twin,
+		id: id, rng: rng, profile: profile, mob: mob, link: link, twin: twin,
 		snrOffset: offset, snrEWMA: ewma, persist: persist,
 	}, nil
 }
 
 // churnUsers replaces each user with probability ChurnPerInterval by
 // a fresh arrival (cold twin, new preference and trajectory) and
-// returns the number replaced.
+// returns the number replaced. The churn decision draws from the
+// departing user's own stream and the arrival gets a fresh stream
+// keyed by the slot's churn generation, so churn neither perturbs
+// other users' randomness nor depends on evaluation order — the bug
+// class the old shared-RNG draw had, where a churn decision shifted
+// every subsequent user's draws for the rest of the run.
 func (s *Simulation) churnUsers() (int, error) {
 	if s.cfg.ChurnPerInterval <= 0 {
 		return 0, nil
 	}
-	var n int
-	for i := range s.users {
-		if s.rng.Float64() >= s.cfg.ChurnPerInterval {
-			continue
+	replaced := make([]bool, len(s.users))
+	if err := s.pool.For(len(s.users), func(i int) error {
+		if s.users[i].rng.Float64() >= s.cfg.ChurnPerInterval {
+			return nil
 		}
-		u, err := s.newUser(i)
+		s.userGen[i]++
+		rng := parallel.NewRand(s.cfg.Seed, streamUser, uint64(i), s.userGen[i])
+		u, err := s.newUser(i, rng)
 		if err != nil {
-			return n, fmt.Errorf("churn user %d: %w", i, err)
+			return fmt.Errorf("churn user %d: %w", i, err)
 		}
 		s.users[i] = u
-		n++
+		replaced[i] = true
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var n int
+	for _, r := range replaced {
+		if r {
+			n++
+		}
 	}
 	return n, nil
 }
@@ -561,12 +627,15 @@ func (s *Simulation) churnUsers() (int, error) {
 func (s *Simulation) Catalog() *video.Catalog { return s.catalog }
 
 // collectTicks runs one interval's worth of mobility + channel
-// collection into the UDTs. Users hand over to the nearest base
-// station at the start of the interval.
+// collection into the UDTs, fanning users across the pool (each
+// user's tick sequence is self-contained: own mobility model, own
+// link, own twin, own random stream). Users hand over to the nearest
+// base station as they move.
 func (s *Simulation) collectTicks() error {
 	dt := s.cfg.IntervalS / float64(s.cfg.TicksPerInterval)
-	for tick := 0; tick < s.cfg.TicksPerInterval; tick++ {
-		for _, u := range s.users {
+	return s.pool.For(len(s.users), func(i int) error {
+		u := s.users[i]
+		for tick := 0; tick < s.cfg.TicksPerInterval; tick++ {
 			pos, err := u.mob.Advance(dt)
 			if err != nil {
 				return fmt.Errorf("user %d mobility: %w", u.id, err)
@@ -594,44 +663,50 @@ func (s *Simulation) collectTicks() error {
 				return fmt.Errorf("user %d preference: %w", u.id, err)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // closeInterval folds the finished interval's observations into each
 // user's DT calibration state and clears the per-interval
-// accumulators.
+// accumulators. Pure per-user state, fanned across the pool.
 func (s *Simulation) closeInterval() {
-	for _, u := range s.users {
-		if u.meanSNR.N() > 0 {
-			meanPos := mobility.Point{X: u.meanX.Mean(), Y: u.meanY.Mean()}
-			d := u.link.BS().Pos.Dist(meanPos)
-			model := s.params.MeanSNRdB(u.link.BS().TxPowerDBm, d)
-			u.snrOffset.Observe(u.meanSNR.Mean() - model)
-			u.snrEWMA.Observe(u.meanSNR.Mean())
-			if u.havePos >= 1 {
-				dx, dy := meanPos.X-u.posPrev.X, meanPos.Y-u.posPrev.Y
-				norm := math.Hypot(dx, dy)
-				prevNorm := math.Hypot(u.prevDispX, u.prevDispY)
-				if norm > 1 && prevNorm > 1 {
-					cos := (dx*u.prevDispX + dy*u.prevDispY) / (norm * prevNorm)
-					if cos < 0 {
-						cos = 0
-					}
-					u.persist.Observe(cos)
+	_ = s.pool.For(len(s.users), func(i int) error {
+		u := s.users[i]
+		s.closeUserInterval(u)
+		return nil
+	})
+}
+
+func (s *Simulation) closeUserInterval(u *user) {
+	if u.meanSNR.N() > 0 {
+		meanPos := mobility.Point{X: u.meanX.Mean(), Y: u.meanY.Mean()}
+		d := u.link.BS().Pos.Dist(meanPos)
+		model := s.params.MeanSNRdB(u.link.BS().TxPowerDBm, d)
+		u.snrOffset.Observe(u.meanSNR.Mean() - model)
+		u.snrEWMA.Observe(u.meanSNR.Mean())
+		if u.havePos >= 1 {
+			dx, dy := meanPos.X-u.posPrev.X, meanPos.Y-u.posPrev.Y
+			norm := math.Hypot(dx, dy)
+			prevNorm := math.Hypot(u.prevDispX, u.prevDispY)
+			if norm > 1 && prevNorm > 1 {
+				cos := (dx*u.prevDispX + dy*u.prevDispY) / (norm * prevNorm)
+				if cos < 0 {
+					cos = 0
 				}
-				u.prevDispX, u.prevDispY = dx, dy
+				u.persist.Observe(cos)
 			}
-			u.posPrev2 = u.posPrev
-			u.posPrev = meanPos
-			if u.havePos < 2 {
-				u.havePos++
-			}
+			u.prevDispX, u.prevDispY = dx, dy
 		}
-		u.meanSNR = stats.Online{}
-		u.meanX = stats.Online{}
-		u.meanY = stats.Online{}
+		u.posPrev2 = u.posPrev
+		u.posPrev = meanPos
+		if u.havePos < 2 {
+			u.havePos++
+		}
 	}
+	u.meanSNR = stats.Online{}
+	u.meanX = stats.Online{}
+	u.meanY = stats.Online{}
 }
 
 // predictUserSNR forecasts a user's next-interval mean SNR from the
@@ -703,11 +778,13 @@ func (s *Simulation) predictGroupWorstSNR(g *groupState) float64 {
 }
 
 // warmupBrowse lets every user browse individually for one interval to
-// populate the watch/engagement series of the twins.
+// populate the watch/engagement series of the twins. Sessions draw
+// from each user's private stream, so the fan-out is deterministic.
 func (s *Simulation) warmupBrowse() error {
-	for _, u := range s.users {
+	return s.pool.For(len(s.users), func(i int) error {
+		u := s.users[i]
 		linkBps := s.params.RateBps(u.meanSNR.Mean()) * float64(s.cfg.NominalRBsPerGroup)
-		events, err := behavior.Session(s.catalog, u.profile, s.cfg.IntervalS, linkBps, s.rng)
+		events, err := behavior.Session(s.catalog, u.profile, s.cfg.IntervalS, linkBps, u.rng)
 		if err != nil {
 			return fmt.Errorf("user %d session: %w", u.id, err)
 		}
@@ -719,8 +796,8 @@ func (s *Simulation) warmupBrowse() error {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // rebuildGroups runs the two-step construction (or the fixed-K
@@ -747,6 +824,7 @@ func (s *Simulation) rebuildGroups() error {
 	}
 	s.prevAssign = assign
 	s.lastResult = lastRes
+	s.constructions++
 	s.groups = make([]*groupState, len(memberSets))
 	for gid, members := range memberSets {
 		f, ferr := predict.NewSNRForecaster(s.cfg.SNRAlpha)
@@ -755,7 +833,12 @@ func (s *Simulation) rebuildGroups() error {
 		}
 		ms := make([]int, len(members))
 		copy(ms, members)
-		s.groups[gid] = &groupState{id: gid, members: ms, forecast: f}
+		s.groups[gid] = &groupState{
+			id:       gid,
+			rng:      parallel.NewRand(s.cfg.Seed, streamGroup, s.constructions, uint64(gid)),
+			members:  ms,
+			forecast: f,
+		}
 	}
 	return nil
 }
@@ -865,9 +948,11 @@ func (s *Simulation) groupWorstSNR(g *groupState) float64 {
 // cumulative view counters and folds the interval's worst SNR into
 // the forecaster. Counters are kept cumulative (not reset) so the
 // swiping distributions sharpen over time and remain available right
-// after a regroup.
+// after a regroup. Groups are disjoint and twins are only read, so
+// the abstraction fans across the pool.
 func (s *Simulation) abstractGroups() error {
-	for _, g := range s.groups {
+	return s.pool.For(len(s.groups), func(gi int) error {
+		g := s.groups[gi]
 		twins := make([]*udt.Twin, len(g.members))
 		for i, m := range g.members {
 			twins[i] = s.users[m].twin
@@ -878,8 +963,8 @@ func (s *Simulation) abstractGroups() error {
 		}
 		g.profile = profile
 		g.forecast.Observe(s.groupWorstSNR(g))
-	}
-	return nil
+		return nil
+	})
 }
 
 // groupBitrate picks the ladder rung the group can sustain with its
@@ -905,17 +990,19 @@ func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*p
 	recIdx := 0
 	for clock < s.cfg.IntervalS {
 		// Next feed video: mostly from the recommendation list,
-		// occasionally explore by preference-weighted category.
+		// occasionally explore by preference-weighted category. Feed
+		// selection draws from the group's stream, member swipes from
+		// each member's own — no shared generator anywhere.
 		var v *video.Video
-		if len(g.profile.Recommended) > 0 && s.rng.Float64() < 0.8 {
+		if len(g.profile.Recommended) > 0 && g.rng.Float64() < 0.8 {
 			v = g.profile.Recommended[recIdx%len(g.profile.Recommended)]
 			recIdx++
 		} else {
-			cat := video.AllCategories()[catDist.Sample(s.rng)]
+			cat := video.AllCategories()[catDist.Sample(g.rng)]
 			var verr error
-			v, verr = s.catalog.SampleFromCategory(cat, s.rng)
+			v, verr = s.catalog.SampleFromCategory(cat, g.rng)
 			if verr != nil {
-				v = s.catalog.SamplePopular(s.rng)
+				v = s.catalog.SamplePopular(g.rng)
 			}
 		}
 		// Each member watches until their own swipe; the BS transmits
@@ -923,7 +1010,7 @@ func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*p
 		var maxFrac float64
 		for _, m := range g.members {
 			u := s.users[m]
-			frac, ferr := u.profile.WatchFraction(v.Category, s.rng)
+			frac, ferr := u.profile.WatchFraction(v.Category, u.rng)
 			if ferr != nil {
 				return nil, ferr
 			}
@@ -1023,20 +1110,24 @@ func (s *Simulation) Run() (*Trace, error) {
 	for interval := 0; interval < s.cfg.NumIntervals; interval++ {
 		// 1. Predict each group's demand for this interval from the
 		//    previous interval's abstraction and channel forecast.
+		//    Groups only read shared state here (twins, trackers, the
+		//    cache hit rate hoisted below), so the forecasts fan
+		//    across the pool; preds is indexed by group id.
 		type pendingPred struct {
 			demand    *predict.Demand
 			snr       float64
 			rep       video.Representation
 			allocated int
 		}
-		preds := make(map[int]pendingPred, len(s.groups))
-		for _, g := range s.groups {
+		preds := make([]pendingPred, len(s.groups))
+		predictor.CacheHitRate = s.server.Cache().HitRate()
+		if err := s.pool.For(len(s.groups), func(gi int) error {
+			g := s.groups[gi]
 			snr := s.predictGroupWorstSNR(g)
 			rep := s.groupBitrate(snr)
-			predictor.CacheHitRate = s.server.Cache().HitRate()
 			d, err := predictor.Predict(g.profile, rep.BitrateBps, snr)
 			if err != nil {
-				return nil, fmt.Errorf("interval %d group %d predict: %w", interval, g.id, err)
+				return fmt.Errorf("interval %d group %d predict: %w", interval, g.id, err)
 			}
 			// Calibrate the waste forecast with the measured waste
 			// per playback second once available.
@@ -1061,7 +1152,10 @@ func (s *Simulation) Run() (*Trace, error) {
 			} else {
 				d.ComputeCycles = 0
 			}
-			preds[g.id] = pendingPred{demand: d, snr: snr, rep: rep}
+			preds[gi] = pendingPred{demand: d, snr: snr, rep: rep}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 
 		// Admission: reserve from the shared RB budget and clamp each

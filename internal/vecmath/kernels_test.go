@@ -1,0 +1,175 @@
+package vecmath
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestUncheckedKernelsMatchChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(17)
+		a, b := make(Vec, n), make(Vec, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want, err := Dot(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DotUnchecked(a, b); got != want {
+			t.Fatalf("DotUnchecked = %v want %v", got, want)
+		}
+		wantSq, err := SqDist(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SqDistUnchecked(a, b); got != wantSq {
+			t.Fatalf("SqDistUnchecked = %v want %v", got, wantSq)
+		}
+		y1, y2 := Clone(b), Clone(b)
+		if err := AXPY(0.7, a, y1); err != nil {
+			t.Fatal(err)
+		}
+		AXPYUnchecked(0.7, a, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("AXPYUnchecked[%d] = %v want %v", i, y2[i], y1[i])
+			}
+		}
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := MustMatrix(7, 5)
+	m.FillRandUniform(rng, 1)
+	x := make(Vec, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Vec, 7)
+	if err := m.MulVecInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %v want %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.MulVecInto(make(Vec, 3), x); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := m.MulVecInto(dst, make(Vec, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulVecTIntoMatchesMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := MustMatrix(4, 9)
+	m.FillRandUniform(rng, 1)
+	x := make(Vec, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	x[2] = 0 // exercise the zero-skip path
+	want, err := m.MulVecT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Vec, 9)
+	for i := range dst {
+		dst[i] = 99 // must be overwritten, not accumulated
+	}
+	if err := m.MulVecTInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecTInto[%d] = %v want %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.MulVecTInto(dst, make(Vec, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestAddOuterIntoMatchesAddOuter(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := make(Vec, 3)
+	b := make(Vec, 4)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	m1 := MustMatrix(3, 4)
+	m2 := MustMatrix(3, 4)
+	m1.FillRandUniform(rng, 1)
+	copy(m2.Data, m1.Data)
+	if err := m1.AddOuter(0.3, a, b); err != nil {
+		t.Fatal(err)
+	}
+	m2.AddOuterInto(0.3, a, b)
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] {
+			t.Fatalf("AddOuterInto[%d] = %v want %v", i, m2.Data[i], m1.Data[i])
+		}
+	}
+}
+
+func TestMulBatchIntoMatchesPerRowMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := MustMatrix(6, 5)
+	w.FillRandUniform(rng, 1)
+	x := MustMatrix(3, 5)
+	x.FillRandUniform(rng, 1)
+	dst := MustMatrix(3, 6)
+	if err := w.MulBatchInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < x.Rows; r++ {
+		want, err := w.MulVec(x.Row(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if dst.At(r, i) != want[i] {
+				t.Fatalf("row %d col %d = %v want %v", r, i, dst.At(r, i), want[i])
+			}
+		}
+	}
+	if err := w.MulBatchInto(dst, MustMatrix(3, 4)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := w.MulBatchInto(MustMatrix(2, 6), x); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestKernelsAllocFree(t *testing.T) {
+	m := MustMatrix(16, 16)
+	x := make(Vec, 16)
+	dst := make(Vec, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = m.MulVecInto(dst, x)
+		_ = m.MulVecTInto(dst, x)
+		m.AddOuterInto(0.1, x, x)
+		_ = DotUnchecked(x, x)
+		AXPYUnchecked(0.5, x, dst)
+		_ = SqDistUnchecked(x, dst)
+	}); n != 0 {
+		t.Fatalf("kernels allocate %v per run", n)
+	}
+}

@@ -62,39 +62,52 @@ func (m *Matrix) FillXavier(rng *rand.Rand, fanIn, fanOut int) {
 
 // MulVec computes m * x and returns a new vector of length m.Rows.
 func (m *Matrix) MulVec(x Vec) (Vec, error) {
-	if m.Cols != len(x) {
-		return nil, fmt.Errorf("mulvec %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShape)
-	}
 	out := make(Vec, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
-		}
-		out[i] = s
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto computes dst = m * x without allocating; dst must have
+// length m.Rows.
+func (m *Matrix) MulVecInto(dst, x Vec) error {
+	if m.Cols != len(x) || m.Rows != len(dst) {
+		return fmt.Errorf("mulvec %dx%d by %d into %d: %w", m.Rows, m.Cols, len(x), len(dst), ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = DotUnchecked(m.Row(i), x)
+	}
+	return nil
 }
 
 // MulVecT computes mᵀ * x (x has length m.Rows) and returns a vector
 // of length m.Cols. Used for backpropagation through dense layers.
 func (m *Matrix) MulVecT(x Vec) (Vec, error) {
-	if m.Rows != len(x) {
-		return nil, fmt.Errorf("mulvecT %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShape)
-	}
 	out := make(Vec, m.Cols)
+	if err := m.MulVecTInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTInto computes dst = mᵀ * x without allocating; dst must have
+// length m.Cols and is overwritten.
+func (m *Matrix) MulVecTInto(dst, x Vec) error {
+	if m.Rows != len(x) || m.Cols != len(dst) {
+		return fmt.Errorf("mulvecT %dx%d by %d into %d: %w", m.Rows, m.Cols, len(x), len(dst), ErrShape)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Row(i)
-		for j, w := range row {
-			out[j] += w * xi
-		}
+		AXPYUnchecked(xi, m.Row(i), dst)
 	}
-	return out, nil
+	return nil
 }
 
 // AddOuter accumulates m += alpha * a ⊗ b where len(a)==Rows and
@@ -103,14 +116,37 @@ func (m *Matrix) AddOuter(alpha float64, a, b Vec) error {
 	if len(a) != m.Rows || len(b) != m.Cols {
 		return fmt.Errorf("addouter %dx%d by %d,%d: %w", m.Rows, m.Cols, len(a), len(b), ErrShape)
 	}
-	for i := 0; i < m.Rows; i++ {
+	m.AddOuterInto(alpha, a, b)
+	return nil
+}
+
+// AddOuterInto accumulates m += alpha * a ⊗ b without a shape check:
+// the caller guarantees len(a) == Rows and len(b) == Cols. This is the
+// weight-gradient kernel of the NN training hot path.
+func (m *Matrix) AddOuterInto(alpha float64, a, b Vec) {
+	for i := range a {
 		ai := alpha * a[i]
 		if ai == 0 {
 			continue
 		}
-		row := m.Row(i)
-		for j := range row {
-			row[j] += ai * b[j]
+		AXPYUnchecked(ai, b, m.Row(i))
+	}
+}
+
+// MulBatchInto computes dst = x · mᵀ in one pass: every row r of x (a
+// batch of m.Cols-wide inputs) is mapped to dst row r = m · x_r. Used
+// to push a whole replay minibatch through a dense layer as a single
+// matrix op. Shapes: x is (n × m.Cols), dst is (n × m.Rows).
+func (m *Matrix) MulBatchInto(dst, x *Matrix) error {
+	if x.Cols != m.Cols || dst.Rows != x.Rows || dst.Cols != m.Rows {
+		return fmt.Errorf("mulbatch %dx%d by %dx%d into %dx%d: %w",
+			m.Rows, m.Cols, x.Rows, x.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	for r := 0; r < x.Rows; r++ {
+		xr := x.Row(r)
+		dr := dst.Row(r)
+		for i := 0; i < m.Rows; i++ {
+			dr[i] = DotUnchecked(m.Row(i), xr)
 		}
 	}
 	return nil

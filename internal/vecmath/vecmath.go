@@ -58,6 +58,36 @@ func Scale(alpha float64, v Vec) {
 	}
 }
 
+// DotUnchecked returns the inner product of a and b without a shape
+// check: the caller guarantees len(b) >= len(a). It is the hot-path
+// kernel behind MulVecInto and the K-means assignment step.
+func DotUnchecked(a, b Vec) float64 {
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// AXPYUnchecked computes y += alpha*x without a shape check: the
+// caller guarantees len(y) >= len(x).
+func AXPYUnchecked(alpha float64, x, y Vec) {
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// SqDistUnchecked returns the squared Euclidean distance between a and
+// b without a shape check: the caller guarantees len(b) >= len(a).
+func SqDistUnchecked(a, b Vec) float64 {
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // Add returns a+b as a new vector.
 func Add(a, b Vec) (Vec, error) {
 	if len(a) != len(b) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the repo benchmark suite with allocation stats and records the
+# aggregated results to BENCH_baseline.json so every PR has a perf
+# trajectory to compare against.
+#
+#   BENCH_COUNT  repetitions per benchmark (default 5)
+#   BENCH_TIME   -benchtime value (default: go's 1s)
+#   BENCH_OUT    output path (default BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-5}"
+BENCHTIME="${BENCH_TIME:-}"
+OUT="${BENCH_OUT:-BENCH_baseline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+ARGS=(test -run '^$' -bench . -benchmem -count "$COUNT")
+if [ -n "$BENCHTIME" ]; then
+	ARGS+=(-benchtime "$BENCHTIME")
+fi
+
+go "${ARGS[@]}" . | tee "$RAW"
+python3 scripts/benchjson.py "$COUNT" <"$RAW" >"$OUT"
+echo "wrote $OUT"

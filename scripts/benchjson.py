@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Aggregate `go test -bench` output into a JSON benchmark record.
+
+Reads the raw benchmark text on stdin, averages repeated counts per
+benchmark, and emits a stable JSON document (sorted keys) suitable for
+committing as BENCH_baseline.json.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    env = {}
+    samples = {}
+    for line in sys.stdin:
+        line = line.strip()
+        for key in ("goos", "goarch", "cpu", "pkg"):
+            if line.startswith(key + ":"):
+                env[key] = line.split(":", 1)[1].strip()
+        if not line.startswith("Benchmark"):
+            continue
+        tok = line.split()
+        if len(tok) < 3:
+            continue
+        name = tok[0].split("-")[0]  # strip -GOMAXPROCS suffix
+        rec = samples.setdefault(name, {"iterations": [], "metrics": {}})
+        try:
+            rec["iterations"].append(int(tok[1]))
+        except ValueError:
+            continue
+        # Remaining tokens come in (value, unit) pairs.
+        vals = tok[2:]
+        for v, unit in zip(vals[::2], vals[1::2]):
+            try:
+                fv = float(v)
+            except ValueError:
+                continue
+            rec["metrics"].setdefault(unit, []).append(fv)
+
+    benches = []
+    for name in sorted(samples):
+        rec = samples[name]
+        out = {"name": name, "runs": len(rec["iterations"])}
+        for unit, vs in sorted(rec["metrics"].items()):
+            key = {
+                "ns/op": "ns_per_op",
+                "B/op": "bytes_per_op",
+                "allocs/op": "allocs_per_op",
+            }.get(unit, unit)
+            out[key] = sum(vs) / len(vs)
+        benches.append(out)
+
+    doc = {
+        "count": count,
+        "env": env,
+        "benchmarks": benches,
+    }
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
