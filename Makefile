@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-baseline
+.PHONY: build test vet bench bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,10 @@ bench:
 # (override via BENCH_COUNT / BENCH_TIME / BENCH_OUT).
 bench-baseline:
 	./scripts/bench.sh
+
+# Regression gate: benchmark the working tree and diff against the
+# committed baseline; fails on >1.3x wall or >1.5x allocs. Tune the
+# sampling with BENCH_CHECK_COUNT (default 3).
+bench-check:
+	BENCH_OUT=/tmp/bench_current.json BENCH_COUNT=$${BENCH_CHECK_COUNT:-3} ./scripts/bench.sh
+	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_current.json

@@ -286,3 +286,56 @@ func BenchmarkDDQNTraining(b *testing.B) {
 	b.ReportMetric(tail, "tail-reward")
 	b.ReportMetric(oracle, "oracle-reward")
 }
+
+// benchClusterConfig is the sharded scenario the cluster benches
+// share: large enough that the per-cell pipelines dominate, small
+// enough for a bench iteration.
+func benchClusterConfig(seed int64, workers int) ClusterConfig {
+	return ClusterConfig{
+		Sim: Config{
+			Seed:             seed,
+			NumUsers:         1200,
+			NumBS:            8,
+			NumIntervals:     4,
+			TicksPerInterval: 10,
+			WarmupIntervals:  1,
+			CompressorEpochs: 2,
+			AgentEpisodes:    8,
+			ChurnPerInterval: 0.02,
+			PrefetchDepth:    -1,
+			Parallelism:      workers,
+		},
+	}
+}
+
+// BenchmarkCluster measures the sharded multi-BS engine end to end —
+// including the per-cell streaming phase, which the monolithic engine
+// runs sequentially — at 1 worker and at all cores. The trace is
+// bit-identical across the sub-benchmarks; on multicore hardware the
+// wall-clock gap is the shard-level speedup. Reported metrics: twin
+// handovers and radio prediction accuracy.
+func BenchmarkCluster(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"w1", 1}, {"wall", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var last *ClusterTrace
+			for i := 0; i < b.N; i++ {
+				tr, err := RunCluster(benchClusterConfig(42, bc.workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = tr
+			}
+			if last != nil {
+				acc, err := last.RadioAccuracy()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(last.Handovers), "handovers")
+				b.ReportMetric(acc*100, "radio-accuracy-%")
+			}
+		})
+	}
+}

@@ -29,17 +29,20 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "compute", `experiment: "compute", "grouping", "users", "predictors", "reserve", "waste", "qoe" or "churn"`)
+		exp       = flag.String("exp", "compute", `experiment: "compute", "grouping", "users", "predictors", "reserve", "waste", "qoe", "churn" or "cluster"`)
 		seed      = flag.Int64("seed", 42, "random seed")
 		users     = flag.Int("users", 100, "base number of users")
+		bs        = flag.Int("bs", 4, "number of base stations")
 		intervals = flag.Int("intervals", 24, "reservation intervals")
 		counts    = flag.String("counts", "50,100,200", "comma-separated user counts for -exp users")
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
+		shards    = flag.Int("shards", 0, "shard count for -exp cluster (0 = one per BS)")
 	)
 	flag.Parse()
 
 	cfg := dtmsvs.DefaultConfig(*seed)
 	cfg.NumUsers = *users
+	cfg.NumBS = *bs
 	cfg.NumIntervals = *intervals
 	cfg.Parallelism = *par
 
@@ -60,9 +63,31 @@ func run() error {
 		return runQoE(cfg)
 	case "churn":
 		return runChurn(cfg)
+	case "cluster":
+		return runCluster(cfg, *shards)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+}
+
+func runCluster(cfg dtmsvs.Config, shards int) error {
+	trace, err := dtmsvs.RunCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: shards})
+	if err != nil {
+		return err
+	}
+	radioAcc, err := trace.RadioAccuracy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("E11 — sharded multi-BS cluster engine")
+	fmt.Printf("%-6s%8s%6s%14s%12s%10s%10s\n", "bs", "users", "K", "silhouette", "cache-hit", "churned", "migrated")
+	for _, c := range trace.Cells {
+		fmt.Printf("%-6d%8d%6d%14.3f%11.2f%%%10d%10d\n",
+			c.BS, c.Users, c.K, c.Silhouette, c.CacheHitRate*100, c.ChurnedUsers, c.AttachedTwins)
+	}
+	fmt.Printf("\nhandovers: %d   aggregate cache-hit: %.2f%%   radio-accuracy: %.2f%%\n",
+		trace.Handovers, trace.CacheHitRate*100, radioAcc*100)
+	return nil
 }
 
 func runCompute(cfg dtmsvs.Config) error {

@@ -30,15 +30,19 @@ func main() {
 func run() error {
 	var (
 		users     = flag.Int("users", 100, "number of users")
+		bs        = flag.Int("bs", 4, "number of base stations")
 		intervals = flag.Int("intervals", 24, "reservation intervals")
 		seed      = flag.Int64("seed", 42, "random seed")
+		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
 		out       = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	cfg := dtmsvs.DefaultConfig(*seed)
 	cfg.NumUsers = *users
+	cfg.NumBS = *bs
 	cfg.NumIntervals = *intervals
+	cfg.Parallelism = *par
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	dtsim -users 100 -bs 4 -intervals 24 -seed 42 -out trace.json
+//	dtsim -users 50000 -bs 16 -shards -1 -intervals 12 -out city.json
+//
+// With -shards ≠ 0 the sharded multi-BS cluster engine runs instead
+// of the monolithic one: per-BS coverage cells with private edge
+// caches, concurrent shards, and deterministic twin handover between
+// intervals.
 package main
 
 import (
@@ -32,6 +38,7 @@ func run() error {
 		noCNN     = flag.Bool("no-cnn", false, "disable the 1D-CNN compressor (raw-feature baseline)")
 		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; trace is identical for any value)")
+		shards    = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
 		format    = flag.String("format", "json", `trace format: "json" or "csv"`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")
 	)
@@ -45,6 +52,43 @@ func run() error {
 	cfg.Grouping.UseCNN = !*noCNN
 	cfg.RBBudget = *budget
 	cfg.Parallelism = *par
+
+	w := os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *shards != 0 {
+		n := *shards
+		if n < 0 {
+			n = cfg.NumBS
+		}
+		trace, err := dtmsvs.RunCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: n})
+		if err != nil {
+			return err
+		}
+		radioAcc, err := trace.RadioAccuracy()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr,
+			"dtsim: %d users, %d BSs, %d shards, %d intervals → handovers=%d churned=%d radio-accuracy=%.2f%% cache-hit=%.2f%%\n",
+			*users, *bs, n, *intervals, trace.Handovers, trace.ChurnedUsers,
+			radioAcc*100, trace.CacheHitRate*100)
+		switch *format {
+		case "json":
+			return dtmsvs.WriteClusterTraceJSON(w, trace.Records)
+		case "csv":
+			return dtmsvs.WriteClusterTraceCSV(w, trace.Records)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
 
 	trace, err := dtmsvs.Run(cfg)
 	if err != nil {
@@ -64,15 +108,6 @@ func run() error {
 		*users, *bs, *intervals, trace.K, trace.Silhouette,
 		radioAcc*100, computeAcc*100, trace.CacheHitRate*100)
 
-	w := os.Stdout
-	if *out != "" {
-		f, ferr := os.Create(*out)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		w = f
-	}
 	switch *format {
 	case "json":
 		return dtmsvs.WriteTraceJSON(w, trace.Records)

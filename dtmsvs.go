@@ -22,6 +22,7 @@ package dtmsvs
 import (
 	"io"
 
+	"dtmsvs/internal/cluster"
 	"dtmsvs/internal/grouping"
 	"dtmsvs/internal/predict"
 	"dtmsvs/internal/sim"
@@ -91,6 +92,47 @@ func WriteTraceJSON(w io.Writer, records []GroupIntervalRecord) error {
 // ReadTraceJSON decodes a JSON array of trace records.
 func ReadTraceJSON(r io.Reader) ([]GroupIntervalRecord, error) {
 	return sim.ReadRecordsJSON(r)
+}
+
+// ClusterConfig parameterizes a sharded multi-BS cluster run: the
+// base scenario plus the shard count (0 = one shard per BS).
+type ClusterConfig = cluster.Config
+
+// ClusterTrace is the merged output of a cluster run: per-(interval,
+// cell, group) records plus per-cell statistics, handover and churn
+// counts, and the aggregate cache hit rate.
+type ClusterTrace = cluster.Trace
+
+// ClusterRecord is one row of a ClusterTrace.
+type ClusterRecord = cluster.Record
+
+// ClusterCellStats summarizes one coverage cell of a cluster run.
+type ClusterCellStats = cluster.CellStats
+
+// RunCluster executes a sharded multi-BS scenario: the map is
+// partitioned into per-BS coverage cells, each with its own UDT
+// pool, edge cache and grouping pipeline; shards of cells run
+// concurrently and user twins hand over between cells at interval
+// boundaries. The trace is bit-identical for any Parallelism and any
+// shard count.
+func RunCluster(cfg ClusterConfig) (*ClusterTrace, error) {
+	return cluster.Run(cfg)
+}
+
+// WriteClusterTraceJSON writes cluster trace records as a JSON array.
+func WriteClusterTraceJSON(w io.Writer, records []ClusterRecord) error {
+	return cluster.WriteRecordsJSON(w, records)
+}
+
+// ReadClusterTraceJSON decodes a JSON array of cluster trace records.
+func ReadClusterTraceJSON(r io.Reader) ([]ClusterRecord, error) {
+	return cluster.ReadRecordsJSON(r)
+}
+
+// WriteClusterTraceCSV writes cluster trace records as CSV with a
+// header row.
+func WriteClusterTraceCSV(w io.Writer, records []ClusterRecord) error {
+	return cluster.WriteRecordsCSV(w, records)
 }
 
 // DefaultConfig returns the paper-scale scenario used by the Fig. 3

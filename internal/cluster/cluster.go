@@ -1,0 +1,432 @@
+// Package cluster is the sharded multi-BS simulation engine (the
+// paper's Fig. 1 architecture at campus/city scale): the map is
+// partitioned into base-station coverage cells — the Voronoi regions
+// of the channel.GridDeploy stations — and each cell runs its own
+// full digital-twin pipeline (UDT pool, grouping, abstraction,
+// demand forecast, multicast streaming) against its own edge cache.
+// Cells are grouped into shards that execute concurrently on the
+// internal/parallel pool, which fans out the previously sequential
+// streaming phase along with everything else.
+//
+// Between reservation intervals a deterministic handover pass
+// migrates user twins — UDT state, calibration offsets and the
+// user's private random stream — to the cell of their new nearest
+// base station, and attaches each migrated twin to the multicast
+// group with the nearest code-space centroid.
+//
+// Determinism: every cell derives its random streams from (Seed,
+// tag, cell salt, ...), users own global-id-keyed streams that
+// travel with their twin, and the handover pass runs sequentially in
+// global user-id order. The merged ClusterTrace is therefore
+// bit-identical for any Parallelism and any shard count — sharding
+// is a scheduling decision, never a semantic one.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dtmsvs/internal/channel"
+	"dtmsvs/internal/edge"
+	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/parallel"
+	"dtmsvs/internal/sim"
+	"dtmsvs/internal/stats"
+	"dtmsvs/internal/video"
+)
+
+// ErrConfig indicates an invalid cluster configuration.
+var ErrConfig = errors.New("cluster: invalid config")
+
+// streamCatalog derives the shared catalog's generation stream from
+// the run seed (disjoint from the sim package's user/group/builder
+// tag space).
+const streamCatalog uint64 = 64
+
+// Config parameterizes a sharded cluster run.
+type Config struct {
+	// Sim is the base scenario. NumBS sets the number of coverage
+	// cells; CacheBytes is split evenly across the per-cell edge
+	// caches so total cache capacity matches the monolithic engine.
+	// PerBSGrouping is implied by the cell partition and ignored.
+	Sim sim.Config
+	// Shards is the number of concurrently executing cell groups
+	// (0 = one shard per base station). The trace is bit-identical
+	// for every value in [1, NumBS].
+	Shards int
+}
+
+func (c Config) withDefaults() Config {
+	c.Sim = c.Sim.Defaulted()
+	if c.Shards == 0 {
+		c.Shards = c.Sim.NumBS
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	d := c.withDefaults()
+	if d.Shards < 1 || d.Shards > d.Sim.NumBS {
+		return fmt.Errorf("%d shards for %d base stations: %w", d.Shards, d.Sim.NumBS, ErrConfig)
+	}
+	return nil
+}
+
+// Record is one (interval, cell, group) row of a cluster trace.
+type Record struct {
+	// BS is the base station / coverage cell that served the group.
+	BS int `json:"bs"`
+	sim.GroupIntervalRecord
+}
+
+// CellStats summarizes one coverage cell at the end of a run.
+type CellStats struct {
+	BS           int     `json:"bs"`
+	Users        int     `json:"users"`
+	K            int     `json:"k"`
+	Silhouette   float64 `json:"silhouette"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	ChurnedUsers int     `json:"churnedUsers"`
+	// AttachedTwins counts twins migrated into the cell over the
+	// whole run (initial placement excluded).
+	AttachedTwins int `json:"attachedTwins"`
+}
+
+// Trace is the merged output of a cluster run. Records are sorted by
+// (interval, cell, group) regardless of shard scheduling.
+type Trace struct {
+	Records []Record
+	Cells   []CellStats
+	// Handovers counts cross-cell twin migrations over the run.
+	Handovers int
+	// ChurnedUsers counts users replaced across all cells.
+	ChurnedUsers int
+	// CacheHitRate is the lookup-weighted aggregate over all per-cell
+	// edge caches.
+	CacheHitRate float64
+}
+
+// RadioAccuracy returns the paper's prediction-accuracy metric over
+// all cells' radio demand.
+func (t *Trace) RadioAccuracy() (float64, error) {
+	var pred, actual []float64
+	for _, r := range t.Records {
+		pred = append(pred, r.PredictedRBs)
+		actual = append(actual, r.ActualRBs)
+	}
+	return stats.PredictionAccuracy(pred, actual)
+}
+
+// ComputeAccuracy returns the volume accuracy over computing demand.
+func (t *Trace) ComputeAccuracy() (float64, error) {
+	var pred, actual []float64
+	for _, r := range t.Records {
+		pred = append(pred, r.PredictedCycles)
+		actual = append(actual, r.ActualCycles)
+	}
+	return stats.VolumeAccuracy(pred, actual)
+}
+
+// cellState is the engine's bookkeeping for one coverage cell.
+type cellState struct {
+	id     int
+	eng    *sim.Simulation
+	server *edge.Server
+	trace  *sim.Trace
+	built  bool
+	// migratedIn counts twins handed over into this cell (initial
+	// placement excluded).
+	migratedIn int
+}
+
+// Engine is a configured cluster instance.
+type Engine struct {
+	cfg      Config
+	pool     *parallel.Pool
+	campus   *mobility.Map
+	stations []*channel.BaseStation
+	catalog  *video.Catalog
+	cells    []*cellState
+	// shards[s] lists the cell ids shard s owns (contiguous blocks).
+	shards [][]int
+	// owner[id] is the cell currently holding user id's twin.
+	owner     []int
+	handovers int
+	trained   bool
+}
+
+// New constructs a cluster engine and places the initial population.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := cfg.withDefaults()
+	d.Sim.PerBSGrouping = false // the cell partition is the per-BS split
+
+	pool := parallel.New(d.Sim.Parallelism)
+	campus := mobility.CampusMap()
+	stations, err := channel.GridDeploy(campus, d.Sim.NumBS, d.Sim.TxPowerDBm)
+	if err != nil {
+		return nil, err
+	}
+	catalogRng := rand.New(rand.NewSource(parallel.DeriveSeed(d.Sim.Seed, streamCatalog)))
+	catalog, err := video.NewCatalog(video.CatalogConfig{
+		NumVideos:       d.Sim.CatalogSize,
+		CategoryWeights: d.Sim.CategoryWeights,
+	}, catalogRng)
+	if err != nil {
+		return nil, err
+	}
+
+	numCells := d.Sim.NumBS
+	cellBytes := d.Sim.CacheBytes / int64(numCells)
+	if cellBytes <= 0 {
+		cellBytes = d.Sim.CacheBytes
+	}
+	cells := make([]*cellState, numCells)
+	for c := 0; c < numCells; c++ {
+		server, serr := edge.NewServer(cellBytes, edge.DefaultTranscodeModel(), catalog, d.Sim.CatalogSize/10)
+		if serr != nil {
+			return nil, serr
+		}
+		eng, cerr := sim.NewCell(d.Sim, sim.CellOptions{
+			Stations: stations,
+			Campus:   campus,
+			Catalog:  catalog,
+			Server:   server,
+			Pool:     pool,
+			Salt:     uint64(c) + 1,
+		})
+		if cerr != nil {
+			return nil, fmt.Errorf("cell %d: %w", c, cerr)
+		}
+		cells[c] = &cellState{id: c, eng: eng, server: server, trace: sim.NewTrace()}
+	}
+
+	shards := make([][]int, d.Shards)
+	for c := 0; c < numCells; c++ {
+		s := c * d.Shards / numCells
+		shards[s] = append(shards[s], c)
+	}
+
+	e := &Engine{
+		cfg:      d,
+		pool:     pool,
+		campus:   campus,
+		stations: stations,
+		catalog:  catalog,
+		cells:    cells,
+		shards:   shards,
+		owner:    make([]int, d.Sim.NumUsers),
+	}
+
+	// Spawn the population on the pool (user creation draws only from
+	// each user's private stream) and place every twin in the cell of
+	// its initial serving base station.
+	spawned := make([]*sim.User, d.Sim.NumUsers)
+	if err := pool.For(d.Sim.NumUsers, func(i int) error {
+		mu, serr := cells[0].eng.SpawnUser(i)
+		if serr != nil {
+			return fmt.Errorf("spawn user %d: %w", i, serr)
+		}
+		spawned[i] = mu
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for id, mu := range spawned {
+		bs := mu.ServingBS()
+		if aerr := cells[bs].eng.AttachUser(mu); aerr != nil {
+			return nil, aerr
+		}
+		e.owner[id] = bs
+	}
+	return e, nil
+}
+
+// eachCell runs fn over every cell, fanning whole shards across the
+// pool; cells within a shard run sequentially in id order. fn must
+// touch only the given cell's state.
+func (e *Engine) eachCell(fn func(*cellState) error) error {
+	return e.pool.For(len(e.shards), func(si int) error {
+		var firstErr error
+		for _, ci := range e.shards[si] {
+			if err := fn(e.cells[ci]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	})
+}
+
+// migrate is the deterministic twin-handover pass: sequentially in
+// global user-id order, every user whose link now serves a base
+// station outside its cell is detached (UDT, calibration state and
+// random stream intact) and attached to the new station's cell. The
+// pass verifies twin conservation — no user lost or duplicated — and
+// constructs groups for cells that gained their first users after
+// training.
+func (e *Engine) migrate() error {
+	for id := range e.owner {
+		from := e.owner[id]
+		bs := e.cells[from].eng.ServingBSOf(id)
+		if bs < 0 {
+			return fmt.Errorf("user %d missing from cell %d: %w", id, from, ErrConfig)
+		}
+		if bs == from {
+			continue
+		}
+		mu, ok := e.cells[from].eng.DetachUser(id)
+		if !ok {
+			return fmt.Errorf("user %d not detachable from cell %d: %w", id, from, ErrConfig)
+		}
+		if err := e.cells[bs].eng.AttachUser(mu); err != nil {
+			return err
+		}
+		e.owner[id] = bs
+		e.cells[bs].migratedIn++
+		e.handovers++
+	}
+	total := 0
+	for _, c := range e.cells {
+		total += c.eng.NumUsers()
+	}
+	if total != len(e.owner) {
+		return fmt.Errorf("%d twins after handover, want %d (twin lost or duplicated): %w",
+			total, len(e.owner), ErrConfig)
+	}
+	if e.trained {
+		for _, c := range e.cells {
+			if !c.built && c.eng.NumUsers() > 0 {
+				// The cell was empty when the cluster trained, so its
+				// pipeline is still untrained: fit it on the twins that
+				// just migrated in before the first construction.
+				if err := c.eng.Train(); err != nil {
+					return fmt.Errorf("cell %d late train: %w", c.id, err)
+				}
+				if err := c.eng.BuildGroups(); err != nil {
+					return fmt.Errorf("cell %d late construction: %w", c.id, err)
+				}
+				c.built = true
+			}
+		}
+	}
+	return nil
+}
+
+// Handovers reports cross-cell twin migrations so far.
+func (e *Engine) Handovers() int { return e.handovers }
+
+// Run executes the sharded scenario and returns the merged trace.
+func (e *Engine) Run() (*Trace, error) {
+	// Warm-up, with handover at every interval boundary so cells
+	// train on the populations they will actually serve.
+	for w := 0; w < e.cfg.Sim.WarmupIntervals; w++ {
+		if err := e.eachCell(func(c *cellState) error {
+			if c.eng.NumUsers() == 0 {
+				return nil
+			}
+			if err := c.eng.WarmupInterval(); err != nil {
+				return fmt.Errorf("cell %d warmup: %w", c.id, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := e.migrate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-cell pipeline training and initial group construction.
+	if err := e.eachCell(func(c *cellState) error {
+		if c.eng.NumUsers() == 0 {
+			return nil
+		}
+		if err := c.eng.Train(); err != nil {
+			return fmt.Errorf("cell %d train: %w", c.id, err)
+		}
+		if err := c.eng.BuildGroups(); err != nil {
+			return fmt.Errorf("cell %d construction: %w", c.id, err)
+		}
+		c.built = true
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.trained = true
+
+	// Reservation intervals: whole shards run concurrently — predict,
+	// collect, stream, abstract, churn, regroup — then twins hand over.
+	for interval := 0; interval < e.cfg.Sim.NumIntervals; interval++ {
+		if err := e.eachCell(func(c *cellState) error {
+			if c.eng.NumUsers() == 0 {
+				return nil
+			}
+			if err := c.eng.RunInterval(interval, c.trace); err != nil {
+				return fmt.Errorf("cell %d: %w", c.id, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := e.migrate(); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(), nil
+}
+
+// finish merges the per-cell traces into the cluster trace.
+func (e *Engine) finish() *Trace {
+	tr := &Trace{Handovers: e.handovers}
+	var hits, misses int
+	for _, c := range e.cells {
+		c.eng.FinishTrace(c.trace)
+		for _, r := range c.trace.Records {
+			tr.Records = append(tr.Records, Record{BS: c.id, GroupIntervalRecord: r})
+		}
+		h, m := c.server.Cache().Counts()
+		hits += h
+		misses += m
+		tr.Cells = append(tr.Cells, CellStats{
+			BS:            c.id,
+			Users:         c.eng.NumUsers(),
+			K:             c.trace.K,
+			Silhouette:    c.trace.Silhouette,
+			CacheHitRate:  c.trace.CacheHitRate,
+			ChurnedUsers:  c.trace.ChurnedUsers,
+			AttachedTwins: c.migratedIn,
+		})
+		tr.ChurnedUsers += c.trace.ChurnedUsers
+	}
+	if total := hits + misses; total > 0 {
+		tr.CacheHitRate = float64(hits) / float64(total)
+	}
+	sort.SliceStable(tr.Records, func(i, j int) bool {
+		a, b := tr.Records[i], tr.Records[j]
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		if a.BS != b.BS {
+			return a.BS < b.BS
+		}
+		return a.GroupID < b.GroupID
+	})
+	return tr
+}
+
+// Run executes a sharded cluster scenario end to end.
+func Run(cfg Config) (*Trace, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

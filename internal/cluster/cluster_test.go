@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dtmsvs/internal/sim"
+)
+
+// testSimConfig is small enough to run the full sharded pipeline many
+// times in a unit test while exercising churn, regrouping, warm-up
+// handover and every parallel stage.
+func testSimConfig(seed int64, workers int) sim.Config {
+	return sim.Config{
+		Seed:             seed,
+		NumUsers:         32,
+		NumBS:            4,
+		NumIntervals:     4,
+		TicksPerInterval: 6,
+		WarmupIntervals:  1,
+		RegroupEvery:     2,
+		CompressorEpochs: 2,
+		AgentEpisodes:    10,
+		ChurnPerInterval: 0.1,
+		PrefetchDepth:    -1,
+		Parallelism:      workers,
+	}
+}
+
+func runCluster(t *testing.T, seed int64, workers, shards int) *Trace {
+	t.Helper()
+	tr, err := Run(Config{Sim: testSimConfig(seed, workers), Shards: shards})
+	if err != nil {
+		t.Fatalf("seed %d workers %d shards %d: %v", seed, workers, shards, err)
+	}
+	return tr
+}
+
+// TestRunDeterministic is the cluster engine's core guarantee: the
+// merged trace is bit-identical for every worker count and every
+// shard count — sharding and parallelism are scheduling decisions,
+// never semantic ones.
+func TestRunDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 97} {
+		base := runCluster(t, seed, 1, 1)
+		if len(base.Records) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			for _, shards := range []int{1, 2, 4} {
+				tr := runCluster(t, seed, workers, shards)
+				if !reflect.DeepEqual(tr.Records, base.Records) {
+					t.Fatalf("seed %d workers %d shards %d: records diverged", seed, workers, shards)
+				}
+				if !reflect.DeepEqual(tr.Cells, base.Cells) {
+					t.Fatalf("seed %d workers %d shards %d: cell stats diverged:\n got %+v\nwant %+v",
+						seed, workers, shards, tr.Cells, base.Cells)
+				}
+				if tr.Handovers != base.Handovers || tr.ChurnedUsers != base.ChurnedUsers ||
+					tr.CacheHitRate != base.CacheHitRate {
+					t.Fatalf("seed %d workers %d shards %d: run stats diverged", seed, workers, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestHandoverConservesUsers runs a churn-heavy scenario and checks
+// that after every interval's migration pass each user twin lives in
+// exactly one cell (the engine also enforces this invariant
+// internally and fails the run on violation).
+func TestHandoverConservesUsers(t *testing.T) {
+	cfg := Config{Sim: testSimConfig(11, 0)}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Handovers() == 0 {
+		t.Fatal("scenario produced no handovers; conservation untested")
+	}
+	var ids []int
+	for _, c := range e.cells {
+		ids = append(ids, c.eng.UserIDs()...)
+	}
+	if len(ids) != cfg.Sim.NumUsers {
+		t.Fatalf("%d twins across cells, want %d", len(ids), cfg.Sim.NumUsers)
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("twin set corrupted at %d: got id %d (lost or duplicated twin)", i, id)
+		}
+	}
+	// The owner map must agree with where each twin actually lives.
+	for id, cell := range e.owner {
+		if e.cells[cell].eng.ServingBSOf(id) < 0 {
+			t.Fatalf("owner map says user %d is in cell %d, but the cell does not hold it", id, cell)
+		}
+	}
+}
+
+// TestRecordsSortedAndTagged checks the merge discipline: records
+// sorted by (interval, cell, group), every cell tag within range.
+func TestRecordsSortedAndTagged(t *testing.T) {
+	tr := runCluster(t, 5, 0, 0)
+	for i, r := range tr.Records {
+		if r.BS < 0 || r.BS >= 4 {
+			t.Fatalf("record %d: bs %d out of range", i, r.BS)
+		}
+		if i == 0 {
+			continue
+		}
+		p := tr.Records[i-1]
+		if r.Interval < p.Interval ||
+			(r.Interval == p.Interval && r.BS < p.BS) ||
+			(r.Interval == p.Interval && r.BS == p.BS && r.GroupID <= p.GroupID) {
+			t.Fatalf("records out of order at %d: %+v after %+v", i, r, p)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Sim: testSimConfig(1, 0)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Shards = 5 // > NumBS
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig for shards > NumBS, got %v", err)
+	}
+	bad = good
+	bad.Shards = -1
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig for negative shards, got %v", err)
+	}
+	bad = good
+	bad.Sim.NumUsers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid sim config must be rejected")
+	}
+	if _, err := New(bad); err == nil {
+		t.Fatal("New must reject invalid config")
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dtmsvs/internal/sim"
+)
+
+func sampleClusterRecords() []Record {
+	return []Record{
+		{BS: 0, GroupIntervalRecord: sim.GroupIntervalRecord{
+			Interval: 0, GroupID: 0, Size: 12, PredictedRBs: 2.5, ActualRBs: 2.75,
+			AllocatedRBs: 3, PredictedCycles: 2e9, ActualCycles: 1.9e9,
+			PredictedBits: 6e8, ActualBits: 6.1e8, WorstSNRdB: 8.5, BitrateBps: 1.85e6}},
+		{BS: 1, GroupIntervalRecord: sim.GroupIntervalRecord{
+			Interval: 0, GroupID: 1, Size: 7, PredictedRBs: 1.5, ActualRBs: 1.25,
+			PredictedBits: 3e8, ActualBits: 3.1e8, WorstSNRdB: 11.0, BitrateBps: 2.5e6}},
+		{BS: 1, GroupIntervalRecord: sim.GroupIntervalRecord{
+			Interval: 1, GroupID: 1, Size: 7, PredictedRBs: 1.4, ActualRBs: 1.5,
+			PredictedBits: 3e8, ActualBits: 2.9e8, WorstSNRdB: 10.5, BitrateBps: 2.5e6}},
+	}
+}
+
+func TestClusterJSONRoundTrip(t *testing.T) {
+	recs := sampleClusterRecords()
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip %d != %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestClusterJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty round trip returned %d records", len(back))
+	}
+	// A zero-value record must survive unchanged too.
+	buf.Reset()
+	if err := WriteRecordsJSON(&buf, []Record{{}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadRecordsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != (Record{}) {
+		t.Fatalf("zero record round trip: %+v", back)
+	}
+}
+
+func TestClusterJSONMalformed(t *testing.T) {
+	for _, in := range []string{"", "nope", `{"bs": 0}`, `[{"bs": "zero"}]`} {
+		if _, err := ReadRecordsJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input %q must error", in)
+		}
+	}
+}
+
+func TestClusterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, sampleClusterRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d csv lines, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "bs,interval,group_id,size") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,0,1,7") {
+		t.Fatalf("row %q", lines[2])
+	}
+}

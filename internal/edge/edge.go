@@ -58,6 +58,11 @@ func (c *Cache) Capacity() int64 { return c.capacityBytes }
 // Len returns the number of cached representations.
 func (c *Cache) Len() int { return c.ll.Len() }
 
+// Counts returns the raw hit/miss counters, letting callers (the
+// cluster engine) aggregate hit rates across many caches weighted by
+// actual lookup volume.
+func (c *Cache) Counts() (hits, misses int) { return c.hits, c.misses }
+
 // HitRate returns hits/(hits+misses), 0 before any lookups.
 func (c *Cache) HitRate() float64 {
 	total := c.hits + c.misses

@@ -279,3 +279,23 @@ func TestCacheAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCacheCounts(t *testing.T) {
+	c, err := NewCache(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	c.Contains(1, 0) // hit
+	c.Contains(2, 0) // miss
+	c.Contains(2, 0) // miss
+	hits, misses := c.Counts()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("counts %d/%d, want 1/2", hits, misses)
+	}
+	if want := 1.0 / 3.0; c.HitRate() != want {
+		t.Fatalf("hit rate %v, want %v", c.HitRate(), want)
+	}
+}

@@ -407,6 +407,11 @@ func (b *Builder) Build(twins []*udt.Twin) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Tiny populations (small cluster cells) can undercut the agent's
+	// action range; clustering can never use more centers than points.
+	if k > len(codes) {
+		k = len(codes)
+	}
 	res, err := kmeans.Run(codes, k, b.rng, kmeans.Options{Pool: b.pool})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,253 @@
+// This file holds cell-mode construction and the twin-migration API:
+// a cluster cell is a Simulation over one base station's coverage
+// area that shares the campus substrate (map, station deployment,
+// catalog) with its sibling cells but owns its user slice, edge
+// cache, grouping pipeline and derived random streams. The cluster
+// engine (package cluster) steps cells through the exported stage
+// methods and moves user twins between cells with
+// DetachUser/AttachUser at interval boundaries.
+
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dtmsvs/internal/channel"
+	"dtmsvs/internal/edge"
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/parallel"
+	"dtmsvs/internal/predict"
+	"dtmsvs/internal/radio"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/video"
+)
+
+// Defaulted returns the configuration with every default filled in,
+// so the cluster engine sees the same values the engine will run with.
+func (c Config) Defaulted() Config { return c.withDefaults() }
+
+// CellOptions injects cluster-owned substrate into a cell engine.
+// Every field is required.
+type CellOptions struct {
+	// Stations is the full deployment (cells hand users' links over
+	// to any station; ownership is decided at interval boundaries).
+	Stations []*channel.BaseStation
+	// Campus is the shared map.
+	Campus *mobility.Map
+	// Catalog is the shared, read-only video catalog.
+	Catalog *video.Catalog
+	// Server is the cell's private edge cache + transcoder.
+	Server *edge.Server
+	// Pool fans the cell's per-user and per-group stages.
+	Pool *parallel.Pool
+	// Salt decorrelates the cell's derived random streams (builder
+	// weights, group feed selection) from its siblings'. Must be
+	// unique per cell and non-zero; the cluster engine uses
+	// cell id + 1.
+	Salt uint64
+}
+
+// NewCell constructs a cell engine: a Simulation with zero users that
+// shares the campus substrate given in opts. Unlike New, every random
+// stream is derived from (Seed, tag, Salt, ...), so sibling cells
+// never share a generator and the cluster trace is independent of
+// shard scheduling.
+func NewCell(cfg Config, opts CellOptions) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case len(opts.Stations) == 0:
+		return nil, fmt.Errorf("cell without stations: %w", ErrConfig)
+	case opts.Campus == nil || opts.Catalog == nil || opts.Server == nil || opts.Pool == nil:
+		return nil, fmt.Errorf("cell substrate incomplete: %w", ErrConfig)
+	case opts.Salt == 0:
+		return nil, fmt.Errorf("cell salt must be non-zero: %w", ErrConfig)
+	}
+	c := cfg.withDefaults()
+	params := channel.DefaultParams()
+	params.FadingRho = c.FadingRho
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	var durSum float64
+	for _, v := range opts.Catalog.Videos {
+		durSum += v.DurationS
+	}
+	meanDur := durSum / float64(opts.Catalog.Size())
+
+	builderRng := rand.New(rand.NewSource(parallel.DeriveSeed(c.Seed, streamBuilder, opts.Salt)))
+	builder, err := grouping.New(c.Grouping, builderRng)
+	if err != nil {
+		return nil, err
+	}
+	builder.SetPool(opts.Pool)
+
+	wastePerPlayS, err := predict.NewEWMA(0.3)
+	if err != nil {
+		return nil, err
+	}
+	var sched *radio.Scheduler
+	if c.RBBudget > 0 {
+		// Each base station owns its own RB budget.
+		sched, err = radio.NewScheduler(c.RBBudget)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	eng := &Simulation{
+		cfg:           c,
+		sched:         sched,
+		rng:           builderRng,
+		pool:          opts.Pool,
+		salt:          opts.Salt,
+		params:        params,
+		stations:      opts.Stations,
+		campus:        opts.Campus,
+		catalog:       opts.Catalog,
+		server:        opts.Server,
+		builder:       builder,
+		meanDur:       meanDur,
+		cyclesPerTxS:  make(map[int]*predict.EWMA),
+		wastePerPlayS: wastePerPlayS,
+	}
+	eng.predictor = eng.newPredictor()
+	return eng, nil
+}
+
+// User is an opaque handle to one simulated user — twin, mobility
+// model, link and calibration state — detached from a cell for
+// cross-shard migration. The handle carries the user's private random
+// stream, so its draw sequence is unaffected by the move.
+type User struct{ u *user }
+
+// ID returns the user's global id.
+func (m *User) ID() int { return m.u.id }
+
+// ServingBS returns the id of the base station the user's link is
+// currently attached to.
+func (m *User) ServingBS() int { return m.u.link.BS().ID }
+
+// SpawnUser creates a fresh user with the given global id (churn
+// generation 0) without attaching it to this engine. The cluster
+// engine spawns the whole population through one cell — creation only
+// touches the shared substrate and the user's own derived stream, so
+// it does not matter which cell spawns — and attaches each user to
+// the cell of its initial serving base station.
+func (s *Simulation) SpawnUser(id int) (*User, error) {
+	u, err := s.newUser(id, parallel.NewRand(s.cfg.Seed, streamUser, uint64(id), 0))
+	if err != nil {
+		return nil, err
+	}
+	return &User{u: u}, nil
+}
+
+// NumUsers reports the engine's current population.
+func (s *Simulation) NumUsers() int { return len(s.users) }
+
+// UserIDs returns the sorted global ids of the current population.
+func (s *Simulation) UserIDs() []int {
+	out := make([]int, len(s.users))
+	for i, u := range s.users {
+		out[i] = u.id
+	}
+	return out
+}
+
+// ServingBSOf returns the serving base station id of the user with
+// the given global id, or -1 if the user is not in this engine.
+func (s *Simulation) ServingBSOf(id int) int {
+	u := s.userByID(id)
+	if u == nil {
+		return -1
+	}
+	return u.link.BS().ID
+}
+
+// DetachUser removes the user with the given global id from the
+// engine — population and multicast group — and returns the handle.
+func (s *Simulation) DetachUser(id int) (*User, bool) {
+	pos := s.userPos(id)
+	if pos < 0 {
+		return nil, false
+	}
+	u := s.users[pos]
+	s.users = append(s.users[:pos], s.users[pos+1:]...)
+	for _, g := range s.groups {
+		for i, m := range g.members {
+			if m == id {
+				g.members = append(g.members[:i], g.members[i+1:]...)
+				break
+			}
+		}
+	}
+	// Membership changed under the stability tracker's feet; the next
+	// construction starts a fresh baseline.
+	s.prevAssign = nil
+	return &User{u: u}, true
+}
+
+// AttachUser inserts a migrated (or freshly spawned) user into the
+// engine, keeping the population sorted by global id. If multicast
+// groups exist, the twin is handed to the group with the nearest
+// code-space centroid (the per-shard analogue of the paper's group
+// update on user dynamics); when no centroid applies it joins the
+// smallest group, matching how churn arrivals inherit a slot's
+// membership in the monolithic engine.
+func (s *Simulation) AttachUser(mu *User) error {
+	if mu == nil || mu.u == nil {
+		return fmt.Errorf("attach nil user: %w", ErrConfig)
+	}
+	u := mu.u
+	pos := sort.Search(len(s.users), func(i int) bool { return s.users[i].id >= u.id })
+	if pos < len(s.users) && s.users[pos].id == u.id {
+		return fmt.Errorf("attach duplicate user %d: %w", u.id, ErrConfig)
+	}
+	s.users = append(s.users, nil)
+	copy(s.users[pos+1:], s.users[pos:])
+	s.users[pos] = u
+	s.prevAssign = nil
+	if len(s.groups) == 0 {
+		return nil
+	}
+	gid := s.assignGroup(u)
+	s.groups[gid].members = append(s.groups[gid].members, u.id)
+	return nil
+}
+
+// assignGroup picks the multicast group for a migrated twin: nearest
+// centroid in the cell's code space when computable, else the
+// smallest group (ties to the lowest id). Always deterministic.
+func (s *Simulation) assignGroup(u *user) int {
+	if codes, err := s.builder.Codes([]*udt.Twin{u.twin}); err == nil && len(codes) == 1 {
+		best, bestD := -1, 0.0
+		for _, g := range s.groups {
+			if len(g.centroid) != len(codes[0]) {
+				continue
+			}
+			var d float64
+			for i, c := range g.centroid {
+				diff := codes[0][i] - c
+				d += diff * diff
+			}
+			if best == -1 || d < bestD {
+				best, bestD = g.id, d
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	best := 0
+	for _, g := range s.groups[1:] {
+		if len(g.members) < len(s.groups[best].members) {
+			best = g.id
+		}
+	}
+	return best
+}

@@ -325,19 +325,31 @@ func (t *Trace) WasteAccuracy() (float64, error) {
 // Random-stream tags: the first id fed to parallel.DeriveSeed after
 // the run seed, keeping each family of derived streams disjoint.
 const (
-	// streamUser derives (tag, user slot, churn generation): every
-	// user — including each fresh churn arrival in the same slot —
-	// owns an independent draw sequence for its mobility, channel,
-	// behavior and churn decisions.
+	// streamUser derives (tag, global user id, churn generation):
+	// every user — including each fresh churn arrival in the same
+	// slot — owns an independent draw sequence for its mobility,
+	// channel, behavior and churn decisions. User ids are global
+	// across a whole cluster run, so the stream travels with the twin
+	// on cross-shard handover.
 	streamUser uint64 = 1
-	// streamGroup derives (tag, construction counter, group id): the
-	// shared-feed video selection draws of each multicast group.
+	// streamGroup derives (tag, construction counter, group id) — or,
+	// in a cluster cell, (tag, cell salt, construction counter, group
+	// id): the shared-feed video selection draws of each multicast
+	// group.
 	streamGroup uint64 = 2
+	// streamBuilder derives (tag, cell salt): the grouping builder's
+	// private stream in cluster cells (the monolithic engine trains
+	// its builder from the run-level generator instead).
+	streamBuilder uint64 = 3
 )
 
 // user bundles one simulated user's state.
 type user struct {
 	id int
+	// gen is the slot's churn generation: 0 for the original arrival,
+	// incremented for each replacement. It feeds the stream derivation
+	// so every fresh arrival draws from untouched randomness.
+	gen uint64
 	// rng is the user's private random stream; all of the user's
 	// stochastic state (mobility, link fading, swipe draws, churn
 	// decision) draws from it, which is what makes per-user fan-out
@@ -378,10 +390,17 @@ type groupState struct {
 	id int
 	// rng drives the group's shared-feed video selection; derived per
 	// construction so streaming stays deterministic under parallelism.
-	rng      *rand.Rand
+	rng *rand.Rand
+	// members holds global user ids (not slice indices), so membership
+	// survives cross-shard user migration in cluster runs. In the
+	// monolithic engine ids and indices coincide.
 	members  []int
 	forecast *predict.SNRForecaster
 	profile  *predict.GroupProfile
+	// centroid is the group's center in code space from the last
+	// construction (nil when the population was too small to cluster);
+	// migrated twins are handed to the nearest centroid.
+	centroid []float64
 }
 
 // Simulation is a configured engine instance.
@@ -392,9 +411,10 @@ type Simulation struct {
 	rng *rand.Rand
 	// pool fans per-user and per-group stages across workers.
 	pool *parallel.Pool
-	// userGen counts churn replacements per user slot; it feeds the
-	// stream derivation so each arrival gets fresh randomness.
-	userGen []uint64
+	// salt decorrelates this engine's derived group/builder streams
+	// from other shards' in a cluster run (0 in the monolithic engine,
+	// cell id + 1 in cluster cells).
+	salt uint64
 	// constructions counts group constructions, deriving each round's
 	// per-group streams.
 	constructions uint64
@@ -423,6 +443,10 @@ type Simulation struct {
 	// watch draws while the abstraction stores per-user means, so the
 	// measured rate takes over once observed.
 	wastePerPlayS *predict.EWMA
+
+	// predictor is the group-level demand model shared by every
+	// interval's forecast pass.
+	predictor predict.DemandPredictor
 
 	lastResult *grouping.Result
 	// prevAssign holds the previous construction's per-user group
@@ -496,7 +520,6 @@ func New(cfg Config) (*Simulation, error) {
 		sched:         sched,
 		rng:           rng,
 		pool:          pool,
-		userGen:       make([]uint64, c.NumUsers),
 		params:        params,
 		stations:      stations,
 		campus:        campus,
@@ -508,6 +531,7 @@ func New(cfg Config) (*Simulation, error) {
 		cyclesPerTxS:  make(map[int]*predict.EWMA),
 		wastePerPlayS: wastePerPlayS,
 	}
+	eng.predictor = eng.newPredictor()
 	if err := pool.For(len(users), func(i int) error {
 		u, uerr := eng.newUser(i, parallel.NewRand(c.Seed, streamUser, uint64(i), 0))
 		if uerr != nil {
@@ -519,6 +543,32 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	return eng, nil
+}
+
+// newPredictor assembles the demand predictor from the engine's
+// configuration (the per-interval cache hit rate is refreshed before
+// every forecast pass).
+func (s *Simulation) newPredictor() predict.DemandPredictor {
+	return predict.DemandPredictor{
+		Params:             s.params,
+		IntervalS:          s.cfg.IntervalS,
+		SwipeGapS:          s.cfg.SwipeGapS,
+		MeanVideoDurationS: s.meanDur,
+		CyclesPerBit:       edge.DefaultTranscodeModel().CyclesPerBit,
+		SegmentS:           s.cfg.SegmentS,
+		PrefetchDepth:      s.cfg.PrefetchDepth,
+	}
+}
+
+// userByID resolves a global user id to its state. The users slice is
+// kept sorted by id, with ids equal to slice indices in the monolithic
+// engine; cluster cells hold sparse id sets and fall back to binary
+// search.
+func (s *Simulation) userByID(id int) *user {
+	if pos := s.userPos(id); pos >= 0 {
+		return s.users[pos]
+	}
+	return nil
 }
 
 // newUser creates one simulated user: a favorite-category-biased
@@ -599,15 +649,17 @@ func (s *Simulation) churnUsers() (int, error) {
 	}
 	replaced := make([]bool, len(s.users))
 	if err := s.pool.For(len(s.users), func(i int) error {
-		if s.users[i].rng.Float64() >= s.cfg.ChurnPerInterval {
+		old := s.users[i]
+		if old.rng.Float64() >= s.cfg.ChurnPerInterval {
 			return nil
 		}
-		s.userGen[i]++
-		rng := parallel.NewRand(s.cfg.Seed, streamUser, uint64(i), s.userGen[i])
-		u, err := s.newUser(i, rng)
+		gen := old.gen + 1
+		rng := parallel.NewRand(s.cfg.Seed, streamUser, uint64(old.id), gen)
+		u, err := s.newUser(old.id, rng)
 		if err != nil {
-			return fmt.Errorf("churn user %d: %w", i, err)
+			return fmt.Errorf("churn user %d: %w", old.id, err)
 		}
+		u.gen = gen
 		s.users[i] = u
 		replaced[i] = true
 		return nil
@@ -772,7 +824,7 @@ func (s *Simulation) predictUserSNR(u *user) float64 {
 func (s *Simulation) predictGroupWorstSNR(g *groupState) float64 {
 	snrs := make([]float64, 0, len(g.members))
 	for _, m := range g.members {
-		snrs = append(snrs, s.predictUserSNR(s.users[m]))
+		snrs = append(snrs, s.predictUserSNR(s.userByID(m)))
 	}
 	return stats.TailMean(snrs, 2*s.cfg.CoverageQuantile)
 }
@@ -800,11 +852,25 @@ func (s *Simulation) warmupBrowse() error {
 	})
 }
 
+// builtGroup is one constructed multicast group: global member ids
+// plus the code-space centroid (nil when the population was too small
+// to cluster).
+type builtGroup struct {
+	ids      []int
+	centroid []float64
+}
+
 // rebuildGroups runs the two-step construction (or the fixed-K
 // baseline) and resets per-group forecasters, preserving forecasts of
 // groups whose membership is unchanged.
 func (s *Simulation) rebuildGroups() error {
-	memberSets, lastRes, err := s.constructGroups()
+	if len(s.users) == 0 {
+		// A cluster cell can be empty between migrations.
+		s.groups = nil
+		s.prevAssign = nil
+		return nil
+	}
+	built, lastRes, err := s.constructGroups()
 	if err != nil {
 		return err
 	}
@@ -812,9 +878,11 @@ func (s *Simulation) rebuildGroups() error {
 	for i := range assign {
 		assign[i] = -1
 	}
-	for gid, members := range memberSets {
-		for _, m := range members {
-			assign[m] = gid
+	for gid, bg := range built {
+		for _, id := range bg.ids {
+			if pos := s.userPos(id); pos >= 0 {
+				assign[pos] = gid
+			}
 		}
 	}
 	if s.prevAssign != nil {
@@ -825,30 +893,50 @@ func (s *Simulation) rebuildGroups() error {
 	s.prevAssign = assign
 	s.lastResult = lastRes
 	s.constructions++
-	s.groups = make([]*groupState, len(memberSets))
-	for gid, members := range memberSets {
+	s.groups = make([]*groupState, len(built))
+	for gid, bg := range built {
 		f, ferr := predict.NewSNRForecaster(s.cfg.SNRAlpha)
 		if ferr != nil {
 			return ferr
 		}
-		ms := make([]int, len(members))
-		copy(ms, members)
 		s.groups[gid] = &groupState{
 			id:       gid,
-			rng:      parallel.NewRand(s.cfg.Seed, streamGroup, s.constructions, uint64(gid)),
-			members:  ms,
+			rng:      s.groupRand(s.constructions, uint64(gid)),
+			members:  bg.ids,
 			forecast: f,
+			centroid: bg.centroid,
 		}
 	}
 	return nil
 }
 
+// groupRand derives a group's private feed-selection stream. Cluster
+// cells fold their salt in so no two shards ever share a stream.
+func (s *Simulation) groupRand(construction, gid uint64) *rand.Rand {
+	if s.salt != 0 {
+		return parallel.NewRand(s.cfg.Seed, streamGroup, s.salt, construction, gid)
+	}
+	return parallel.NewRand(s.cfg.Seed, streamGroup, construction, gid)
+}
+
+// userPos returns the slice position of a global user id, or -1.
+func (s *Simulation) userPos(id int) int {
+	if id >= 0 && id < len(s.users) && s.users[id].id == id {
+		return id
+	}
+	i := sort.Search(len(s.users), func(i int) bool { return s.users[i].id >= id })
+	if i < len(s.users) && s.users[i].id == id {
+		return i
+	}
+	return -1
+}
+
 // constructGroups runs the two-step construction, campus-wide or per
-// base station, returning the member sets (indexed by global group
-// id) and a representative grouping.Result for run-level statistics
-// (campus-wide mode: the whole construction; per-BS mode: the largest
-// cell's construction).
-func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
+// base station, returning the built groups (global member ids, indexed
+// by group id) and a representative grouping.Result for run-level
+// statistics (campus-wide mode: the whole construction; per-BS mode:
+// the largest cell's construction).
+func (s *Simulation) constructGroups() ([]builtGroup, *grouping.Result, error) {
 	buildSubset := func(idxs []int) (*grouping.Result, error) {
 		twins := make([]*udt.Twin, len(idxs))
 		for i, idx := range idxs {
@@ -870,21 +958,37 @@ func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
 		}
 		return s.builder.Build(twins)
 	}
+	// oneGroup is the fallback for populations too small to cluster
+	// (tiny cluster cells): everyone in a single group, no centroid.
+	oneGroup := func(idxs []int) builtGroup {
+		ids := make([]int, len(idxs))
+		for i, idx := range idxs {
+			ids[i] = s.users[idx].id
+		}
+		return builtGroup{ids: ids}
+	}
 
 	if !s.cfg.PerBSGrouping {
 		all := make([]int, len(s.users))
 		for i := range all {
 			all[i] = i
 		}
+		if len(all) <= s.cfg.Grouping.KMin {
+			return []builtGroup{oneGroup(all)}, nil, nil
+		}
 		res, err := buildSubset(all)
 		if err != nil {
 			return nil, nil, fmt.Errorf("group construction: %w", err)
 		}
-		memberSets := make([][]int, len(res.Groups))
-		for i, g := range res.Groups {
-			memberSets[i] = append([]int(nil), g.Members...)
+		built := make([]builtGroup, 0, len(res.Groups))
+		for _, g := range res.Groups {
+			ids := make([]int, len(g.Members))
+			for i, m := range g.Members {
+				ids[i] = s.users[m].id
+			}
+			built = append(built, builtGroup{ids: ids, centroid: g.Centroid})
 		}
-		return memberSets, res, nil
+		return built, res, nil
 	}
 
 	// Per-BS: partition users by serving base station, then cluster
@@ -900,13 +1004,13 @@ func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
 	}
 	sort.Ints(bsIDs)
 
-	var memberSets [][]int
+	var built []builtGroup
 	var largest *grouping.Result
 	var largestSize int
 	for _, id := range bsIDs {
 		idxs := byBS[id]
 		if len(idxs) <= s.cfg.Grouping.KMin {
-			memberSets = append(memberSets, append([]int(nil), idxs...))
+			built = append(built, oneGroup(idxs))
 			continue
 		}
 		res, err := buildSubset(idxs)
@@ -917,20 +1021,20 @@ func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
 			if len(g.Members) == 0 {
 				continue
 			}
-			global := make([]int, len(g.Members))
+			ids := make([]int, len(g.Members))
 			for i, m := range g.Members {
-				global[i] = idxs[m]
+				ids[i] = s.users[idxs[m]].id
 			}
-			memberSets = append(memberSets, global)
+			built = append(built, builtGroup{ids: ids, centroid: g.Centroid})
 		}
 		if len(idxs) > largestSize {
 			largest, largestSize = res, len(idxs)
 		}
 	}
-	if len(memberSets) == 0 {
+	if len(built) == 0 {
 		return nil, nil, fmt.Errorf("per-bs grouping produced no groups: %w", ErrConfig)
 	}
-	return memberSets, largest, nil
+	return built, largest, nil
 }
 
 // groupWorstSNR returns the coverage SNR the multicast MCS must
@@ -939,7 +1043,7 @@ func (s *Simulation) constructGroups() ([][]int, *grouping.Result, error) {
 func (s *Simulation) groupWorstSNR(g *groupState) float64 {
 	snrs := make([]float64, 0, len(g.members))
 	for _, m := range g.members {
-		snrs = append(snrs, s.users[m].meanSNR.Mean())
+		snrs = append(snrs, s.userByID(m).meanSNR.Mean())
 	}
 	return stats.TailMean(snrs, 2*s.cfg.CoverageQuantile)
 }
@@ -953,9 +1057,13 @@ func (s *Simulation) groupWorstSNR(g *groupState) float64 {
 func (s *Simulation) abstractGroups() error {
 	return s.pool.For(len(s.groups), func(gi int) error {
 		g := s.groups[gi]
+		if len(g.members) == 0 {
+			// Emptied by cross-shard migration; skip until refilled.
+			return nil
+		}
 		twins := make([]*udt.Twin, len(g.members))
 		for i, m := range g.members {
-			twins[i] = s.users[m].twin
+			twins[i] = s.userByID(m).twin
 		}
 		profile, err := predict.BuildGroupProfile(twins, s.catalog, s.cfg.TopNRecommend)
 		if err != nil {
@@ -1009,7 +1117,7 @@ func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*p
 		// until the last member swipes.
 		var maxFrac float64
 		for _, m := range g.members {
-			u := s.users[m]
+			u := s.userByID(m)
 			frac, ferr := u.profile.WatchFraction(v.Category, u.rng)
 			if ferr != nil {
 				return nil, ferr
@@ -1064,217 +1172,82 @@ func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*p
 	}, nil
 }
 
-// Run executes the full simulation and returns the trace.
-func (s *Simulation) Run() (*Trace, error) {
-	// Warm-up: individual browsing to populate twins and calibrate
-	// the per-user SNR offsets.
+// Warmup runs the configured warm-up intervals: individual browsing
+// to populate twins and calibrate the per-user SNR offsets.
+func (s *Simulation) Warmup() error {
 	for w := 0; w < s.cfg.WarmupIntervals; w++ {
-		if err := s.collectTicks(); err != nil {
-			return nil, err
+		if err := s.WarmupInterval(); err != nil {
+			return err
 		}
-		if err := s.warmupBrowse(); err != nil {
-			return nil, err
-		}
-		s.closeInterval()
+	}
+	return nil
+}
+
+// WarmupInterval runs a single warm-up interval (collection +
+// individual browsing + calibration fold). The cluster engine steps
+// cells one warm-up interval at a time so twin handover can run at
+// every interval boundary.
+func (s *Simulation) WarmupInterval() error {
+	if err := s.collectTicks(); err != nil {
+		return err
+	}
+	if err := s.warmupBrowse(); err != nil {
+		return err
+	}
+	s.closeInterval()
+	return nil
+}
+
+// CollectTicks runs one interval's worth of mobility + channel
+// collection (exported for the cluster engine's per-cell stepping).
+func (s *Simulation) CollectTicks() error { return s.collectTicks() }
+
+// CloseInterval folds the finished interval's observations into the
+// per-user calibration state (exported for the cluster engine).
+func (s *Simulation) CloseInterval() { s.closeInterval() }
+
+// Train fits the grouping pipeline on the current population: the
+// 1D-CNN compressor, then (unless a K baseline is configured) the
+// DDQN K-selection agent. Populations too small to cluster skip the
+// agent — there is nothing for it to choose between.
+func (s *Simulation) Train() error {
+	if len(s.users) == 0 {
+		return nil
 	}
 	twins := make([]*udt.Twin, len(s.users))
 	for i, u := range s.users {
 		twins[i] = u.twin
 	}
 	if _, err := s.builder.TrainCompressor(twins, s.cfg.CompressorEpochs); err != nil {
-		return nil, fmt.Errorf("train compressor: %w", err)
+		return fmt.Errorf("train compressor: %w", err)
 	}
-	if s.cfg.FixedK == 0 && !s.cfg.OracleK {
+	if s.cfg.FixedK == 0 && !s.cfg.OracleK && len(s.users) > s.cfg.Grouping.KMax {
 		if _, err := s.builder.TrainAgent(twins, s.cfg.AgentEpisodes); err != nil {
-			return nil, fmt.Errorf("train agent: %w", err)
+			return fmt.Errorf("train agent: %w", err)
 		}
 	}
+	return nil
+}
+
+// BuildGroups runs one group construction and the follow-up
+// abstraction pass.
+func (s *Simulation) BuildGroups() error {
 	if err := s.rebuildGroups(); err != nil {
-		return nil, err
+		return err
 	}
-	if err := s.abstractGroups(); err != nil {
-		return nil, err
-	}
+	return s.abstractGroups()
+}
 
-	trace := &Trace{SwipeByGroup: make(map[int]*predict.SwipeDistribution)}
-	predictor := predict.DemandPredictor{
-		Params:             s.params,
-		IntervalS:          s.cfg.IntervalS,
-		SwipeGapS:          s.cfg.SwipeGapS,
-		MeanVideoDurationS: s.meanDur,
-		CyclesPerBit:       edge.DefaultTranscodeModel().CyclesPerBit,
-		SegmentS:           s.cfg.SegmentS,
-		PrefetchDepth:      s.cfg.PrefetchDepth,
-	}
+// NumGroups reports the current number of multicast groups.
+func (s *Simulation) NumGroups() int { return len(s.groups) }
 
-	for interval := 0; interval < s.cfg.NumIntervals; interval++ {
-		// 1. Predict each group's demand for this interval from the
-		//    previous interval's abstraction and channel forecast.
-		//    Groups only read shared state here (twins, trackers, the
-		//    cache hit rate hoisted below), so the forecasts fan
-		//    across the pool; preds is indexed by group id.
-		type pendingPred struct {
-			demand    *predict.Demand
-			snr       float64
-			rep       video.Representation
-			allocated int
-		}
-		preds := make([]pendingPred, len(s.groups))
-		predictor.CacheHitRate = s.server.Cache().HitRate()
-		if err := s.pool.For(len(s.groups), func(gi int) error {
-			g := s.groups[gi]
-			snr := s.predictGroupWorstSNR(g)
-			rep := s.groupBitrate(snr)
-			d, err := predictor.Predict(g.profile, rep.BitrateBps, snr)
-			if err != nil {
-				return fmt.Errorf("interval %d group %d predict: %w", interval, g.id, err)
-			}
-			// Calibrate the waste forecast with the measured waste
-			// per playback second once available.
-			if est, ok := s.wastePerPlayS.Predict(); ok {
-				playbackS := (d.TrafficBits - d.WasteBits) / rep.BitrateBps
-				corrected := est * playbackS * rep.BitrateBps
-				d.TrafficBits += corrected - d.WasteBits
-				d.WasteBits = corrected
-			}
-			// Refine the computing forecast: each ladder level has
-			// its own steady-state cycles-per-transmitted-second
-			// (the cache stays warm per rung); the first use of a
-			// level is predicted as a cold transcode of the feed.
-			predTxS := d.TrafficBits / rep.BitrateBps
-			topRate := video.DefaultLadder()[len(video.DefaultLadder())-1].BitrateBps
-			if tracker, ok := s.cyclesPerTxS[rep.Level]; ok {
-				if est, okP := tracker.Predict(); okP {
-					d.ComputeCycles = est * predTxS
-				}
-			} else if rep.BitrateBps < topRate {
-				d.ComputeCycles = edge.DefaultTranscodeModel().CyclesPerBit * topRate * predTxS
-			} else {
-				d.ComputeCycles = 0
-			}
-			preds[gi] = pendingPred{demand: d, snr: snr, rep: rep}
-			return nil
-		}); err != nil {
-			return nil, err
-		}
+// NewTrace returns an empty trace ready for RunInterval appends.
+func NewTrace() *Trace {
+	return &Trace{SwipeByGroup: make(map[int]*predict.SwipeDistribution)}
+}
 
-		// Admission: reserve from the shared RB budget and clamp each
-		// group's rung to what its grant sustains, re-predicting the
-		// demand at the granted bitrate.
-		if s.sched != nil {
-			s.sched.Reset()
-			for _, g := range s.groups {
-				p := preds[g.id]
-				want := int(math.Ceil(p.demand.RadioRBs * (1 + s.cfg.ReserveMargin)))
-				if want < 1 {
-					want = 1
-				}
-				granted := want
-				if free := s.sched.Free(); granted > free {
-					granted = free
-				}
-				if granted > 0 {
-					if err := s.sched.Allocate(g.id, granted, p.rep.BitrateBps); err != nil {
-						return nil, fmt.Errorf("interval %d group %d admit: %w", interval, g.id, err)
-					}
-				}
-				p.allocated = granted
-				budget := s.params.RateBps(p.snr) * float64(granted)
-				capped := (&video.Video{Ladder: video.DefaultLadder()}).RepAtMost(budget)
-				if capped.Level != p.rep.Level {
-					p.rep = capped
-					predictor.CacheHitRate = s.server.Cache().HitRate()
-					d, perr := predictor.Predict(g.profile, capped.BitrateBps, p.snr)
-					if perr != nil {
-						return nil, fmt.Errorf("interval %d group %d re-predict: %w", interval, g.id, perr)
-					}
-					predTxS := d.TrafficBits / capped.BitrateBps
-					topRate := video.DefaultLadder()[len(video.DefaultLadder())-1].BitrateBps
-					if tracker, ok := s.cyclesPerTxS[capped.Level]; ok {
-						if est, okP := tracker.Predict(); okP {
-							d.ComputeCycles = est * predTxS
-						}
-					} else if capped.BitrateBps < topRate {
-						d.ComputeCycles = edge.DefaultTranscodeModel().CyclesPerBit * topRate * predTxS
-					} else {
-						d.ComputeCycles = 0
-					}
-					p.demand = d
-				}
-				preds[g.id] = p
-			}
-		}
-
-		// 2. Simulate the interval: channel/mobility collection, then
-		//    multicast streaming with real swipes.
-		if err := s.collectTicks(); err != nil {
-			return nil, err
-		}
-		s.server.ResetInterval()
-		for _, g := range s.groups {
-			p := preds[g.id]
-			actual, err := s.streamInterval(g, p.rep)
-			if err != nil {
-				return nil, fmt.Errorf("interval %d group %d stream: %w", interval, g.id, err)
-			}
-			if playbackBits := actual.TrafficBits - actual.WasteBits; playbackBits > 0 {
-				playbackS := playbackBits / p.rep.BitrateBps
-				s.wastePerPlayS.Observe(actual.WasteBits / playbackS / p.rep.BitrateBps)
-			}
-			if txS := actual.TrafficBits / p.rep.BitrateBps; txS > 0 {
-				tracker, ok := s.cyclesPerTxS[p.rep.Level]
-				if !ok {
-					cyc, cerr := predict.NewEWMA(0.5)
-					if cerr != nil {
-						return nil, cerr
-					}
-					tracker = cyc
-					s.cyclesPerTxS[p.rep.Level] = tracker
-				}
-				tracker.Observe(actual.ComputeCycles / txS)
-			}
-			trace.Records = append(trace.Records, GroupIntervalRecord{
-				Interval:           interval,
-				GroupID:            g.id,
-				Size:               len(g.members),
-				PredictedRBs:       p.demand.RadioRBs,
-				ActualRBs:          actual.RadioRBs,
-				AllocatedRBs:       p.allocated,
-				PredictedCycles:    p.demand.ComputeCycles,
-				ActualCycles:       actual.ComputeCycles,
-				PredictedBits:      p.demand.TrafficBits,
-				ActualBits:         actual.TrafficBits,
-				PredictedWasteBits: p.demand.WasteBits,
-				ActualWasteBits:    actual.WasteBits,
-				ActualEngagementS:  actual.EngagementS,
-				WorstSNRdB:         p.snr,
-				BitrateBps:         p.rep.BitrateBps,
-			})
-		}
-
-		// 3. Re-abstract group profiles from this interval's data.
-		if err := s.abstractGroups(); err != nil {
-			return nil, err
-		}
-
-		// 4. User churn, then periodic regrouping to track dynamics.
-		churned, cerr := s.churnUsers()
-		if cerr != nil {
-			return nil, cerr
-		}
-		s.churned += churned
-		if s.cfg.RegroupEvery > 0 && (interval+1)%s.cfg.RegroupEvery == 0 && interval+1 < s.cfg.NumIntervals {
-			if err := s.rebuildGroups(); err != nil {
-				return nil, err
-			}
-			if err := s.abstractGroups(); err != nil {
-				return nil, err
-			}
-		}
-
-		s.closeInterval()
-	}
-
+// FinishTrace stamps the run-level statistics onto a trace.
+func (s *Simulation) FinishTrace(trace *Trace) {
 	for _, g := range s.groups {
 		if g.profile != nil {
 			trace.SwipeByGroup[g.id] = g.profile.Swipe
@@ -1287,5 +1260,206 @@ func (s *Simulation) Run() (*Trace, error) {
 	trace.CacheHitRate = s.server.Cache().HitRate()
 	trace.StabilityByRegroup = append([]float64(nil), s.stability...)
 	trace.ChurnedUsers = s.churned
+}
+
+// Run executes the full simulation and returns the trace.
+func (s *Simulation) Run() (*Trace, error) {
+	if err := s.Warmup(); err != nil {
+		return nil, err
+	}
+	if err := s.Train(); err != nil {
+		return nil, err
+	}
+	if err := s.BuildGroups(); err != nil {
+		return nil, err
+	}
+	trace := NewTrace()
+	for interval := 0; interval < s.cfg.NumIntervals; interval++ {
+		if err := s.RunInterval(interval, trace); err != nil {
+			return nil, err
+		}
+	}
+	s.FinishTrace(trace)
 	return trace, nil
+}
+
+// refineComputeForecast replaces the closed-form computing forecast
+// with the observed steady-state cycles-per-transmitted-second of the
+// ladder level once it has been served (the cache stays warm per
+// rung); a sub-top level not yet seen anywhere is predicted as a cold
+// transcode of the feed.
+func (s *Simulation) refineComputeForecast(d *predict.Demand, rep video.Representation) {
+	predTxS := d.TrafficBits / rep.BitrateBps
+	topRate := video.DefaultLadder()[len(video.DefaultLadder())-1].BitrateBps
+	if tracker, ok := s.cyclesPerTxS[rep.Level]; ok {
+		if est, okP := tracker.Predict(); okP {
+			d.ComputeCycles = est * predTxS
+		}
+	} else if rep.BitrateBps < topRate {
+		d.ComputeCycles = edge.DefaultTranscodeModel().CyclesPerBit * topRate * predTxS
+	} else {
+		d.ComputeCycles = 0
+	}
+}
+
+// RunInterval executes one reservation interval — predict, admit,
+// collect, stream, re-abstract, churn, regroup, close — appending the
+// interval's records to trace. The interval index drives the regroup
+// cadence and the record rows; the cluster engine calls this once per
+// cell per interval, then migrates twins between cells.
+func (s *Simulation) RunInterval(interval int, trace *Trace) error {
+	// 1. Predict each group's demand for this interval from the
+	//    previous interval's abstraction and channel forecast.
+	//    Groups only read shared state here (twins, trackers, the
+	//    cache hit rate hoisted below), so the forecasts fan
+	//    across the pool; preds is indexed by group id.
+	type pendingPred struct {
+		demand    *predict.Demand
+		snr       float64
+		rep       video.Representation
+		allocated int
+		skip      bool
+	}
+	preds := make([]pendingPred, len(s.groups))
+	s.predictor.CacheHitRate = s.server.Cache().HitRate()
+	if err := s.pool.For(len(s.groups), func(gi int) error {
+		g := s.groups[gi]
+		if len(g.members) == 0 {
+			// Emptied by cross-shard migration: nothing to serve.
+			preds[gi].skip = true
+			return nil
+		}
+		snr := s.predictGroupWorstSNR(g)
+		rep := s.groupBitrate(snr)
+		d, err := s.predictor.Predict(g.profile, rep.BitrateBps, snr)
+		if err != nil {
+			return fmt.Errorf("interval %d group %d predict: %w", interval, g.id, err)
+		}
+		// Calibrate the waste forecast with the measured waste
+		// per playback second once available.
+		if est, ok := s.wastePerPlayS.Predict(); ok {
+			playbackS := (d.TrafficBits - d.WasteBits) / rep.BitrateBps
+			corrected := est * playbackS * rep.BitrateBps
+			d.TrafficBits += corrected - d.WasteBits
+			d.WasteBits = corrected
+		}
+		s.refineComputeForecast(d, rep)
+		preds[gi] = pendingPred{demand: d, snr: snr, rep: rep}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Admission: reserve from the shared RB budget and clamp each
+	// group's rung to what its grant sustains, re-predicting the
+	// demand at the granted bitrate.
+	if s.sched != nil {
+		s.sched.Reset()
+		for _, g := range s.groups {
+			p := preds[g.id]
+			if p.skip {
+				continue
+			}
+			want := int(math.Ceil(p.demand.RadioRBs * (1 + s.cfg.ReserveMargin)))
+			if want < 1 {
+				want = 1
+			}
+			granted := want
+			if free := s.sched.Free(); granted > free {
+				granted = free
+			}
+			if granted > 0 {
+				if err := s.sched.Allocate(g.id, granted, p.rep.BitrateBps); err != nil {
+					return fmt.Errorf("interval %d group %d admit: %w", interval, g.id, err)
+				}
+			}
+			p.allocated = granted
+			budget := s.params.RateBps(p.snr) * float64(granted)
+			capped := (&video.Video{Ladder: video.DefaultLadder()}).RepAtMost(budget)
+			if capped.Level != p.rep.Level {
+				p.rep = capped
+				s.predictor.CacheHitRate = s.server.Cache().HitRate()
+				d, perr := s.predictor.Predict(g.profile, capped.BitrateBps, p.snr)
+				if perr != nil {
+					return fmt.Errorf("interval %d group %d re-predict: %w", interval, g.id, perr)
+				}
+				s.refineComputeForecast(d, capped)
+				p.demand = d
+			}
+			preds[g.id] = p
+		}
+	}
+
+	// 2. Simulate the interval: channel/mobility collection, then
+	//    multicast streaming with real swipes.
+	if err := s.collectTicks(); err != nil {
+		return err
+	}
+	s.server.ResetInterval()
+	for _, g := range s.groups {
+		p := preds[g.id]
+		if p.skip {
+			continue
+		}
+		actual, err := s.streamInterval(g, p.rep)
+		if err != nil {
+			return fmt.Errorf("interval %d group %d stream: %w", interval, g.id, err)
+		}
+		if playbackBits := actual.TrafficBits - actual.WasteBits; playbackBits > 0 {
+			playbackS := playbackBits / p.rep.BitrateBps
+			s.wastePerPlayS.Observe(actual.WasteBits / playbackS / p.rep.BitrateBps)
+		}
+		if txS := actual.TrafficBits / p.rep.BitrateBps; txS > 0 {
+			tracker, ok := s.cyclesPerTxS[p.rep.Level]
+			if !ok {
+				cyc, cerr := predict.NewEWMA(0.5)
+				if cerr != nil {
+					return cerr
+				}
+				tracker = cyc
+				s.cyclesPerTxS[p.rep.Level] = tracker
+			}
+			tracker.Observe(actual.ComputeCycles / txS)
+		}
+		trace.Records = append(trace.Records, GroupIntervalRecord{
+			Interval:           interval,
+			GroupID:            g.id,
+			Size:               len(g.members),
+			PredictedRBs:       p.demand.RadioRBs,
+			ActualRBs:          actual.RadioRBs,
+			AllocatedRBs:       p.allocated,
+			PredictedCycles:    p.demand.ComputeCycles,
+			ActualCycles:       actual.ComputeCycles,
+			PredictedBits:      p.demand.TrafficBits,
+			ActualBits:         actual.TrafficBits,
+			PredictedWasteBits: p.demand.WasteBits,
+			ActualWasteBits:    actual.WasteBits,
+			ActualEngagementS:  actual.EngagementS,
+			WorstSNRdB:         p.snr,
+			BitrateBps:         p.rep.BitrateBps,
+		})
+	}
+
+	// 3. Re-abstract group profiles from this interval's data.
+	if err := s.abstractGroups(); err != nil {
+		return err
+	}
+
+	// 4. User churn, then periodic regrouping to track dynamics.
+	churned, cerr := s.churnUsers()
+	if cerr != nil {
+		return cerr
+	}
+	s.churned += churned
+	if s.cfg.RegroupEvery > 0 && (interval+1)%s.cfg.RegroupEvery == 0 && interval+1 < s.cfg.NumIntervals {
+		if err := s.rebuildGroups(); err != nil {
+			return err
+		}
+		if err := s.abstractGroups(); err != nil {
+			return err
+		}
+	}
+
+	s.closeInterval()
+	return nil
 }

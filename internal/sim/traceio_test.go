@@ -40,8 +40,47 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 }
 
 func TestReadRecordsJSONError(t *testing.T) {
-	if _, err := ReadRecordsJSON(strings.NewReader("nope")); err == nil {
-		t.Fatal("malformed json must error")
+	for _, in := range []string{"", "nope", `{"interval": 0}`, `[{"interval": "zero"}]`, `[1, 2]`} {
+		if _, err := ReadRecordsJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed input %q must error", in)
+		}
+	}
+}
+
+func TestTraceJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("empty round trip returned %d records", len(back))
+	}
+	// A zero-value record must survive unchanged too.
+	buf.Reset()
+	if err := WriteRecordsJSON(&buf, []GroupIntervalRecord{{}}); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadRecordsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != (GroupIntervalRecord{}) {
+		t.Fatalf("zero record round trip: %+v", back)
+	}
+}
+
+func TestTraceCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("empty trace must write only the header, got %d lines", len(lines))
 	}
 }
 

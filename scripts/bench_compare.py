@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh benchmark run against the
+committed baseline and fail on significant regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--wall 1.3] [--allocs 1.5]
+
+Both inputs are the JSON documents produced by scripts/benchjson.py.
+A benchmark regresses when its wall time (ns_per_op) exceeds
+WALL x baseline or its allocations (allocs_per_op) exceed
+ALLOCS x baseline. Benchmarks present on only one side are reported
+but never fail the gate (new benches appear, old ones get renamed).
+Exit status: 0 clean, 1 regression found, 2 usage/IO error.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--wall", type=float, default=1.3,
+                    help="max allowed ns/op ratio (default 1.3)")
+    ap.add_argument("--allocs", type=float, default=1.5,
+                    help="max allowed allocs/op ratio (default 1.5)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    print(f"{'benchmark':<42}{'wall':>10}{'allocs':>10}")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<42}{'(gone)':>10}{'':>10}")
+            continue
+        b, c = base[name], cur[name]
+        rows = []
+        for key, limit, label in (("ns_per_op", args.wall, "wall"),
+                                  ("allocs_per_op", args.allocs, "allocs")):
+            bv, cv = b.get(key), c.get(key)
+            if not bv or cv is None:
+                rows.append("n/a")
+                continue
+            ratio = cv / bv
+            rows.append(f"{ratio:.2f}x")
+            if ratio > limit:
+                regressions.append(
+                    f"{name}: {label} {cv:.0f} vs baseline {bv:.0f} "
+                    f"({ratio:.2f}x > {limit:.2f}x)")
+        print(f"{name:<42}{rows[0]:>10}{rows[1]:>10}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<42}{'(new)':>10}{'':>10}")
+
+    if regressions:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for r in regressions:
+            print("  " + r, file=sys.stderr)
+        sys.exit(1)
+    print("\nbench-check: no regressions "
+          f"(wall <= {args.wall}x, allocs <= {args.allocs}x)")
+
+
+if __name__ == "__main__":
+    main()
