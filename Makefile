@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-baseline bench-check
+.PHONY: build test vet bench bench-baseline bench-check bench-check-allocs
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,11 @@ bench-baseline:
 bench-check:
 	BENCH_OUT=/tmp/bench_current.json BENCH_COUNT=$${BENCH_CHECK_COUNT:-3} ./scripts/bench.sh
 	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_current.json
+
+# Hardware-safe regression gate for CI: allocation counts are
+# deterministic per binary, so this gates allocs only (wall time is
+# printed but never fails) and samples each benchmark once with a
+# single iteration — fast enough for every push.
+bench-check-allocs:
+	BENCH_OUT=/tmp/bench_current.json BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
+	python3 scripts/bench_compare.py --allocs-only BENCH_baseline.json /tmp/bench_current.json

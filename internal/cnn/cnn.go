@@ -8,6 +8,7 @@ package cnn
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"dtmsvs/internal/nn"
@@ -31,8 +32,19 @@ type Config struct {
 	Pool int
 	// CodeDim is the size of the compressed representation.
 	CodeDim int
-	// LearningRate for Adam. Defaults to 1e-3 when zero.
+	// LearningRate for Adam. When zero it defaults to 1e-3·√Batch
+	// (≈2.83e-3 at the default Batch of 8) — see the Batch field for
+	// the scaling rationale; set it explicitly for a fixed rate.
 	LearningRate float64
+	// Batch is the Fit minibatch size (default 8): each optimizer
+	// step averages the reconstruction gradient over Batch windows
+	// pushed through the network as one blocked-GEMM pass. 1 recovers
+	// per-window SGD (the pre-batched trainer, still available as
+	// TrainStep). Note the zero-value LearningRate default scales
+	// with √Batch and the optimizer is shared, so TrainStep on a
+	// default config inherits the batch-tuned rate; set Batch: 1 (or
+	// an explicit LearningRate) for classic 1e-3 per-window SGD.
+	Batch int
 }
 
 // Validate checks the configuration for consistency.
@@ -46,6 +58,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pool=%d convlen=%d: %w", c.Pool, c.Window-c.Kernel+1, ErrConfig)
 	case c.CodeDim <= 0:
 		return fmt.Errorf("codedim=%d: %w", c.CodeDim, ErrConfig)
+	case c.Batch < 0:
+		return fmt.Errorf("batch=%d: %w", c.Batch, ErrConfig)
 	}
 	return nil
 }
@@ -62,6 +76,11 @@ type Compressor struct {
 	// first TrainStep and reused so the fit loop stays allocation-free.
 	gradBuf vecmath.Vec
 	params  []nn.Param
+
+	// Minibatch scratch (grow-once): the stacked window batch and the
+	// batched reconstruction gradient. The per-layer activations live
+	// inside the layers (nn batch scratch).
+	xB, gradB *vecmath.Matrix
 }
 
 // New builds a compressor from the config with weights drawn from rng.
@@ -69,9 +88,16 @@ func New(cfg Config, rng *rand.Rand) (*Compressor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 8
+	}
 	lr := cfg.LearningRate
 	if lr == 0 {
-		lr = 1e-3
+		// Square-root LR scaling: a minibatch step averages Batch
+		// per-window gradients, so the per-epoch step count drops by
+		// Batch; scaling the default LR by √Batch keeps the epoch
+		// budget roughly equivalent to per-window SGD at 1e-3.
+		lr = 1e-3 * math.Sqrt(float64(cfg.Batch))
 	}
 	inDim := cfg.Channels * cfg.Window
 
@@ -194,17 +220,96 @@ func (c *Compressor) TrainStep(window vecmath.Vec) (float64, error) {
 	if _, err := c.encoder.Backward(codeGrad); err != nil {
 		return 0, err
 	}
+	nn.ClipGrads(c.allParams(), 5)
+	if err := c.opt.Step(c.params); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// allParams lazily builds and caches the joint encoder+decoder
+// parameter list shared by the clip and optimizer steps.
+func (c *Compressor) allParams() []nn.Param {
 	if c.params == nil {
 		enc, dec := c.encoder.Params(), c.decoder.Params()
 		c.params = make([]nn.Param, 0, len(enc)+len(dec))
 		c.params = append(c.params, enc...)
 		c.params = append(c.params, dec...)
 	}
-	nn.ClipGrads(c.params, 5)
+	return c.params
+}
+
+// TrainBatch performs one reconstruction-loss gradient step over a
+// minibatch of windows and returns their mean loss. The whole batch
+// runs through encoder and decoder as blocked GEMMs (the conv layer
+// via an im2col window matrix), the gradient is averaged over the
+// batch, and one optimizer step is applied. Steady-state it allocates
+// nothing: the batch matrices are compressor-owned grow-once scratch.
+func (c *Compressor) TrainBatch(windows []vecmath.Vec) (float64, error) {
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("train batch with no windows: %w", ErrConfig)
+	}
+	for i, w := range windows {
+		if len(w) != c.inDim {
+			return 0, fmt.Errorf("train batch window %d size %d want %d: %w", i, len(w), c.inDim, ErrConfig)
+		}
+	}
+	if c.xB == nil {
+		c.xB = &vecmath.Matrix{}
+	}
+	if err := c.xB.Resize(len(windows), c.inDim); err != nil {
+		return 0, err
+	}
+	for i, w := range windows {
+		copy(c.xB.Row(i), w)
+	}
+	return c.trainOn(c.xB)
+}
+
+// trainOn is the shared minibatch step over a stacked window batch.
+func (c *Compressor) trainOn(x *vecmath.Matrix) (float64, error) {
+	c.encoder.SetTraining(true)
+	c.decoder.SetTraining(true)
+	code, err := c.encoder.ForwardBatch(x)
+	if err != nil {
+		return 0, err
+	}
+	recon, err := c.decoder.ForwardBatch(code)
+	if err != nil {
+		return 0, err
+	}
+	if c.gradB == nil {
+		c.gradB = &vecmath.Matrix{}
+	}
+	if err := c.gradB.Resize(recon.Rows, recon.Cols); err != nil {
+		return 0, err
+	}
+	var loss float64
+	for r := 0; r < recon.Rows; r++ {
+		l, lerr := nn.MSELossInto(c.gradB.Row(r), recon.Row(r), x.Row(r))
+		if lerr != nil {
+			return 0, lerr
+		}
+		loss += l
+	}
+	// Average the gradient over the batch so one step has the same
+	// scale as a per-window step on the mean loss.
+	inv := 1 / float64(recon.Rows)
+	vecmath.Scale(inv, c.gradB.Data)
+	c.encoder.ZeroGrads()
+	c.decoder.ZeroGrads()
+	codeGrad, err := c.decoder.BackwardBatch(c.gradB)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.encoder.BackwardBatch(codeGrad); err != nil {
+		return 0, err
+	}
+	nn.ClipGrads(c.allParams(), 5)
 	if err := c.opt.Step(c.params); err != nil {
 		return 0, err
 	}
-	return loss, nil
+	return loss * inv, nil
 }
 
 // State is the compressor's serializable parameter set.
@@ -235,7 +340,10 @@ func (c *Compressor) LoadState(s *State) error {
 }
 
 // Fit trains for the given number of epochs over the window set,
-// returning the mean reconstruction loss of the final epoch.
+// returning the mean reconstruction loss of the final epoch. Each
+// epoch shuffles the windows and walks them in minibatches of
+// Config.Batch: one blocked-GEMM forward+backward and one optimizer
+// step per batch instead of per window.
 func (c *Compressor) Fit(windows []vecmath.Vec, epochs int, rng *rand.Rand) (float64, error) {
 	if len(windows) == 0 {
 		return 0, fmt.Errorf("fit with no windows: %w", ErrConfig)
@@ -243,20 +351,44 @@ func (c *Compressor) Fit(windows []vecmath.Vec, epochs int, rng *rand.Rand) (flo
 	if epochs <= 0 {
 		return 0, fmt.Errorf("fit epochs=%d: %w", epochs, ErrConfig)
 	}
+	for i, w := range windows {
+		if len(w) != c.inDim {
+			return 0, fmt.Errorf("fit window %d size %d want %d: %w", i, len(w), c.inDim, ErrConfig)
+		}
+	}
+	bs := c.cfg.Batch
+	if bs > len(windows) {
+		bs = len(windows)
+	}
 	order := make([]int, len(windows))
 	for i := range order {
 		order[i] = i
+	}
+	if c.xB == nil {
+		c.xB = &vecmath.Matrix{}
 	}
 	var last float64
 	for e := 0; e < epochs; e++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var sum float64
-		for _, idx := range order {
-			loss, err := c.TrainStep(windows[idx])
-			if err != nil {
-				return 0, fmt.Errorf("epoch %d window %d: %w", e, idx, err)
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
 			}
-			sum += loss
+			if err := c.xB.Resize(end-start, c.inDim); err != nil {
+				return 0, err
+			}
+			for r, idx := range order[start:end] {
+				copy(c.xB.Row(r), windows[idx])
+			}
+			loss, err := c.trainOn(c.xB)
+			if err != nil {
+				return 0, fmt.Errorf("epoch %d batch at %d: %w", e, start, err)
+			}
+			// Weight by batch size so the epoch mean matches the
+			// per-window mean.
+			sum += loss * float64(end-start)
 		}
 		last = sum / float64(len(windows))
 	}

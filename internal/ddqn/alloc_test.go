@@ -1,0 +1,52 @@
+package ddqn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// TestLearnAllocFree is the allocation regression gate for the
+// batched learn step: once the replay buffer is warm and the layer
+// scratch has grown, a steady-state Learn — three GEMMs per Dense
+// layer plus the optimizer step — must not touch the heap.
+func TestLearnAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, err := New(Config{
+		StateDim: 6, NumActions: 4, Hidden: 32,
+		BatchSize: 16, ReplayCapacity: 256,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make(vecmath.Vec, 6)
+	next := make(vecmath.Vec, 6)
+	for i := 0; i < 64; i++ {
+		for j := range state {
+			state[j] = rng.NormFloat64()
+			next[j] = rng.NormFloat64()
+		}
+		tr := Transition{
+			State:     vecmath.Clone(state),
+			Action:    rng.Intn(4),
+			Reward:    rng.NormFloat64(),
+			NextState: vecmath.Clone(next),
+			Done:      i%7 == 0,
+		}
+		if err := a.Observe(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the layer batch scratch.
+	if _, learned, err := a.Learn(); err != nil || !learned {
+		t.Fatalf("prime learn: learned=%v err=%v", learned, err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, learned, err := a.Learn(); err != nil || !learned {
+			t.Fatalf("learn: learned=%v err=%v", learned, err)
+		}
+	}); n != 0 {
+		t.Fatalf("Learn allocates %v per run in steady state", n)
+	}
+}

@@ -208,29 +208,6 @@ func (q *qnet) copyFrom(src *qnet) error {
 	return q.l3.CopyWeightsFrom(src.l3)
 }
 
-// forwardBatch pushes a whole minibatch of states through the MLP as
-// one matrix op per layer (inference only — nothing is cached for
-// backprop). h1 and h2 are caller-owned hidden-activation scratch.
-func (q *qnet) forwardBatch(x, h1, h2, out *vecmath.Matrix) error {
-	if err := q.l1.ForwardBatch(h1, x); err != nil {
-		return err
-	}
-	reluInPlace(h1.Data)
-	if err := q.l2.ForwardBatch(h2, h1); err != nil {
-		return err
-	}
-	reluInPlace(h2.Data)
-	return q.l3.ForwardBatch(out, h2)
-}
-
-func reluInPlace(v []float64) {
-	for i, x := range v {
-		if x < 0 {
-			v[i] = 0
-		}
-	}
-}
-
 // Agent is a double-DQN learner over a discrete action space.
 type Agent struct {
 	cfg    Config
@@ -245,15 +222,17 @@ type Agent struct {
 
 	// Minibatch scratch, allocated once in New so Learn runs with zero
 	// steady-state allocations: the sampled batch, the stacked
-	// next-state matrix, hidden activations, the two batched Q outputs
-	// (target and online), and the TD target / loss-gradient vectors.
-	batch          []Transition
-	nextX          *vecmath.Matrix
-	h1, h2         *vecmath.Matrix
-	qNextT, qNextO *vecmath.Matrix
-	tgtBuf         vecmath.Vec
-	gradBuf        vecmath.Vec
-	params         []nn.Param
+	// current- and next-state matrices, the per-sample TD targets, the
+	// batched loss gradient, and the per-row target scratch. The
+	// hidden activations and batched Q outputs live inside the layers
+	// (nn batch scratch).
+	batch    []Transition
+	curX     *vecmath.Matrix
+	nextX    *vecmath.Matrix
+	gradB    *vecmath.Matrix
+	tdTarget vecmath.Vec
+	tgtBuf   vecmath.Vec
+	params   []nn.Param
 }
 
 // New builds an agent. The rng drives weight init, exploration and
@@ -284,23 +263,17 @@ func New(cfg Config, rng *rand.Rand) (*Agent, error) {
 		rng: rng, eps: c.EpsStart,
 	}
 	a.batch = make([]Transition, c.BatchSize)
+	if a.curX, err = vecmath.NewMatrix(c.BatchSize, c.StateDim); err != nil {
+		return nil, err
+	}
 	if a.nextX, err = vecmath.NewMatrix(c.BatchSize, c.StateDim); err != nil {
 		return nil, err
 	}
-	if a.h1, err = vecmath.NewMatrix(c.BatchSize, c.Hidden); err != nil {
+	if a.gradB, err = vecmath.NewMatrix(c.BatchSize, c.NumActions); err != nil {
 		return nil, err
 	}
-	if a.h2, err = vecmath.NewMatrix(c.BatchSize, c.Hidden); err != nil {
-		return nil, err
-	}
-	if a.qNextT, err = vecmath.NewMatrix(c.BatchSize, c.NumActions); err != nil {
-		return nil, err
-	}
-	if a.qNextO, err = vecmath.NewMatrix(c.BatchSize, c.NumActions); err != nil {
-		return nil, err
-	}
+	a.tdTarget = make(vecmath.Vec, c.BatchSize)
 	a.tgtBuf = make(vecmath.Vec, c.NumActions)
-	a.gradBuf = make(vecmath.Vec, c.NumActions)
 	a.params = a.online.net.Params()
 	return a, nil
 }
@@ -368,12 +341,13 @@ func (a *Agent) Observe(t Transition) error {
 // returns the mean TD loss. It is a no-op (returns 0, false, nil)
 // until WarmUp transitions are buffered.
 //
-// The next-state evaluation is batched: all sampled next states are
-// stacked into one matrix and pushed through the target (and, for
-// double-DQN, the online) network as a single matrix op per layer,
-// instead of per-sample vector passes. Only the gradient pass over the
-// current states remains per-sample, and it reuses layer scratch, so a
-// learn step allocates nothing in steady state.
+// The whole minibatch goes through forward and backward in one pass:
+// current and next states are stacked into matrices, every layer runs
+// as a blocked GEMM, and the backward through each Dense layer is
+// exactly dX = dY·W and dW = dYᵀ·X. The GEMM kernels accumulate in
+// ascending sample order, so the step is bit-identical to running the
+// 32 samples one at a time — and it allocates nothing in steady
+// state (all matrices are agent- or layer-owned scratch).
 func (a *Agent) Learn() (loss float64, learned bool, err error) {
 	if a.replay.Len() < a.cfg.WarmUp {
 		return 0, false, nil
@@ -393,45 +367,59 @@ func (a *Agent) Learn() (loss float64, learned bool, err error) {
 		copy(row, tr.NextState)
 		anyNext = true
 	}
-	if anyNext {
-		if err := a.target.forwardBatch(a.nextX, a.h1, a.h2, a.qNextT); err != nil {
-			return 0, false, err
-		}
-		if !a.cfg.Vanilla {
-			if err := a.online.forwardBatch(a.nextX, a.h1, a.h2, a.qNextO); err != nil {
-				return 0, false, err
-			}
-		}
-	}
-	a.online.net.ZeroGrads()
-	var total float64
 	for i, tr := range a.batch {
-		q, ferr := a.online.net.Forward(tr.State)
+		a.tdTarget[i] = tr.Reward
+	}
+	if anyNext {
+		qNextT, ferr := a.target.net.ForwardBatch(a.nextX)
 		if ferr != nil {
 			return 0, false, ferr
 		}
-		target := tr.Reward
-		if !tr.Done {
-			qNextTarget := a.qNextT.Row(i)
+		var qNextO *vecmath.Matrix
+		if !a.cfg.Vanilla {
+			if qNextO, ferr = a.online.net.ForwardBatch(a.nextX); ferr != nil {
+				return 0, false, ferr
+			}
+		}
+		for i, tr := range a.batch {
+			if tr.Done {
+				continue
+			}
+			qNextTarget := qNextT.Row(i)
 			best := vecmath.ArgMax(qNextTarget)
 			if !a.cfg.Vanilla {
 				// Double-DQN: the online net picks the action, the
 				// target net evaluates it — removing the max-operator
 				// overestimation bias.
-				best = vecmath.ArgMax(a.qNextO.Row(i))
+				best = vecmath.ArgMax(qNextO.Row(i))
 			}
-			target += a.cfg.Gamma * qNextTarget[best]
+			a.tdTarget[i] += a.cfg.Gamma * qNextTarget[best]
 		}
+	}
+	for i, tr := range a.batch {
+		copy(a.curX.Row(i), tr.State)
+	}
+	// The current-state batch forward overwrites the online net's
+	// batch scratch (qNextO above), which is why the TD targets were
+	// extracted first.
+	qCur, ferr := a.online.net.ForwardBatch(a.curX)
+	if ferr != nil {
+		return 0, false, ferr
+	}
+	a.online.net.ZeroGrads()
+	var total float64
+	for i, tr := range a.batch {
+		q := qCur.Row(i)
 		copy(a.tgtBuf, q)
-		a.tgtBuf[tr.Action] = target
-		l, lerr := nn.HuberLossInto(a.gradBuf, q, a.tgtBuf, 1)
+		a.tgtBuf[tr.Action] = a.tdTarget[i]
+		l, lerr := nn.HuberLossInto(a.gradB.Row(i), q, a.tgtBuf, 1)
 		if lerr != nil {
 			return 0, false, lerr
 		}
 		total += l
-		if _, berr := a.online.net.Backward(a.gradBuf); berr != nil {
-			return 0, false, berr
-		}
+	}
+	if _, berr := a.online.net.BackwardBatch(a.gradB); berr != nil {
+		return 0, false, berr
 	}
 	params := a.params
 	// Average the accumulated gradients over the batch.

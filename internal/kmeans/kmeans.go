@@ -61,6 +61,12 @@ type Options struct {
 	// seeding makes single runs good; a few restarts remove the
 	// residual seeding variance.
 	Restarts int
+	// Naive disables the Hamerly distance bounds and re-evaluates
+	// every point against every centroid each iteration (the classic
+	// Lloyd loop). The bounded path produces bit-identical
+	// assignments, centroids and iteration counts; Naive exists for
+	// the equivalence tests and A/B benchmarks.
+	Naive bool
 	// Pool optionally fans the assignment step (and Silhouette, via
 	// SilhouettePool) across workers. The result is bit-identical to
 	// the sequential path: every point's nearest-centroid decision is
@@ -194,7 +200,9 @@ func Run(points []vecmath.Vec, k int, rng *rand.Rand, opts Options) (*Result, er
 	return best, nil
 }
 
-// runOnce is a single seeding + Lloyd pass.
+// runOnce is a single seeding + Lloyd pass. The assignment step uses
+// Hamerly distance bounds unless o.Naive is set; both paths share the
+// update step and produce bit-identical results (see bounds.go).
 func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, error) {
 	if err := validate(points, k); err != nil {
 		return nil, err
@@ -210,54 +218,27 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 	for i := range sums {
 		sums[i] = make(vecmath.Vec, dim)
 	}
+	var bs *boundsState
+	if !o.Naive {
+		bs = newBoundsState(len(points), k)
+	}
 
 	var iter int
 	for iter = 0; iter < o.MaxIter; iter++ {
 		// Assignment step — the hot kernel, fanned across the pool
-		// when one is configured.
-		if err := AssignPoints(points, centroids, assign, o.Pool); err != nil {
-			return nil, err
-		}
-		// Update step.
-		for c := range sums {
-			counts[c] = 0
-			for j := range sums[c] {
-				sums[c][j] = 0
+		// when one is configured, and pruned by the Hamerly bounds
+		// after the first iteration.
+		switch {
+		case o.Naive:
+			if err := AssignPoints(points, centroids, assign, o.Pool); err != nil {
+				return nil, err
 			}
+		case iter == 0:
+			bs.assignFull(points, centroids, assign, o.Pool)
+		default:
+			bs.assignBounded(points, centroids, assign, o.Pool)
 		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for j, v := range p {
-				sums[c][j] += v
-			}
-		}
-		var moved float64
-		for c := range centroids {
-			if counts[c] == 0 {
-				// Re-seed an empty cluster at the point farthest from
-				// its centroid to avoid dead clusters.
-				far, farD := 0, -1.0
-				for i, p := range points {
-					d := vecmath.SqDistUnchecked(p, centroids[assign[i]])
-					if d > farD {
-						far, farD = i, d
-					}
-				}
-				moved += 1 // force another iteration
-				copy(centroids[c], points[far])
-				continue
-			}
-			inv := 1 / float64(counts[c])
-			var delta float64
-			for j := range centroids[c] {
-				nv := sums[c][j] * inv
-				d := nv - centroids[c][j]
-				delta += d * d
-				centroids[c][j] = nv
-			}
-			moved += math.Sqrt(delta)
-		}
+		moved := updateCentroids(points, centroids, assign, counts, sums, bs)
 		if moved < o.Tol {
 			iter++
 			break
@@ -269,6 +250,67 @@ func runOnce(points []vecmath.Vec, k int, rng *rand.Rand, o Options) (*Result, e
 		inertia += vecmath.SqDistUnchecked(p, centroids[assign[i]])
 	}
 	return &Result{K: k, Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+}
+
+// updateCentroids is the Lloyd update step shared by the naive and
+// bounded paths: recompute per-cluster sums, move every centroid to
+// its mean (re-seeding empty clusters at the farthest point), and
+// return the total movement. When bs is non-nil the per-centroid
+// drift is recorded for the next bounded assignment; the centroid
+// arithmetic itself is identical either way.
+func updateCentroids(points, centroids []vecmath.Vec, assign, counts []int, sums []vecmath.Vec, bs *boundsState) float64 {
+	for c := range sums {
+		counts[c] = 0
+		for j := range sums[c] {
+			sums[c][j] = 0
+		}
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, v := range p {
+			sums[c][j] += v
+		}
+	}
+	var moved float64
+	for c := range centroids {
+		if counts[c] == 0 {
+			// Re-seed an empty cluster at the point farthest from
+			// its centroid to avoid dead clusters.
+			var far int
+			if bs != nil {
+				far = bs.reseedFarthest(points, centroids, assign, c)
+			} else {
+				farD := -1.0
+				for i, p := range points {
+					d := vecmath.SqDistUnchecked(p, centroids[assign[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+			}
+			moved += 1 // force another iteration
+			if bs != nil {
+				bs.drift[c] = math.Sqrt(vecmath.SqDistUnchecked(centroids[c], points[far]))
+			}
+			copy(centroids[c], points[far])
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		var delta float64
+		for j := range centroids[c] {
+			nv := sums[c][j] * inv
+			d := nv - centroids[c][j]
+			delta += d * d
+			centroids[c][j] = nv
+		}
+		sd := math.Sqrt(delta)
+		moved += sd
+		if bs != nil {
+			bs.drift[c] = sd
+		}
+	}
+	return moved
 }
 
 // Silhouette returns the mean silhouette coefficient of the clustering
@@ -285,6 +327,17 @@ func Silhouette(points []vecmath.Vec, assign []int, k int) (float64, error) {
 type DistMatrix struct {
 	N int
 	D []float64 // row-major n×n, D[i*N+j] = dist(points[i], points[j])
+
+	// Silhouette scratch, grown once and reused across the many
+	// SilhouetteDists calls a DDQN training run makes against one
+	// matrix — at cluster scale this keeps the per-episode reward
+	// evaluation allocation-free. Calls on the same matrix must not
+	// overlap (they never do: each builder owns its matrix and
+	// evaluates one clustering at a time; the pool fan-out inside a
+	// call uses index-owned rows).
+	sizes   []int
+	contrib []float64
+	sumTo   []float64
 }
 
 // At returns the distance between points i and j.
@@ -336,7 +389,13 @@ func SilhouetteDists(dists *DistMatrix, assign []int, k int, pool *parallel.Pool
 	if dists == nil || dists.N == 0 || len(assign) != dists.N {
 		return 0, fmt.Errorf("silhouette dists for %d assigns: %w", len(assign), ErrInput)
 	}
-	sizes := make([]int, k)
+	if cap(dists.sizes) < k {
+		dists.sizes = make([]int, k)
+	}
+	sizes := dists.sizes[:k]
+	for c := range sizes {
+		sizes[c] = 0
+	}
 	for _, a := range assign {
 		if a < 0 || a >= k {
 			return 0, fmt.Errorf("silhouette assign %d outside [0,%d): %w", a, k, ErrInput)
@@ -344,10 +403,19 @@ func SilhouetteDists(dists *DistMatrix, assign []int, k int, pool *parallel.Pool
 		sizes[a]++
 	}
 	n := dists.N
-	contrib := make([]float64, n)
-	sumTo := make([]float64, n*k)
+	if cap(dists.contrib) < n {
+		dists.contrib = make([]float64, n)
+	}
+	contrib := dists.contrib[:n]
+	if cap(dists.sumTo) < n*k {
+		dists.sumTo = make([]float64, n*k)
+	}
+	sumTo := dists.sumTo[:n*k]
 	one := func(i int) error {
 		st := sumTo[i*k : (i+1)*k]
+		for c := range st {
+			st[c] = 0
+		}
 		row := dists.D[i*n : (i+1)*n]
 		for j, d := range row {
 			if i == j {

@@ -29,6 +29,14 @@ type Conv1D struct {
 	lastIn vecmath.Vec
 	out    vecmath.Vec
 	dx     vecmath.Vec
+
+	// Batched-training scratch (see batch.go): the im2col window
+	// matrix, flattened weight/gradient views, the GEMM outputs and
+	// the batch input-gradient — all grow-once layer-owned.
+	bPrimed                     bool
+	xcol, wflat, wflatT, gwflat *vecmath.Matrix
+	ycol, dycol, dxcol          *vecmath.Matrix
+	bOut, bDx                   *vecmath.Matrix
 }
 
 // NewConv1D builds a conv layer with Xavier-style initialization.
@@ -182,6 +190,9 @@ type MaxPool1D struct {
 	primed  bool
 	out     vecmath.Vec
 	dx      vecmath.Vec
+
+	bArg      []int // batched argmax cache, row-major per sample
+	bOut, bDx *vecmath.Matrix
 }
 
 // NewMaxPool1D validates the shape and returns the layer.

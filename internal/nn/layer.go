@@ -92,6 +92,12 @@ type Dense struct {
 	lastIn vecmath.Vec
 	out    vecmath.Vec
 	dx     vecmath.Vec
+
+	// Batched-training scratch (see batch.go): bIn references the
+	// caller's input batch between ForwardBatch and BackwardBatch,
+	// bOut/bDx are layer-owned grow-once matrices, wT holds the
+	// transposed weights for the AXPY-form forward GEMM.
+	bIn, bOut, bDx, wT *vecmath.Matrix
 }
 
 // NewDense builds a dense layer with Xavier-initialized weights.
@@ -142,20 +148,6 @@ func (d *Dense) Forward(x vecmath.Vec) (vecmath.Vec, error) {
 	return d.out, nil
 }
 
-// ForwardBatch maps every row of x (a batch of InDim-wide inputs)
-// through the layer in one matrix op: dst row r = W·x_r + b. It is an
-// inference-only path — nothing is cached for Backward. Shapes: x is
-// (n × InDim), dst is (n × OutDim).
-func (d *Dense) ForwardBatch(dst, x *vecmath.Matrix) error {
-	if err := d.w.MulBatchInto(dst, x); err != nil {
-		return err
-	}
-	for r := 0; r < dst.Rows; r++ {
-		vecmath.AXPYUnchecked(1, d.b, dst.Row(r))
-	}
-	return nil
-}
-
 // Backward implements Layer.
 func (d *Dense) Backward(grad vecmath.Vec) (vecmath.Vec, error) {
 	if len(grad) != d.OutDim {
@@ -201,6 +193,8 @@ type ReLU struct {
 	// out doubles as the backward cache: out[i] > 0 iff lastIn[i] > 0.
 	out vecmath.Vec
 	dx  vecmath.Vec
+
+	bOut, bDx *vecmath.Matrix // batched scratch, same caching role
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -244,6 +238,8 @@ func (r *ReLU) OutSize(in int) (int, error) { return in, nil }
 type Tanh struct {
 	out vecmath.Vec // doubles as the backward cache (y = tanh x)
 	dx  vecmath.Vec
+
+	bOut, bDx *vecmath.Matrix // batched scratch, same caching role
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -280,6 +276,8 @@ func (t *Tanh) OutSize(in int) (int, error) { return in, nil }
 type Sigmoid struct {
 	out vecmath.Vec // doubles as the backward cache (y = σ(x))
 	dx  vecmath.Vec
+
+	bOut, bDx *vecmath.Matrix // batched scratch, same caching role
 }
 
 var _ Layer = (*Sigmoid)(nil)

@@ -63,6 +63,12 @@ type Config struct {
 	Grouping grouping.Config
 	// CompressorEpochs trains the 1D-CNN after warm-up (default 20).
 	CompressorEpochs int
+	// CompressorBatch is the CNN fit minibatch size: each optimizer
+	// step pushes this many UDT windows through the autoencoder as
+	// one blocked-GEMM pass. 0 keeps the compressor default (8);
+	// 1 recovers per-window SGD. Ignored when Grouping.CNN.Batch is
+	// set explicitly.
+	CompressorBatch int
 	// AgentEpisodes trains the DDQN after warm-up (default 150).
 	AgentEpisodes int
 	// TopNRecommend is the recommendation list length (default 50).
@@ -199,6 +205,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Grouping.KMax == 0 {
 		c.Grouping.KMax = 8
+	}
+	if c.Grouping.CNN.Batch == 0 {
+		c.Grouping.CNN.Batch = c.CompressorBatch
 	}
 	return c
 }

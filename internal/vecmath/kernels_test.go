@@ -126,35 +126,6 @@ func TestAddOuterIntoMatchesAddOuter(t *testing.T) {
 	}
 }
 
-func TestMulBatchIntoMatchesPerRowMulVec(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	w := MustMatrix(6, 5)
-	w.FillRandUniform(rng, 1)
-	x := MustMatrix(3, 5)
-	x.FillRandUniform(rng, 1)
-	dst := MustMatrix(3, 6)
-	if err := w.MulBatchInto(dst, x); err != nil {
-		t.Fatal(err)
-	}
-	for r := 0; r < x.Rows; r++ {
-		want, err := w.MulVec(x.Row(r))
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range want {
-			if dst.At(r, i) != want[i] {
-				t.Fatalf("row %d col %d = %v want %v", r, i, dst.At(r, i), want[i])
-			}
-		}
-	}
-	if err := w.MulBatchInto(dst, MustMatrix(3, 4)); !errors.Is(err, ErrShape) {
-		t.Fatalf("want ErrShape, got %v", err)
-	}
-	if err := w.MulBatchInto(MustMatrix(2, 6), x); !errors.Is(err, ErrShape) {
-		t.Fatalf("want ErrShape, got %v", err)
-	}
-}
-
 func TestKernelsAllocFree(t *testing.T) {
 	m := MustMatrix(16, 16)
 	x := make(Vec, 16)

@@ -1,0 +1,180 @@
+package vecmath
+
+import "fmt"
+
+// Blocked matrix-matrix kernels for the minibatch training hot path.
+//
+// Determinism contract: for every destination element the sum over the
+// inner dimension accumulates in ascending index order, starting from
+// zero, no matter how the loops are tiled. The kernels are sequential,
+// so results are bit-identical across machines, worker counts and call
+// sites — and they reproduce exactly the accumulation order of the
+// per-sample vector kernels (MulVecInto, MulVecTInto, AddOuterInto),
+// which is what lets a batched backward pass replace a per-sample loop
+// without changing a single trace bit.
+//
+// The tiling never splits the inner dimension (that would reorder the
+// summation); it blocks the *output* dimensions so operand rows are
+// reused while they are hot in cache.
+
+// matMulColTile is the number of b-rows kept hot per pass of
+// MatMulTransBInto's inner dot loops.
+const matMulColTile = 64
+
+// MatMulInto computes dst = a·b where a is (m×k) and b is (k×n); dst
+// must be (m×n) and must not alias a or b. Per element the sum runs
+// over the inner index in ascending order — the same order as
+// MulVecTInto — so dX = dY·W is bit-identical to a per-sample
+// Wᵀ·grad loop.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("matmul %dx%d by %dx%d into %dx%d: %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	matMulAccum(dst, a, b)
+	return nil
+}
+
+// matMulAccum accumulates dst += a·b with k ascending per element:
+// each destination row is an ascending-k sweep of AXPYs against the
+// streamed b-rows (the store-light form that measures fastest here —
+// a fused multi-row micro-kernel was tried and lost to the extra
+// destination streams).
+func matMulAccum(dst, a, b *Matrix) {
+	m, k := a.Rows, a.Cols
+	for i := 0; i < m; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for kk := 0; kk < k; kk++ {
+			if av := ai[kk]; av != 0 {
+				AXPYUnchecked(av, b.Row(kk), di)
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = aᵀ·b where a is (k×m) and b is
+// (k×n); dst must be (m×n) and must not alias a or b. The sum over k
+// (the shared leading dimension — the batch axis in a dW = dYᵀ·X
+// gradient) runs in ascending order.
+func MatMulTransAInto(dst, a, b *Matrix) error {
+	if err := checkTransA(dst, a, b); err != nil {
+		return err
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	matMulTransAAccum(dst, a, b)
+	return nil
+}
+
+// MatMulTransAAccumInto accumulates dst += aᵀ·b (shapes as
+// MatMulTransAInto). Because the k-axis is walked in ascending order,
+// accumulating a whole batch into a zeroed gradient matrix produces
+// bit-identical results to adding the per-sample outer products
+// (AddOuterInto) one sample at a time.
+func MatMulTransAAccumInto(dst, a, b *Matrix) error {
+	if err := checkTransA(dst, a, b); err != nil {
+		return err
+	}
+	matMulTransAAccum(dst, a, b)
+	return nil
+}
+
+func checkTransA(dst, a, b *Matrix) error {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return fmt.Errorf("matmulTransA %dx%d by %dx%d into %dx%d: %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	return nil
+}
+
+// matMulTransAAccum accumulates dst += aᵀ·b with the shared leading
+// dimension k (the batch axis) ascending per element — the same
+// AXPY sweep as matMulAccum with the k-axis outermost, which is what
+// makes a whole-batch gradient bit-identical to per-sample outer
+// products.
+func matMulTransAAccum(dst, a, b *Matrix) {
+	k, m := a.Rows, a.Cols
+	for kk := 0; kk < k; kk++ {
+		ak := a.Row(kk)
+		bk := b.Row(kk)
+		for i := 0; i < m; i++ {
+			if av := ak[i]; av != 0 {
+				AXPYUnchecked(av, bk, dst.Row(i))
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = a·bᵀ where a is (m×k) and b is
+// (n×k); dst must be (m×n) and must not alias a or b. Each element is
+// a row-row dot with k ascending — exactly MulVecInto applied to
+// every row of a, and bit-identical to TransposeInto+MatMulInto on
+// the same operands. It is the dot-form sibling the training forwards
+// trade away (they pay one weight transpose per call to run the
+// AXPY-form MatMulInto, whose independent per-element accumulations
+// beat the dot form's latency-bound adds on long inner dimensions);
+// it remains the right kernel when materializing bᵀ is not worth it.
+// The b-rows are walked in tiles so they stay cache-resident while
+// the a-rows stream.
+func MatMulTransBInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("matmulTransB %dx%d by %dx%d into %dx%d: %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	m, n := a.Rows, b.Rows
+	for j0 := 0; j0 < n; j0 += matMulColTile {
+		jEnd := j0 + matMulColTile
+		if jEnd > n {
+			jEnd = n
+		}
+		for i := 0; i < m; i++ {
+			ai := a.Row(i)
+			di := dst.Row(i)
+			for j := j0; j < jEnd; j++ {
+				di[j] = DotUnchecked(ai, b.Row(j))
+			}
+		}
+	}
+	return nil
+}
+
+// TransposeInto writes aᵀ into dst; dst must be (a.Cols × a.Rows) and
+// must not alias a. Transposing a weight matrix once per batch lets
+// the forward GEMM run in the AXPY form (independent per-element
+// accumulations, ~3× the throughput of the dot form on long inner
+// dimensions, whose sequential adds are FP-latency-bound) while
+// keeping the exact ascending-k summation order of the dot form.
+func TransposeInto(dst, a *Matrix) error {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		return fmt.Errorf("transpose %dx%d into %dx%d: %w", a.Rows, a.Cols, dst.Rows, dst.Cols, ErrShape)
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		for j, v := range ai {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+	return nil
+}
+
+// Resize reshapes m to rows×cols in place, reusing the backing array
+// when its capacity allows — the grow-once pattern behind the batch
+// scratch matrices of the training hot path. The data is left
+// uninitialized (callers overwrite it fully).
+func (m *Matrix) Resize(rows, cols int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("resize matrix to %dx%d: %w", rows, cols, ErrShape)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return nil
+}

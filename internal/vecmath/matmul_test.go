@@ -1,0 +1,178 @@
+package vecmath
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rows, cols int, rng *rand.Rand) *Matrix {
+	m := MustMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMatMul is the textbook triple loop used as the reference
+// implementation (j innermost, k middle — a different loop order than
+// the tiled kernels, but the same ascending-k summation per element).
+func naiveMatMul(a, b *Matrix, transA, transB bool) *Matrix {
+	rowsA, colsA := a.Rows, a.Cols
+	if transA {
+		rowsA, colsA = a.Cols, a.Rows
+	}
+	colsB := b.Cols
+	if transB {
+		colsB = b.Rows
+	}
+	at := func(m *Matrix, i, j int, trans bool) float64 {
+		if trans {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	dst := MustMatrix(rowsA, colsB)
+	for i := 0; i < rowsA; i++ {
+		for j := 0; j < colsB; j++ {
+			var s float64
+			for k := 0; k < colsA; k++ {
+				s += at(a, i, k, transA) * at(b, k, j, transB)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+func wantBitIdentical(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s data[%d] = %v want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulIntoMatchesNaive covers dst = a·b against the reference
+// triple loop, including shapes that are not multiples of the tiles.
+func TestMatMulIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 5, 7}, {4, 4, 4}, {5, 2, 3}, {9, 70, 65}, {32, 64, 7}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := randMat(m, k, rng), randMat(k, n, rng)
+		dst := MustMatrix(m, n)
+		// Pre-poison dst: Into kernels must overwrite, not accumulate.
+		for i := range dst.Data {
+			dst.Data[i] = 1e9
+		}
+		if err := MatMulInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		wantBitIdentical(t, "matmul", dst, naiveMatMul(a, b, false, false))
+	}
+}
+
+// TestMatMulTransAIntoMatchesNaive covers dst = aᵀ·b and the
+// accumulate variant's exact per-sample-order equivalence.
+func TestMatMulTransAIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range [][3]int{{1, 1, 1}, {6, 3, 4}, {32, 16, 9}, {5, 66, 70}} {
+		k, m, n := sh[0], sh[1], sh[2]
+		a, b := randMat(k, m, rng), randMat(k, n, rng)
+		dst := MustMatrix(m, n)
+		for i := range dst.Data {
+			dst.Data[i] = 1e9
+		}
+		if err := MatMulTransAInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		wantBitIdentical(t, "matmulTransA", dst, naiveMatMul(a, b, true, false))
+
+		// The accumulate variant over a zeroed gradient matrix must be
+		// bit-identical to summing the per-sample outer products in
+		// sample order — the contract the batched backward relies on.
+		acc := MustMatrix(m, n)
+		if err := MatMulTransAAccumInto(acc, a, b); err != nil {
+			t.Fatal(err)
+		}
+		perSample := MustMatrix(m, n)
+		for s := 0; s < k; s++ {
+			perSample.AddOuterInto(1, a.Row(s), b.Row(s))
+		}
+		wantBitIdentical(t, "matmulTransA-accum-vs-outer", acc, perSample)
+	}
+}
+
+// TestMatMulTransBIntoMatchesPerRowMulVec covers dst = a·bᵀ and its
+// bit-identity with the per-sample MulVecInto path (the batched
+// forward contract).
+func TestMatMulTransBIntoMatchesPerRowMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sh := range [][3]int{{1, 1, 1}, {4, 6, 3}, {32, 8, 7}, {3, 80, 70}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a, b := randMat(m, k, rng), randMat(n, k, rng)
+		dst := MustMatrix(m, n)
+		for i := range dst.Data {
+			dst.Data[i] = 1e9
+		}
+		if err := MatMulTransBInto(dst, a, b); err != nil {
+			t.Fatal(err)
+		}
+		wantBitIdentical(t, "matmulTransB", dst, naiveMatMul(a, b, false, true))
+		row := make(Vec, n)
+		for i := 0; i < m; i++ {
+			if err := b.MulVecInto(row, a.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+			for j := range row {
+				if dst.At(i, j) != row[j] {
+					t.Fatalf("row %d col %d: %v vs MulVecInto %v", i, j, dst.At(i, j), row[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := MustMatrix(3, 4)
+	b := MustMatrix(5, 6)
+	if err := MatMulInto(MustMatrix(3, 6), a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("matmul inner mismatch: %v", err)
+	}
+	if err := MatMulTransAInto(MustMatrix(4, 6), a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("matmulTransA mismatch: %v", err)
+	}
+	if err := MatMulTransBInto(MustMatrix(3, 5), a, MustMatrix(5, 6)); !errors.Is(err, ErrShape) {
+		t.Fatalf("matmulTransB mismatch: %v", err)
+	}
+	if err := MatMulInto(MustMatrix(2, 6), a, MustMatrix(4, 6)); !errors.Is(err, ErrShape) {
+		t.Fatalf("matmul dst mismatch: %v", err)
+	}
+}
+
+func TestMatrixResize(t *testing.T) {
+	m := MustMatrix(4, 8)
+	base := &m.Data[0]
+	if err := m.Resize(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("resize gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != base {
+		t.Fatal("shrinking resize reallocated")
+	}
+	if err := m.Resize(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 || m.Cols != 100 || len(m.Data) != 10000 {
+		t.Fatalf("growing resize gave %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if err := m.Resize(0, 3); !errors.Is(err, ErrShape) {
+		t.Fatalf("zero-row resize: %v", err)
+	}
+}

@@ -133,25 +133,6 @@ func (m *Matrix) AddOuterInto(alpha float64, a, b Vec) {
 	}
 }
 
-// MulBatchInto computes dst = x · mᵀ in one pass: every row r of x (a
-// batch of m.Cols-wide inputs) is mapped to dst row r = m · x_r. Used
-// to push a whole replay minibatch through a dense layer as a single
-// matrix op. Shapes: x is (n × m.Cols), dst is (n × m.Rows).
-func (m *Matrix) MulBatchInto(dst, x *Matrix) error {
-	if x.Cols != m.Cols || dst.Rows != x.Rows || dst.Cols != m.Rows {
-		return fmt.Errorf("mulbatch %dx%d by %dx%d into %dx%d: %w",
-			m.Rows, m.Cols, x.Rows, x.Cols, dst.Rows, dst.Cols, ErrShape)
-	}
-	for r := 0; r < x.Rows; r++ {
-		xr := x.Row(r)
-		dr := dst.Row(r)
-		for i := 0; i < m.Rows; i++ {
-			dr[i] = DotUnchecked(m.Row(i), xr)
-		}
-	}
-	return nil
-}
-
 // Correlate1D computes a "valid" 1-D cross-correlation of input x with
 // kernel k at the given stride: out[t] = Σ_j x[t*stride+j]*k[j].
 // Output length is (len(x)-len(k))/stride + 1.

@@ -60,8 +60,10 @@ func Scale(alpha float64, v Vec) {
 
 // DotUnchecked returns the inner product of a and b without a shape
 // check: the caller guarantees len(b) >= len(a). It is the hot-path
-// kernel behind MulVecInto and the K-means assignment step.
+// kernel behind MulVecInto and the K-means assignment step. The
+// reslice hoists the per-element bounds check out of the loop.
 func DotUnchecked(a, b Vec) float64 {
+	b = b[:len(a)]
 	var s float64
 	for i, av := range a {
 		s += av * b[i]
@@ -70,8 +72,10 @@ func DotUnchecked(a, b Vec) float64 {
 }
 
 // AXPYUnchecked computes y += alpha*x without a shape check: the
-// caller guarantees len(y) >= len(x).
+// caller guarantees len(y) >= len(x). The reslice hoists the
+// per-element bounds check out of the loop.
 func AXPYUnchecked(alpha float64, x, y Vec) {
+	y = y[:len(x)]
 	for i, xv := range x {
 		y[i] += alpha * xv
 	}
@@ -79,7 +83,9 @@ func AXPYUnchecked(alpha float64, x, y Vec) {
 
 // SqDistUnchecked returns the squared Euclidean distance between a and
 // b without a shape check: the caller guarantees len(b) >= len(a).
+// The reslice hoists the per-element bounds check out of the loop.
 func SqDistUnchecked(a, b Vec) float64 {
+	b = b[:len(a)]
 	var s float64
 	for i, av := range a {
 		d := av - b[i]

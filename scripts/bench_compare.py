@@ -4,12 +4,19 @@ committed baseline and fail on significant regressions.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--wall 1.3] [--allocs 1.5]
+                     [--allocs-only]
 
 Both inputs are the JSON documents produced by scripts/benchjson.py.
 A benchmark regresses when its wall time (ns_per_op) exceeds
 WALL x baseline or its allocations (allocs_per_op) exceed
-ALLOCS x baseline. Benchmarks present on only one side are reported
-but never fail the gate (new benches appear, old ones get renamed).
+ALLOCS x baseline. Benchmarks present on only one side are skipped by
+the gate and reported as "added" / "removed" (new benches appear, old
+ones get renamed — neither must fail the gate).
+
+--allocs-only disables the wall-time gate entirely: allocation counts
+are deterministic per binary, so this mode is safe on shared or
+heterogeneous CI hardware where wall-clock ratios are noise.
+
 Exit status: 0 clean, 1 regression found, 2 usage/IO error.
 """
 import argparse
@@ -35,42 +42,67 @@ def main():
                     help="max allowed ns/op ratio (default 1.3)")
     ap.add_argument("--allocs", type=float, default=1.5,
                     help="max allowed allocs/op ratio (default 1.5)")
+    ap.add_argument("--allocs-only", action="store_true",
+                    help="gate on allocations only (hardware-safe; "
+                         "wall time is reported but never fails)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
 
+    gates = [("allocs_per_op", args.allocs, "allocs")]
+    if not args.allocs_only:
+        gates.insert(0, ("ns_per_op", args.wall, "wall"))
+
     regressions = []
+    added = sorted(set(cur) - set(base))
+    removed = sorted(set(base) - set(cur))
     print(f"{'benchmark':<42}{'wall':>10}{'allocs':>10}")
     for name in sorted(base):
         if name not in cur:
-            print(f"{name:<42}{'(gone)':>10}{'':>10}")
-            continue
+            continue  # reported below as removed; never gated
         b, c = base[name], cur[name]
-        rows = []
+        cells = {}
         for key, limit, label in (("ns_per_op", args.wall, "wall"),
                                   ("allocs_per_op", args.allocs, "allocs")):
             bv, cv = b.get(key), c.get(key)
-            if not bv or cv is None:
-                rows.append("n/a")
+            gated = any(label == g[2] for g in gates)
+            if bv is None or cv is None:
+                cells[label] = "n/a"
+                continue
+            if bv == 0:
+                # A zero-alloc baseline has no ratio: any nonzero
+                # current value is a regression outright (this is the
+                # exact class the allocs-only gate protects).
+                cells[label] = "0x" if cv == 0 else f"0->{cv:.0f}"
+                if gated and cv > 0:
+                    regressions.append(
+                        f"{name}: {label} {cv:.0f} vs zero baseline")
                 continue
             ratio = cv / bv
-            rows.append(f"{ratio:.2f}x")
-            if ratio > limit:
+            cells[label] = f"{ratio:.2f}x"
+            if gated and ratio > limit:
                 regressions.append(
                     f"{name}: {label} {cv:.0f} vs baseline {bv:.0f} "
                     f"({ratio:.2f}x > {limit:.2f}x)")
-        print(f"{name:<42}{rows[0]:>10}{rows[1]:>10}")
-    for name in sorted(set(cur) - set(base)):
-        print(f"{name:<42}{'(new)':>10}{'':>10}")
+        print(f"{name:<42}{cells['wall']:>10}{cells['allocs']:>10}")
+    for name in added:
+        print(f"{name:<42}{'(added)':>10}{'':>10}")
+    for name in removed:
+        print(f"{name:<42}{'(removed)':>10}{'':>10}")
+    if added or removed:
+        print(f"\n{len(added)} added / {len(removed)} removed "
+              "benchmark(s) skipped by the gate "
+              "(regenerate the baseline to adopt them)")
 
     if regressions:
         print("\nREGRESSIONS:", file=sys.stderr)
         for r in regressions:
             print("  " + r, file=sys.stderr)
         sys.exit(1)
-    print("\nbench-check: no regressions "
-          f"(wall <= {args.wall}x, allocs <= {args.allocs}x)")
+    mode = (f"allocs <= {args.allocs}x (allocs-only)" if args.allocs_only
+            else f"wall <= {args.wall}x, allocs <= {args.allocs}x")
+    print(f"\nbench-check: no regressions ({mode})")
 
 
 if __name__ == "__main__":
