@@ -1,8 +1,11 @@
 package dtmsvs
 
 import (
+	"context"
+	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dtmsvs/internal/cnn"
@@ -33,7 +36,7 @@ func benchConfig(seed int64) Config {
 func BenchmarkFig3a(b *testing.B) {
 	var last *Fig3aResult
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig3a(benchConfig(42))
+		res, err := RunFig3a(context.Background(), benchConfig(42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +54,7 @@ func BenchmarkFig3a(b *testing.B) {
 func BenchmarkFig3b(b *testing.B) {
 	var last *Fig3bResult
 	for i := 0; i < b.N; i++ {
-		res, err := RunFig3b(benchConfig(42))
+		res, err := RunFig3b(context.Background(), benchConfig(42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +71,7 @@ func BenchmarkFig3b(b *testing.B) {
 func BenchmarkComputeDemand(b *testing.B) {
 	var last *ComputeDemandResult
 	for i := 0; i < b.N; i++ {
-		res, err := RunComputeDemand(benchConfig(42))
+		res, err := RunComputeDemand(context.Background(), benchConfig(42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +93,7 @@ func BenchmarkGroupingAblation(b *testing.B) {
 	var rows []GroupingAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = RunGroupingAblation(benchConfig(42), variants)
+		rows, err = RunGroupingAblation(context.Background(), benchConfig(42), variants)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +112,7 @@ func BenchmarkAccuracyVsUsers(b *testing.B) {
 		cfg := benchConfig(42)
 		cfg.NumIntervals = 8
 		var err error
-		rows, err = RunAccuracyVsUsers(cfg, []int{40, 120})
+		rows, err = RunAccuracyVsUsers(context.Background(), cfg, []int{40, 120})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +129,7 @@ func BenchmarkPredictorBaselines(b *testing.B) {
 	var rows []PredictorRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = RunPredictorBaselines(benchConfig(42))
+		rows, err = RunPredictorBaselines(context.Background(), benchConfig(42))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +146,7 @@ func BenchmarkReservation(b *testing.B) {
 	var rows []ReservationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = RunReservation(benchConfig(42), 0.1)
+		rows, err = RunReservation(context.Background(), benchConfig(42), 0.1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +167,7 @@ func BenchmarkWasteVsPrefetch(b *testing.B) {
 		cfg := benchConfig(42)
 		cfg.NumIntervals = 8
 		var err error
-		rows, err = RunWasteVsPrefetch(cfg, []int{1, 8})
+		rows, err = RunWasteVsPrefetch(context.Background(), cfg, []int{1, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +186,7 @@ func BenchmarkQoEVsBudget(b *testing.B) {
 		cfg := benchConfig(42)
 		cfg.NumIntervals = 8
 		var err error
-		rows, err = RunQoEVsBudget(cfg, []int{0, 3})
+		rows, err = RunQoEVsBudget(context.Background(), cfg, []int{0, 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +205,7 @@ func BenchmarkAccuracyVsChurn(b *testing.B) {
 		cfg := benchConfig(42)
 		cfg.NumIntervals = 8
 		var err error
-		rows, err = RunAccuracyVsChurn(cfg, []float64{0, 0.1})
+		rows, err = RunAccuracyVsChurn(context.Background(), cfg, []float64{0, 0.1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,4 +382,64 @@ func BenchmarkCluster(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceSink measures what the streaming redesign buys at
+// examples/city scale: the retained heap after delivering a
+// city-sized record stream (12 intervals × ~4k group-cells ≈ 50k
+// records, the shape a 50k-user cluster run emits) through the old
+// whole-trace buffering versus the NDJSON streaming sink. The
+// "retained-MB" metric is live heap attributable to the sink after a
+// forced GC — the buffered sink holds every record, the streaming
+// sink holds only its encoder buffer.
+func BenchmarkTraceSink(b *testing.B) {
+	const records = 50_000
+	mkRecord := func(i int) TraceRecord {
+		return TraceRecord{
+			BS: i % 16,
+			GroupIntervalRecord: GroupIntervalRecord{
+				Interval:     i / 4096,
+				GroupID:      i % 7,
+				Size:         40,
+				PredictedRBs: float64(i%13) + 0.5,
+				ActualRBs:    float64(i%13) + 0.25,
+				ActualBits:   7e8,
+			},
+		}
+	}
+	heapAlloc := func() float64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	}
+	run := func(b *testing.B, mkSink func() TraceSink) {
+		var retained float64
+		for i := 0; i < b.N; i++ {
+			before := heapAlloc()
+			sink := mkSink()
+			for r := 0; r < records; r++ {
+				if err := sink.WriteRecord(mkRecord(r)); err != nil {
+					b.Fatal(err)
+				}
+				if r%4096 == 4095 { // interval boundary
+					if err := sink.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := sink.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			retained = heapAlloc() - before
+			runtime.KeepAlive(sink)
+		}
+		b.ReportMetric(retained/1e6, "retained-MB")
+	}
+	b.Run("buffered", func(b *testing.B) {
+		run(b, func() TraceSink { return &BufferedSink{} })
+	})
+	b.Run("ndjson", func(b *testing.B) {
+		run(b, func() TraceSink { return NewNDJSONSink(io.Discard) })
+	})
 }

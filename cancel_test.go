@@ -1,0 +1,141 @@
+package dtmsvs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// ndjsonRun executes a full scenario through a session with an NDJSON
+// sink and returns the byte stream plus the per-interval line counts,
+// so cancellation tests can cut exact whole-interval prefixes.
+func ndjsonRun(t *testing.T, open func(opts ...SessionOption) (Session, error)) (string, []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	var perInterval []int
+	s, err := open(
+		WithSink(NewNDJSONSink(&buf)),
+		WithObserver(func(rep IntervalReport) { perInterval = append(perInterval, len(rep.Records)) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for !s.Done() {
+		if _, serr := s.Step(context.Background()); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	return buf.String(), perInterval
+}
+
+// linePrefix returns the first n lines of an NDJSON stream, trailing
+// newline included.
+func linePrefix(stream string, n int) string {
+	if n == 0 {
+		return ""
+	}
+	lines := strings.SplitAfterN(stream, "\n", n+1)
+	return strings.Join(lines[:n], "")
+}
+
+// TestCancelAtEveryBoundary is the cancellation contract for both
+// engines at Parallelism 1 and 4: a run cancelled after k intervals
+// leaves a flushed NDJSON stream that is bit-identical to the first k
+// intervals of an uncancelled run, Step returns ctx.Err(), and the
+// boundary-cancelled session resumes under a fresh context to finish
+// with a bit-identical full stream.
+func TestCancelAtEveryBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		open func(workers int) func(opts ...SessionOption) (Session, error)
+	}{
+		{"sim", func(workers int) func(opts ...SessionOption) (Session, error) {
+			return func(opts ...SessionOption) (Session, error) {
+				return Open(sessionTestConfig(9, workers), opts...)
+			}
+		}},
+		{"cluster", func(workers int) func(opts ...SessionOption) (Session, error) {
+			return func(opts ...SessionOption) (Session, error) {
+				return OpenCluster(ClusterConfig{Sim: sessionTestConfig(9, workers)}, opts...)
+			}
+		}},
+	} {
+		for _, workers := range []int{1, 4} {
+			open := tc.open(workers)
+			full, perInterval := ndjsonRun(t, open)
+			intervals := len(perInterval)
+			if intervals == 0 {
+				t.Fatalf("%s workers %d: no intervals ran", tc.name, workers)
+			}
+			for k := 0; k <= intervals; k++ {
+				var buf bytes.Buffer
+				s, err := open(WithSink(NewNDJSONSink(&buf)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				for step := 0; step < k; step++ {
+					if _, serr := s.Step(ctx); serr != nil {
+						t.Fatalf("%s workers %d cancel@%d step %d: %v", tc.name, workers, k, step, serr)
+					}
+				}
+				cancel()
+				var lines int
+				for _, n := range perInterval[:k] {
+					lines += n
+				}
+				if k < intervals {
+					// The boundary cancellation must surface ctx.Err() with
+					// the whole-interval prefix flushed...
+					if _, serr := s.Step(ctx); !errors.Is(serr, context.Canceled) {
+						t.Fatalf("%s workers %d cancel@%d: want context.Canceled, got %v", tc.name, workers, k, serr)
+					}
+					if got, want := buf.String(), linePrefix(full, lines); got != want {
+						t.Fatalf("%s workers %d cancel@%d: flushed prefix diverged (%d vs %d bytes)",
+							tc.name, workers, k, len(got), len(want))
+					}
+					// ...and leave the session resumable: finishing under a
+					// fresh context reproduces the uncancelled stream exactly.
+					for !s.Done() {
+						if _, serr := s.Step(context.Background()); serr != nil {
+							t.Fatalf("%s workers %d resume@%d: %v", tc.name, workers, k, serr)
+						}
+					}
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if buf.String() != full {
+					t.Fatalf("%s workers %d cancel@%d: resumed stream diverged from uncancelled run",
+						tc.name, workers, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelledRunReturnsCtxErr: the high-level Run-shape loop (as
+// the CLIs use it) surfaces ctx.Err() from a pre-cancelled context
+// without touching engine state.
+func TestCancelledRunReturnsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := Open(sessionTestConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, serr := s.Step(ctx); !errors.Is(serr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", serr)
+	}
+	if s.Interval() != 0 {
+		t.Fatalf("cancelled before start but Interval() = %d", s.Interval())
+	}
+	// Experiment wrappers propagate the cancellation too.
+	if _, serr := RunComputeDemand(ctx, sessionTestConfig(2, 1)); !errors.Is(serr, context.Canceled) {
+		t.Fatalf("experiment wrapper: want context.Canceled, got %v", serr)
+	}
+}

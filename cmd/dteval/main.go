@@ -8,14 +8,25 @@
 //	dteval -exp grouping
 //	dteval -exp users -counts 50,100,200
 //	dteval -exp predictors
+//	dteval -exp cluster -out trace.ndjson
+//
+// Every experiment runs through the context-aware session API:
+// Ctrl-C cancels at the next interval boundary. For the single-trace
+// experiments (compute, cluster, reserve, predictors) -out streams
+// the underlying trace as NDJSON (or CSV with -format csv), flushed
+// per interval.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"dtmsvs"
 )
@@ -37,6 +48,8 @@ func run() error {
 		counts    = flag.String("counts", "50,100,200", "comma-separated user counts for -exp users")
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
 		shards    = flag.Int("shards", 0, "shard count for -exp cluster (0 = one per BS)")
+		out       = flag.String("out", "", "stream the experiment's trace to this file (single-trace experiments only)")
+		format    = flag.String("format", "ndjson", `-out stream format: "ndjson" or "csv"`)
 	)
 	flag.Parse()
 
@@ -46,36 +59,81 @@ func run() error {
 	cfg.NumIntervals = *intervals
 	cfg.Parallelism = *par
 
-	switch *exp {
-	case "compute":
-		return runCompute(cfg)
-	case "grouping":
-		return runGrouping(cfg)
-	case "users":
-		return runUsers(cfg, *counts)
-	case "predictors":
-		return runPredictors(cfg)
-	case "reserve":
-		return runReserve(cfg)
-	case "waste":
-		return runWaste(cfg)
-	case "qoe":
-		return runQoE(cfg)
-	case "churn":
-		return runChurn(cfg)
-	case "cluster":
-		return runCluster(cfg, *shards)
-	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Only the single-trace experiments can stream their trace; the
+	// multi-run sweeps have no single trace to write, so -out there is
+	// an error rather than a silently empty file.
+	streamable := map[string]bool{"compute": true, "predictors": true, "reserve": true, "cluster": true}
+	var opts []dtmsvs.SessionOption
+	if *out != "" {
+		if !streamable[*exp] {
+			return fmt.Errorf("-out is only supported for single-trace experiments (compute, predictors, reserve, cluster), not %q", *exp)
+		}
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		switch *format {
+		case "ndjson":
+			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewNDJSONSink(f)))
+		case "csv":
+			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewCSVSink(f)))
+		default:
+			return fmt.Errorf("unknown -format %q", *format)
+		}
 	}
+
+	err := func() error {
+		switch *exp {
+		case "compute":
+			return runCompute(ctx, cfg, opts)
+		case "grouping":
+			return runGrouping(ctx, cfg)
+		case "users":
+			return runUsers(ctx, cfg, *counts)
+		case "predictors":
+			return runPredictors(ctx, cfg, opts)
+		case "reserve":
+			return runReserve(ctx, cfg, opts)
+		case "waste":
+			return runWaste(ctx, cfg)
+		case "qoe":
+			return runQoE(ctx, cfg)
+		case "churn":
+			return runChurn(ctx, cfg)
+		case "cluster":
+			return runCluster(ctx, cfg, *shards, opts)
+		default:
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+	}()
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dteval: interrupted; partial output flushed")
+		return nil
+	}
+	return err
 }
 
-func runCluster(cfg dtmsvs.Config, shards int) error {
-	trace, err := dtmsvs.RunCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: shards})
+func runCluster(ctx context.Context, cfg dtmsvs.Config, shards int, opts []dtmsvs.SessionOption) error {
+	// Accuracy folds online so -out streaming (which owns the records)
+	// does not break the summary.
+	var acc dtmsvs.AccuracyTracker
+	opts = append(opts, dtmsvs.WithObserver(acc.Observe))
+	s, err := dtmsvs.OpenCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: shards}, opts...)
 	if err != nil {
 		return err
 	}
-	radioAcc, err := trace.RadioAccuracy()
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(ctx); err != nil {
+			return err
+		}
+	}
+	trace := s.Trace()
+	radioAcc, err := acc.RadioAccuracy()
 	if err != nil {
 		return err
 	}
@@ -90,8 +148,8 @@ func runCluster(cfg dtmsvs.Config, shards int) error {
 	return nil
 }
 
-func runCompute(cfg dtmsvs.Config) error {
-	res, err := dtmsvs.RunComputeDemand(cfg)
+func runCompute(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+	res, err := dtmsvs.RunComputeDemand(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}
@@ -104,8 +162,8 @@ func runCompute(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runGrouping(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunGroupingAblation(cfg, nil)
+func runGrouping(ctx context.Context, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunGroupingAblation(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -117,7 +175,7 @@ func runGrouping(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runUsers(cfg dtmsvs.Config, countsCSV string) error {
+func runUsers(ctx context.Context, cfg dtmsvs.Config, countsCSV string) error {
 	var counts []int
 	for _, f := range strings.Split(countsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -126,7 +184,7 @@ func runUsers(cfg dtmsvs.Config, countsCSV string) error {
 		}
 		counts = append(counts, n)
 	}
-	rows, err := dtmsvs.RunAccuracyVsUsers(cfg, counts)
+	rows, err := dtmsvs.RunAccuracyVsUsers(ctx, cfg, counts)
 	if err != nil {
 		return err
 	}
@@ -138,8 +196,8 @@ func runUsers(cfg dtmsvs.Config, countsCSV string) error {
 	return nil
 }
 
-func runReserve(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunReservation(cfg, 0.1)
+func runReserve(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+	rows, err := dtmsvs.RunReservation(ctx, cfg, 0.1, opts...)
 	if err != nil {
 		return err
 	}
@@ -152,8 +210,8 @@ func runReserve(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runWaste(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunWasteVsPrefetch(cfg, nil)
+func runWaste(ctx context.Context, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunWasteVsPrefetch(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -166,8 +224,8 @@ func runWaste(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runQoE(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunQoEVsBudget(cfg, nil)
+func runQoE(ctx context.Context, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunQoEVsBudget(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -184,8 +242,8 @@ func runQoE(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runChurn(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunAccuracyVsChurn(cfg, nil)
+func runChurn(ctx context.Context, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunAccuracyVsChurn(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
@@ -198,8 +256,8 @@ func runChurn(cfg dtmsvs.Config) error {
 	return nil
 }
 
-func runPredictors(cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunPredictorBaselines(cfg)
+func runPredictors(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+	rows, err := dtmsvs.RunPredictorBaselines(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}

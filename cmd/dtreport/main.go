@@ -11,10 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dtmsvs"
 	"dtmsvs/internal/cli"
@@ -44,6 +48,9 @@ func run() error {
 	cfg.NumIntervals = *intervals
 	cfg.Parallelism = *par
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, ferr := os.Create(*out)
@@ -57,32 +64,46 @@ func run() error {
 	fmt.Fprintf(w, "# dtmsvs evaluation report\n\nScenario: %d users, %d BSs, %d intervals, seed %d.\n\n",
 		*users, cfg.NumBS, *intervals, *seed)
 
-	if err := reportFig3(w, cfg); err != nil {
-		return err
+	err := func() error {
+		if err := reportFig3(ctx, w, cfg); err != nil {
+			return err
+		}
+		if err := reportPredictors(ctx, w, cfg); err != nil {
+			return err
+		}
+		if err := reportGrouping(ctx, w, cfg); err != nil {
+			return err
+		}
+		if err := reportReservation(ctx, w, cfg); err != nil {
+			return err
+		}
+		if err := reportWaste(ctx, w, cfg); err != nil {
+			return err
+		}
+		if err := reportQoE(ctx, w, cfg); err != nil {
+			return err
+		}
+		return reportChurn(ctx, w, cfg)
+	}()
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dtreport: interrupted; report truncated")
+		return nil
 	}
-	if err := reportPredictors(w, cfg); err != nil {
-		return err
-	}
-	if err := reportGrouping(w, cfg); err != nil {
-		return err
-	}
-	if err := reportReservation(w, cfg); err != nil {
-		return err
-	}
-	if err := reportWaste(w, cfg); err != nil {
-		return err
-	}
-	if err := reportQoE(w, cfg); err != nil {
-		return err
-	}
-	return reportChurn(w, cfg)
+	return err
 }
 
-func reportFig3(w io.Writer, cfg dtmsvs.Config) error {
-	trace, err := dtmsvs.Run(cfg)
+func reportFig3(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	s, err := dtmsvs.Open(cfg)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(ctx); err != nil {
+			return err
+		}
+	}
+	trace := s.Trace()
 	a, err := dtmsvs.Fig3aFromTrace(trace)
 	if err != nil {
 		return err
@@ -120,8 +141,8 @@ func reportFig3(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportPredictors(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunPredictorBaselines(cfg)
+func reportPredictors(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunPredictorBaselines(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -142,8 +163,8 @@ func reportPredictors(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportGrouping(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunGroupingAblation(cfg, []dtmsvs.GroupingVariant{
+func reportGrouping(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunGroupingAblation(ctx, cfg, []dtmsvs.GroupingVariant{
 		{Name: "ddqn+cnn", UseCNN: true},
 		{Name: "ddqn+raw", UseCNN: false},
 		{Name: "fixed-k8", FixedK: 8, UseCNN: true},
@@ -168,8 +189,8 @@ func reportGrouping(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportReservation(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunReservation(cfg, 0.1)
+func reportReservation(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunReservation(ctx, cfg, 0.1)
 	if err != nil {
 		return err
 	}
@@ -190,8 +211,8 @@ func reportReservation(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportWaste(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunWasteVsPrefetch(cfg, []int{0, 2, 8})
+func reportWaste(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunWasteVsPrefetch(ctx, cfg, []int{0, 2, 8})
 	if err != nil {
 		return err
 	}
@@ -212,8 +233,8 @@ func reportWaste(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportQoE(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunQoEVsBudget(cfg, []int{0, 8, 3})
+func reportQoE(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunQoEVsBudget(ctx, cfg, []int{0, 8, 3})
 	if err != nil {
 		return err
 	}
@@ -238,8 +259,8 @@ func reportQoE(w io.Writer, cfg dtmsvs.Config) error {
 	return nil
 }
 
-func reportChurn(w io.Writer, cfg dtmsvs.Config) error {
-	rows, err := dtmsvs.RunAccuracyVsChurn(cfg, []float64{0, 0.05})
+func reportChurn(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
+	rows, err := dtmsvs.RunAccuracyVsChurn(ctx, cfg, []float64{0, 0.05})
 	if err != nil {
 		return err
 	}

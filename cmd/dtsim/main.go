@@ -1,22 +1,33 @@
 // Command dtsim runs a full digital-twin multicast streaming
-// simulation and writes the interval-by-interval trace as JSON (and a
-// human-readable summary to stderr).
+// simulation through the interval-stepped Session API and writes the
+// trace (and a human-readable summary to stderr).
 //
 // Usage:
 //
-//	dtsim -users 100 -bs 4 -intervals 24 -seed 42 -out trace.json
-//	dtsim -users 50000 -bs 16 -shards -1 -intervals 12 -out city.json
+//	dtsim -users 100 -bs 4 -intervals 24 -seed 42 -out trace.ndjson -format ndjson
+//	dtsim -users 50000 -bs 16 -shards -1 -intervals 12 -out city.ndjson -format ndjson
 //
 // With -shards ≠ 0 the sharded multi-BS cluster engine runs instead
 // of the monolithic one: per-BS coverage cells with private edge
 // caches, concurrent shards, and deterministic twin handover between
 // intervals.
+//
+// The "ndjson" and "csv" formats stream: records are flushed to -out
+// at every interval boundary, so the process never holds the full
+// trace in heap and an interrupt (Ctrl-C) leaves a well-formed
+// whole-interval prefix behind. "json" buffers the run and writes one
+// JSON array at the end (the partial array is still written on
+// interrupt). -progress prints per-interval stats to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dtmsvs"
 )
@@ -39,8 +50,9 @@ func run() error {
 		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; trace is identical for any value)")
 		shards    = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
-		format    = flag.String("format", "json", `trace format: "json" or "csv"`)
+		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson" or "csv" (streamed per interval)`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")
+		progress  = flag.Bool("progress", false, "print per-interval stats to stderr")
 	)
 	flag.Parse()
 
@@ -53,6 +65,9 @@ func run() error {
 	cfg.RBBudget = *budget
 	cfg.Parallelism = *par
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := os.Stdout
 	if *out != "" {
 		f, ferr := os.Create(*out)
@@ -63,57 +78,116 @@ func run() error {
 		w = f
 	}
 
+	var opts []dtmsvs.SessionOption
+	var buffered *dtmsvs.BufferedSink
+	switch *format {
+	case "json":
+		buffered = &dtmsvs.BufferedSink{}
+		opts = append(opts, dtmsvs.WithSink(buffered))
+	case "ndjson":
+		opts = append(opts, dtmsvs.WithSink(dtmsvs.NewNDJSONSink(w)))
+	case "csv":
+		opts = append(opts, dtmsvs.WithSink(dtmsvs.NewCSVSink(w)))
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *progress {
+		opts = append(opts, dtmsvs.WithObserver(func(rep dtmsvs.IntervalReport) {
+			fmt.Fprintf(os.Stderr, "dtsim: interval %d: %d groups, predicted %.1f RBs, actual %.1f RBs\n",
+				rep.Interval, rep.Groups, rep.PredictedRBs, rep.ActualRBs)
+		}))
+	}
+	// Accuracy folds online from the interval reports, so the summary
+	// works even when a streaming sink owns the records.
+	var acc dtmsvs.AccuracyTracker
+	opts = append(opts, dtmsvs.WithObserver(acc.Observe))
+
+	var s dtmsvs.Session
+	var summary func() error
 	if *shards != 0 {
 		n := *shards
 		if n < 0 {
 			n = cfg.NumBS
 		}
-		trace, err := dtmsvs.RunCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: n})
+		cs, err := dtmsvs.OpenCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: n}, opts...)
 		if err != nil {
 			return err
 		}
-		radioAcc, err := trace.RadioAccuracy()
+		s = cs
+		summary = func() error {
+			trace := cs.Trace()
+			radioAcc, err := acc.RadioAccuracy()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr,
+				"dtsim: %d users, %d BSs, %d shards, %d intervals → handovers=%d churned=%d radio-accuracy=%.2f%% cache-hit=%.2f%%\n",
+				*users, *bs, n, *intervals, trace.Handovers, trace.ChurnedUsers,
+				radioAcc*100, trace.CacheHitRate*100)
+			return nil
+		}
+	} else {
+		ms, err := dtmsvs.Open(cfg, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr,
-			"dtsim: %d users, %d BSs, %d shards, %d intervals → handovers=%d churned=%d radio-accuracy=%.2f%% cache-hit=%.2f%%\n",
-			*users, *bs, n, *intervals, trace.Handovers, trace.ChurnedUsers,
-			radioAcc*100, trace.CacheHitRate*100)
-		switch *format {
-		case "json":
-			return dtmsvs.WriteClusterTraceJSON(w, trace.Records)
-		case "csv":
-			return dtmsvs.WriteClusterTraceCSV(w, trace.Records)
-		default:
-			return fmt.Errorf("unknown format %q", *format)
+		s = ms
+		summary = func() error {
+			trace := ms.Trace()
+			radioAcc, err := acc.RadioAccuracy()
+			if err != nil {
+				return err
+			}
+			computeAcc, err := acc.ComputeAccuracy()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr,
+				"dtsim: %d users, %d BSs, %d intervals → K=%d silhouette=%.3f radio-accuracy=%.2f%% compute-accuracy=%.2f%% cache-hit=%.2f%%\n",
+				*users, *bs, *intervals, trace.K, trace.Silhouette,
+				radioAcc*100, computeAcc*100, trace.CacheHitRate*100)
+			return nil
+		}
+	}
+	defer s.Close()
+
+	interrupted := false
+	for !s.Done() {
+		if _, err := s.Step(ctx); err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
+			return err
 		}
 	}
 
-	trace, err := dtmsvs.Run(cfg)
-	if err != nil {
-		return err
+	if buffered != nil {
+		if err := writeBuffered(w, buffered, *shards != 0); err != nil {
+			return err
+		}
 	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "dtsim: interrupted after %d of %d intervals; partial trace flushed\n",
+			s.Interval(), *intervals)
+		return nil
+	}
+	return summary()
+}
 
-	radioAcc, err := trace.RadioAccuracy()
-	if err != nil {
-		return err
+// writeBuffered converts the buffered sink back to the engine's
+// record type and writes the legacy JSON array format.
+func writeBuffered(w *os.File, b *dtmsvs.BufferedSink, clustered bool) error {
+	if clustered {
+		recs := make([]dtmsvs.ClusterRecord, len(b.Records))
+		for i, r := range b.Records {
+			recs[i] = dtmsvs.ClusterRecord{BS: r.BS, GroupIntervalRecord: r.GroupIntervalRecord}
+		}
+		return dtmsvs.WriteClusterTraceJSON(w, recs)
 	}
-	computeAcc, err := trace.ComputeAccuracy()
-	if err != nil {
-		return err
+	recs := make([]dtmsvs.GroupIntervalRecord, len(b.Records))
+	for i, r := range b.Records {
+		recs[i] = r.GroupIntervalRecord
 	}
-	fmt.Fprintf(os.Stderr,
-		"dtsim: %d users, %d BSs, %d intervals → K=%d silhouette=%.3f radio-accuracy=%.2f%% compute-accuracy=%.2f%% cache-hit=%.2f%%\n",
-		*users, *bs, *intervals, trace.K, trace.Silhouette,
-		radioAcc*100, computeAcc*100, trace.CacheHitRate*100)
-
-	switch *format {
-	case "json":
-		return dtmsvs.WriteTraceJSON(w, trace.Records)
-	case "csv":
-		return dtmsvs.WriteTraceCSV(w, trace.Records)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
-	}
+	return dtmsvs.WriteTraceJSON(w, recs)
 }

@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"dtmsvs"
 	"dtmsvs/internal/video"
@@ -44,10 +47,20 @@ func run() error {
 	cfg.NumUsers = *users
 	cfg.NumIntervals = *intervals
 
-	trace, err := dtmsvs.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := dtmsvs.Open(cfg)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(ctx); err != nil {
+			return err
+		}
+	}
+	trace := s.Trace()
 
 	var csvRows [][]string
 	if *panel == "a" || *panel == "both" {

@@ -20,6 +20,7 @@
 package dtmsvs
 
 import (
+	"context"
 	"io"
 
 	"dtmsvs/internal/cluster"
@@ -67,13 +68,24 @@ const NumCategories = video.NumCategories
 
 // Run executes a scenario end to end: warm-up browsing, CNN + DDQN
 // training, group construction, and NumIntervals of
-// predict-then-measure multicast streaming.
+// predict-then-measure multicast streaming. The whole trace is
+// buffered in memory.
+//
+// Deprecated: Run is a thin shim over the Session API and cannot
+// stream, observe or cancel a run in flight. Use Open with the
+// Step loop (and a TraceSink for large scenarios) instead.
 func Run(cfg Config) (*Trace, error) {
-	s, err := sim.New(cfg)
+	s, err := Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return s.Trace(), nil
 }
 
 // TraceSummary aggregates a trace into run-level statistics.
@@ -114,9 +126,23 @@ type ClusterCellStats = cluster.CellStats
 // pool, edge cache and grouping pipeline; shards of cells run
 // concurrently and user twins hand over between cells at interval
 // boundaries. The trace is bit-identical for any Parallelism and any
-// shard count.
+// shard count, and is buffered whole in memory.
+//
+// Deprecated: RunCluster is a thin shim over the Session API and
+// cannot stream, observe or cancel a run in flight. Use OpenCluster
+// with the Step loop (and a TraceSink for large scenarios) instead.
 func RunCluster(cfg ClusterConfig) (*ClusterTrace, error) {
-	return cluster.Run(cfg)
+	s, err := OpenCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return s.Trace(), nil
 }
 
 // WriteClusterTraceJSON writes cluster trace records as a JSON array.

@@ -1,6 +1,7 @@
 package dtmsvs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -41,7 +42,7 @@ func TestDefaultConfig(t *testing.T) {
 }
 
 func TestFig3aShape(t *testing.T) {
-	res, err := RunFig3a(smallConfig(42))
+	res, err := RunFig3a(context.Background(), smallConfig(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFig3aShape(t *testing.T) {
 }
 
 func TestFig3bSeriesAligned(t *testing.T) {
-	res, err := RunFig3b(smallConfig(42))
+	res, err := RunFig3b(context.Background(), smallConfig(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunComputeDemand(t *testing.T) {
 	// Seed chosen so the tiny scenario actually incurs transcode
 	// cycles (some seeds stream entirely cache-warm at one rung,
 	// which makes the volume metric undefined).
-	res, err := RunComputeDemand(smallConfig(4))
+	res, err := RunComputeDemand(context.Background(), smallConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRunGroupingAblationDefaults(t *testing.T) {
 		t.Skip("multi-run experiment")
 	}
 	cfg := smallConfig(5)
-	rows, err := RunGroupingAblation(cfg, []GroupingVariant{
+	rows, err := RunGroupingAblation(context.Background(), cfg, []GroupingVariant{
 		{Name: "ddqn+cnn", UseCNN: true},
 		{Name: "fixed-k2", FixedK: 2, UseCNN: true},
 	})
@@ -149,7 +150,7 @@ func TestRunAccuracyVsUsers(t *testing.T) {
 		t.Skip("multi-run experiment")
 	}
 	cfg := smallConfig(6)
-	rows, err := RunAccuracyVsUsers(cfg, []int{16, 32})
+	rows, err := RunAccuracyVsUsers(context.Background(), cfg, []int{16, 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRunReservation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	rows, err := RunReservation(smallConfig(9), 0.1)
+	rows, err := RunReservation(context.Background(), smallConfig(9), 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestRunReservation(t *testing.T) {
 			t.Fatalf("negative accounting for %s: %+v", r.Policy, r)
 		}
 	}
-	if _, err := RunReservation(smallConfig(9), -1); err == nil {
+	if _, err := RunReservation(context.Background(), smallConfig(9), -1); err == nil {
 		t.Fatal("negative margin must fail")
 	}
 }
@@ -186,7 +187,7 @@ func TestRunWasteVsPrefetch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	rows, err := RunWasteVsPrefetch(smallConfig(10), []int{0, 4})
+	rows, err := RunWasteVsPrefetch(context.Background(), smallConfig(10), []int{0, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestRunQoEVsBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	rows, err := RunQoEVsBudget(smallConfig(11), []int{0, 2})
+	rows, err := RunQoEVsBudget(context.Background(), smallConfig(11), []int{0, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestRunRadioAccuracyMultiSeed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	st, err := RunRadioAccuracyMultiSeed(smallConfig(0), []int64{1, 2})
+	st, err := RunRadioAccuracyMultiSeed(context.Background(), smallConfig(0), []int64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestRunPredictorBaselines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	rows, err := RunPredictorBaselines(smallConfig(8))
+	rows, err := RunPredictorBaselines(context.Background(), smallConfig(8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	}
 
 	fmt.Println("grouping ablation (E2):")
-	rows, err := dtmsvs.RunGroupingAblation(cfg, []dtmsvs.GroupingVariant{
+	rows, err := dtmsvs.RunGroupingAblation(context.Background(), cfg, []dtmsvs.GroupingVariant{
 		{Name: "ddqn+cnn", UseCNN: true},
 		{Name: "ddqn+raw", UseCNN: false},
 		{Name: "fixed-k2", FixedK: 2, UseCNN: true},
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	fmt.Println("\npredictor baselines (E4):")
-	preds, err := dtmsvs.RunPredictorBaselines(cfg)
+	preds, err := dtmsvs.RunPredictorBaselines(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

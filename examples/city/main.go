@@ -7,16 +7,27 @@
 // headroom in the cell count — and runs whole cells concurrently,
 // including the streaming phase.
 //
+// The run goes through the Session API with a streaming sink, so the
+// trace never accumulates in heap: records flow to -out (NDJSON,
+// flushed per interval) or are dropped after the per-interval stats
+// are folded into the running accuracy. Ctrl-C stops at the next
+// interval boundary with the partial trace flushed.
+//
 // Run with:
 //
-//	go run ./examples/city [-users 50000] [-bs 16] [-shards 0] [-intervals 12]
+//	go run ./examples/city [-users 50000] [-bs 16] [-shards 0] [-intervals 12] [-out city.ndjson]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"dtmsvs"
@@ -36,6 +47,7 @@ func run() error {
 		intervals = flag.Int("intervals", 12, "reservation intervals")
 		par       = flag.Int("parallel", 0, "worker goroutines (0 = all cores)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "stream the trace to this file as NDJSON (default: records are not kept)")
 	)
 	flag.Parse()
 
@@ -56,19 +68,58 @@ func run() error {
 	fmt.Printf("city: %d users, %d BS coverage cells, %d intervals (seed %d)\n\n",
 		*users, *bs, *intervals, *seed)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// A sink always owns the records, so neither the session nor the
+	// engine retains the trace: the run's heap stays flat in the
+	// interval count.
+	var sink dtmsvs.TraceSink = dtmsvs.DiscardSink{}
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		sink = dtmsvs.NewNDJSONSink(f)
+	}
+
+	// The paper's accuracy metric (1 − MAPE) folds online from the
+	// interval reports — no record retention needed.
+	var acc dtmsvs.AccuracyTracker
+	var records int
+	onInterval := func(rep dtmsvs.IntervalReport) {
+		records += len(rep.Records)
+		acc.Observe(rep)
+		fmt.Printf("interval %2d/%d: %3d groups, %5.1f predicted RBs, %5.1f actual, %d handovers so far\n",
+			rep.Interval+1, *intervals, rep.Groups, rep.PredictedRBs, rep.ActualRBs, rep.Handovers)
+	}
+
 	start := time.Now()
-	trace, err := dtmsvs.RunCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: *shards})
+	s, err := dtmsvs.OpenCluster(
+		dtmsvs.ClusterConfig{Sim: cfg, Shards: *shards},
+		dtmsvs.WithSink(sink),
+		dtmsvs.WithObserver(onInterval),
+	)
 	if err != nil {
 		return err
+	}
+	defer s.Close()
+	for !s.Done() {
+		if _, serr := s.Step(ctx); serr != nil {
+			if errors.Is(serr, context.Canceled) {
+				fmt.Printf("\ninterrupted after %d intervals; partial trace flushed\n", s.Interval())
+				return nil
+			}
+			return serr
+		}
 	}
 	elapsed := time.Since(start)
 
-	radioAcc, err := trace.RadioAccuracy()
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("%-6s%9s%5s%13s%12s%10s%10s\n", "cell", "users", "K", "silhouette", "cache-hit", "churned", "migrated")
+	// Trace() carries the run-level and per-cell statistics; the
+	// records themselves went to the sink.
+	trace := s.Trace()
+	fmt.Printf("\n%-6s%9s%5s%13s%12s%10s%10s\n", "cell", "users", "K", "silhouette", "cache-hit", "churned", "migrated")
 	for _, c := range trace.Cells {
 		fmt.Printf("%-6d%9d%5d%13.3f%11.2f%%%10d%10d\n",
 			c.BS, c.Users, c.K, c.Silhouette, c.CacheHitRate*100, c.ChurnedUsers, c.AttachedTwins)
@@ -84,8 +135,12 @@ func run() error {
 		shardedGB += float64(c.Users) * float64(c.Users) * 8 / 1e9
 	}
 
-	fmt.Printf("\n%d records, %d twin handovers, %d churned users in %v\n",
-		len(trace.Records), trace.Handovers, trace.ChurnedUsers, elapsed.Round(time.Millisecond))
+	radioAcc, err := acc.RadioAccuracy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d records streamed, %d twin handovers, %d churned users in %v\n",
+		records, trace.Handovers, trace.ChurnedUsers, elapsed.Round(time.Millisecond))
 	fmt.Printf("radio-accuracy %.2f%%, aggregate cache-hit %.2f%%\n", radioAcc*100, trace.CacheHitRate*100)
 	fmt.Printf("peak heap %.2f GB; pairwise-distance footprint: monolithic %.1f GB → sharded %.2f GB (%.0f× headroom)\n",
 		float64(m.HeapSys)/1e9, monolithicGB, shardedGB, monolithicGB/shardedGB)

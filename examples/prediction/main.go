@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,24 @@ func main() {
 	cfg := dtmsvs.DefaultConfig(42)
 	cfg.NumIntervals = 24 // two hours of 5-minute reservation intervals
 
-	trace, err := dtmsvs.Run(cfg)
+	// One session feeds both panels; the observer streams a progress
+	// line per reservation interval while the run is in flight.
+	s, err := dtmsvs.Open(cfg, dtmsvs.WithProgress(func(done, total int) {
+		fmt.Printf("\rsimulating interval %d/%d", done, total)
+		if done == total {
+			fmt.Println()
+		}
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	trace := s.Trace()
 
 	a, err := dtmsvs.Fig3aFromTrace(trace)
 	if err != nil {

@@ -1,10 +1,11 @@
 // Quickstart: run a small end-to-end scenario — UDT collection,
-// DDQN-empowered K-means++ group construction, and one day of
-// 5-minute reservation intervals with demand prediction — and print
-// the headline numbers.
+// DDQN-empowered K-means++ group construction, and one hour of
+// 5-minute reservation intervals with demand prediction — through the
+// interval-stepped Session API, and print the headline numbers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,25 @@ func main() {
 		Parallelism:  0,  // fan across all cores; the trace is identical at any setting
 	}
 
-	trace, err := dtmsvs.Run(cfg)
+	// Open returns immediately; the first Step pays for warm-up and
+	// pipeline training before running interval 0.
+	s, err := dtmsvs.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
+	fmt.Println("interval-by-interval radio demand (resource blocks):")
+	for !s.Done() {
+		rep, err := s.Step(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  interval %2d: %d groups, predicted %6.2f, actual %6.2f\n",
+			rep.Interval, rep.Groups, rep.PredictedRBs, rep.ActualRBs)
+	}
+
+	trace := s.Trace()
 	radioAcc, err := trace.RadioAccuracy()
 	if err != nil {
 		log.Fatal(err)
@@ -34,14 +49,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("multicast groups:            %d (silhouette %.3f)\n", trace.K, trace.Silhouette)
+	fmt.Printf("\nmulticast groups:            %d (silhouette %.3f)\n", trace.K, trace.Silhouette)
 	fmt.Printf("radio demand accuracy:       %.2f%%\n", radioAcc*100)
 	fmt.Printf("computing demand accuracy:   %.2f%%\n", computeAcc*100)
 	fmt.Printf("edge cache hit rate:         %.2f%%\n", trace.CacheHitRate*100)
-
-	pred, actual := trace.GroupSeries(0)
-	fmt.Println("\ngroup 0 radio demand (resource blocks):")
-	for i := range pred {
-		fmt.Printf("  interval %2d: predicted %6.2f, actual %6.2f\n", i, pred[i], actual[i])
-	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	}
 
 	fmt.Println("offline reservation replay (10% headroom):")
-	rows, err := dtmsvs.RunReservation(cfg, 0.1)
+	rows, err := dtmsvs.RunReservation(context.Background(), cfg, 0.1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dtmsvs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,40 @@ import (
 
 // ErrExperiment indicates an experiment could not be evaluated.
 var ErrExperiment = errors.New("dtmsvs: experiment failed")
+
+// runTrace executes one scenario through a Session, honoring ctx at
+// every interval boundary — every experiment wrapper routes its runs
+// through here, so a cancelled ctx aborts a sweep between intervals
+// instead of after a whole run.
+func runTrace(ctx context.Context, cfg Config, opts ...SessionOption) (*Trace, error) {
+	// A caller-supplied sink owns the record stream and turns off the
+	// session's internal retention — but the experiment aggregates
+	// still need the records, so collect them from the interval
+	// reports alongside the sink.
+	var collected []GroupIntervalRecord
+	if buildOptions(opts).sink != nil {
+		opts = append(opts, WithObserver(func(rep IntervalReport) {
+			for _, r := range rep.Records {
+				collected = append(collected, r.GroupIntervalRecord)
+			}
+		}))
+	}
+	s, err := Open(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	for !s.Done() {
+		if _, err := s.Step(ctx); err != nil {
+			return nil, err
+		}
+	}
+	tr := s.Trace()
+	if len(tr.Records) == 0 {
+		tr.Records = collected
+	}
+	return tr, nil
+}
 
 // Fig3aResult is the reproduction of Fig. 3(a): the cumulative
 // swiping probability per category of the News-dominant multicast
@@ -54,8 +89,8 @@ func newsDominantGroup(tr *Trace) (int, *SwipeDistribution, error) {
 }
 
 // RunFig3a reproduces Fig. 3(a) on the given scenario.
-func RunFig3a(cfg Config) (*Fig3aResult, error) {
-	tr, err := Run(cfg)
+func RunFig3a(ctx context.Context, cfg Config, opts ...SessionOption) (*Fig3aResult, error) {
+	tr, err := runTrace(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +133,8 @@ type Fig3bResult struct {
 }
 
 // RunFig3b reproduces Fig. 3(b) on the given scenario.
-func RunFig3b(cfg Config) (*Fig3bResult, error) {
-	tr, err := Run(cfg)
+func RunFig3b(ctx context.Context, cfg Config, opts ...SessionOption) (*Fig3bResult, error) {
+	tr, err := runTrace(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +171,8 @@ type ComputeDemandResult struct {
 }
 
 // RunComputeDemand runs experiment E1 on the scenario.
-func RunComputeDemand(cfg Config) (*ComputeDemandResult, error) {
-	tr, err := Run(cfg)
+func RunComputeDemand(ctx context.Context, cfg Config, opts ...SessionOption) (*ComputeDemandResult, error) {
+	tr, err := runTrace(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +214,7 @@ type GroupingAblationRow struct {
 
 // RunGroupingAblation runs experiment E2: the DDQN-selected grouping
 // against fixed-K and raw-feature baselines on the same scenario.
-func RunGroupingAblation(cfg Config, variants []GroupingVariant) ([]GroupingAblationRow, error) {
+func RunGroupingAblation(ctx context.Context, cfg Config, variants []GroupingVariant) ([]GroupingAblationRow, error) {
 	if len(variants) == 0 {
 		variants = []GroupingVariant{
 			{Name: "ddqn+cnn", UseCNN: true},
@@ -198,7 +233,7 @@ func RunGroupingAblation(cfg Config, variants []GroupingVariant) ([]GroupingAbla
 		c.Grouping.UseCNN = v.UseCNN
 		c.PerBSGrouping = v.PerBS
 		c.OracleK = v.OracleK
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return rows, fmt.Errorf("variant %q: %w", v.Name, err)
 		}
@@ -223,7 +258,7 @@ type UsersSweepRow struct {
 }
 
 // RunAccuracyVsUsers runs experiment E3.
-func RunAccuracyVsUsers(cfg Config, userCounts []int) ([]UsersSweepRow, error) {
+func RunAccuracyVsUsers(ctx context.Context, cfg Config, userCounts []int) ([]UsersSweepRow, error) {
 	if len(userCounts) == 0 {
 		userCounts = []int{50, 100, 200, 400}
 	}
@@ -231,7 +266,7 @@ func RunAccuracyVsUsers(cfg Config, userCounts []int) ([]UsersSweepRow, error) {
 	for _, n := range userCounts {
 		c := cfg
 		c.NumUsers = n
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return rows, fmt.Errorf("users=%d: %w", n, err)
 		}
@@ -264,7 +299,7 @@ type ChurnRow struct {
 // and measure prediction accuracy and multicast-group stability —
 // the "frequent and accurate multicast group updates" regime the
 // paper motivates.
-func RunAccuracyVsChurn(cfg Config, churnRates []float64) ([]ChurnRow, error) {
+func RunAccuracyVsChurn(ctx context.Context, cfg Config, churnRates []float64) ([]ChurnRow, error) {
 	if len(churnRates) == 0 {
 		churnRates = []float64{0, 0.02, 0.05, 0.1}
 	}
@@ -272,7 +307,7 @@ func RunAccuracyVsChurn(cfg Config, churnRates []float64) ([]ChurnRow, error) {
 	for _, rate := range churnRates {
 		c := cfg
 		c.ChurnPerInterval = rate
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return rows, fmt.Errorf("churn=%v: %w", rate, err)
 		}
@@ -302,7 +337,7 @@ type SeedStats struct {
 // RunRadioAccuracyMultiSeed runs the scenario across seeds and
 // aggregates the radio prediction accuracy — the statistically honest
 // version of the paper's single 95.04 % figure.
-func RunRadioAccuracyMultiSeed(cfg Config, seeds []int64) (*SeedStats, error) {
+func RunRadioAccuracyMultiSeed(ctx context.Context, cfg Config, seeds []int64) (*SeedStats, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3, 4, 5}
 	}
@@ -311,7 +346,7 @@ func RunRadioAccuracyMultiSeed(cfg Config, seeds []int64) (*SeedStats, error) {
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -344,8 +379,8 @@ type ReservationRow struct {
 // case: reserve radio resources per interval from the scheme's
 // prediction and compare against static peak provisioning and a
 // history-only adaptive policy.
-func RunReservation(cfg Config, margin float64) ([]ReservationRow, error) {
-	tr, err := Run(cfg)
+func RunReservation(ctx context.Context, cfg Config, margin float64, opts ...SessionOption) ([]ReservationRow, error) {
+	tr, err := runTrace(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +459,7 @@ type WasteRow struct {
 // measure how much multicast traffic the group's swiping behavior
 // wastes — the paper's motivating over-provisioning effect — and how
 // well the swipe-CDF-based forecast captures it.
-func RunWasteVsPrefetch(cfg Config, depths []int) ([]WasteRow, error) {
+func RunWasteVsPrefetch(ctx context.Context, cfg Config, depths []int) ([]WasteRow, error) {
 	if len(depths) == 0 {
 		depths = []int{0, 1, 2, 4, 8}
 	}
@@ -435,7 +470,7 @@ func RunWasteVsPrefetch(cfg Config, depths []int) ([]WasteRow, error) {
 		if depth == 0 {
 			c.PrefetchDepth = -1 // the config treats 0 as "use default"
 		}
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return rows, fmt.Errorf("depth=%d: %w", depth, err)
 		}
@@ -478,7 +513,7 @@ type QoEBudgetRow struct {
 // RunQoEVsBudget runs experiment E9: sweep the shared RB budget and
 // measure how admission cuts propagate into experienced quality —
 // the end-to-end payoff of accurate demand prediction.
-func RunQoEVsBudget(cfg Config, budgets []int) ([]QoEBudgetRow, error) {
+func RunQoEVsBudget(ctx context.Context, cfg Config, budgets []int) ([]QoEBudgetRow, error) {
 	if len(budgets) == 0 {
 		budgets = []int{0, 12, 8, 5, 3}
 	}
@@ -487,7 +522,7 @@ func RunQoEVsBudget(cfg Config, budgets []int) ([]QoEBudgetRow, error) {
 	for _, budget := range budgets {
 		c := cfg
 		c.RBBudget = budget
-		tr, err := Run(c)
+		tr, err := runTrace(ctx, c)
 		if err != nil {
 			return rows, fmt.Errorf("budget=%d: %w", budget, err)
 		}
@@ -533,8 +568,8 @@ type PredictorRow struct {
 // RunPredictorBaselines runs experiment E4. The DT scheme's accuracy
 // comes from the trace itself; each baseline forecasts interval t's
 // actual demand from the measured series up to t−1.
-func RunPredictorBaselines(cfg Config) ([]PredictorRow, error) {
-	tr, err := Run(cfg)
+func RunPredictorBaselines(ctx context.Context, cfg Config, opts ...SessionOption) ([]PredictorRow, error) {
+	tr, err := runTrace(ctx, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -23,10 +23,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"dtmsvs/internal/channel"
 	"dtmsvs/internal/edge"
@@ -65,6 +65,10 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// Defaulted returns the configuration with every default filled in,
+// so callers stepping the engine see the values it runs with.
+func (c Config) Defaulted() Config { return c.withDefaults() }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -159,6 +163,11 @@ type Engine struct {
 	owner     []int
 	handovers int
 	trained   bool
+	// records accumulates the merged (interval, cell, group)-ordered
+	// trace rows when retain is set; a session streaming to a sink
+	// disables retention so the full trace never lives in heap.
+	records []Record
+	retain  bool
 }
 
 // New constructs a cluster engine and places the initial population.
@@ -224,6 +233,7 @@ func New(cfg Config) (*Engine, error) {
 		cells:    cells,
 		shards:   shards,
 		owner:    make([]int, d.Sim.NumUsers),
+		retain:   true,
 	}
 
 	// Spawn the population on the pool (user creation draws only from
@@ -252,11 +262,15 @@ func New(cfg Config) (*Engine, error) {
 
 // eachCell runs fn over every cell, fanning whole shards across the
 // pool; cells within a shard run sequentially in id order. fn must
-// touch only the given cell's state.
-func (e *Engine) eachCell(fn func(*cellState) error) error {
-	return e.pool.For(len(e.shards), func(si int) error {
+// touch only the given cell's state. Cancellation is cooperative:
+// once ctx is done no further cell starts, and ctx.Err() is returned.
+func (e *Engine) eachCell(ctx context.Context, fn func(*cellState) error) error {
+	return e.pool.ForContext(ctx, len(e.shards), func(si int) error {
 		var firstErr error
 		for _, ci := range e.shards[si] {
+			if ctx.Err() != nil {
+				break
+			}
 			if err := fn(e.cells[ci]); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -323,75 +337,111 @@ func (e *Engine) migrate() error {
 // Handovers reports cross-cell twin migrations so far.
 func (e *Engine) Handovers() int { return e.handovers }
 
-// Run executes the sharded scenario and returns the merged trace.
-func (e *Engine) Run() (*Trace, error) {
-	// Warm-up, with handover at every interval boundary so cells
-	// train on the populations they will actually serve.
-	for w := 0; w < e.cfg.Sim.WarmupIntervals; w++ {
-		if err := e.eachCell(func(c *cellState) error {
-			if c.eng.NumUsers() == 0 {
-				return nil
-			}
-			if err := c.eng.WarmupInterval(); err != nil {
-				return fmt.Errorf("cell %d warmup: %w", c.id, err)
-			}
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		if err := e.migrate(); err != nil {
-			return nil, err
-		}
-	}
+// Config returns the engine's fully defaulted configuration.
+func (e *Engine) Config() Config { return e.cfg }
 
-	// Per-cell pipeline training and initial group construction.
-	if err := e.eachCell(func(c *cellState) error {
+// Churned reports the users replaced by churn so far, summed over all
+// cells.
+func (e *Engine) Churned() int {
+	var n int
+	for _, c := range e.cells {
+		n += c.eng.Churned()
+	}
+	return n
+}
+
+// SetRetainRecords controls whether the engine accumulates the merged
+// trace rows for Finish. Sessions streaming to a sink disable
+// retention so the full trace never lives in heap; Finish then
+// returns run-level statistics with an empty Records slice.
+func (e *Engine) SetRetainRecords(retain bool) { e.retain = retain }
+
+// WarmupStep runs one warm-up interval across all cells followed by
+// the twin-handover pass, so cells train on the populations they will
+// actually serve. Call it Config.Sim.WarmupIntervals times before
+// TrainAndBuild.
+func (e *Engine) WarmupStep(ctx context.Context) error {
+	if err := e.eachCell(ctx, func(c *cellState) error {
+		if c.eng.NumUsers() == 0 {
+			return nil
+		}
+		if err := c.eng.WarmupIntervalContext(ctx); err != nil {
+			return fmt.Errorf("cell %d warmup: %w", c.id, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return e.migrate()
+}
+
+// TrainAndBuild fits every populated cell's grouping pipeline and
+// runs the initial group construction. Cells that are empty now but
+// gain users later are trained lazily by the handover pass.
+func (e *Engine) TrainAndBuild(ctx context.Context) error {
+	if err := e.eachCell(ctx, func(c *cellState) error {
 		if c.eng.NumUsers() == 0 {
 			return nil
 		}
 		if err := c.eng.Train(); err != nil {
 			return fmt.Errorf("cell %d train: %w", c.id, err)
 		}
-		if err := c.eng.BuildGroups(); err != nil {
+		if err := c.eng.BuildGroupsContext(ctx); err != nil {
 			return fmt.Errorf("cell %d construction: %w", c.id, err)
 		}
 		c.built = true
 		return nil
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	e.trained = true
-
-	// Reservation intervals: whole shards run concurrently — predict,
-	// collect, stream, abstract, churn, regroup — then twins hand over.
-	for interval := 0; interval < e.cfg.Sim.NumIntervals; interval++ {
-		if err := e.eachCell(func(c *cellState) error {
-			if c.eng.NumUsers() == 0 {
-				return nil
-			}
-			if err := c.eng.RunInterval(interval, c.trace); err != nil {
-				return fmt.Errorf("cell %d: %w", c.id, err)
-			}
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		if err := e.migrate(); err != nil {
-			return nil, err
-		}
-	}
-	return e.finish(), nil
+	return nil
 }
 
-// finish merges the per-cell traces into the cluster trace.
-func (e *Engine) finish() *Trace {
-	tr := &Trace{Handovers: e.handovers}
+// StepInterval runs one reservation interval — whole shards
+// concurrently: predict, collect, stream, abstract, churn, regroup —
+// followed by the twin-handover pass, and returns the interval's
+// merged records in (cell, group) order. Cells append into their own
+// per-interval buffers, so the concatenation in cell-id order is the
+// same (interval, cell, group) ordering the whole-run trace carries.
+func (e *Engine) StepInterval(ctx context.Context, interval int) ([]Record, error) {
+	if err := e.eachCell(ctx, func(c *cellState) error {
+		if c.eng.NumUsers() == 0 {
+			return nil
+		}
+		if err := c.eng.RunIntervalContext(ctx, interval, c.trace); err != nil {
+			return fmt.Errorf("cell %d: %w", c.id, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.migrate(); err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, c := range e.cells {
+		for _, r := range c.trace.Records {
+			out = append(out, Record{BS: c.id, GroupIntervalRecord: r})
+		}
+		// The cell buffer only ever holds the current interval; recycle
+		// its capacity for the next step.
+		c.trace.Records = c.trace.Records[:0]
+	}
+	if e.retain {
+		e.records = append(e.records, out...)
+	}
+	return out, nil
+}
+
+// Finish merges the per-cell statistics (and, when retention is on,
+// the accumulated records) into the cluster trace. Records are in
+// (interval, cell, group) order by construction.
+func (e *Engine) Finish() *Trace {
+	tr := &Trace{Handovers: e.handovers, Records: e.records}
 	var hits, misses int
 	for _, c := range e.cells {
 		c.eng.FinishTrace(c.trace)
-		for _, r := range c.trace.Records {
-			tr.Records = append(tr.Records, Record{BS: c.id, GroupIntervalRecord: r})
-		}
 		h, m := c.server.Cache().Counts()
 		hits += h
 		misses += m
@@ -409,17 +459,39 @@ func (e *Engine) finish() *Trace {
 	if total := hits + misses; total > 0 {
 		tr.CacheHitRate = float64(hits) / float64(total)
 	}
-	sort.SliceStable(tr.Records, func(i, j int) bool {
-		a, b := tr.Records[i], tr.Records[j]
-		if a.Interval != b.Interval {
-			return a.Interval < b.Interval
-		}
-		if a.BS != b.BS {
-			return a.BS < b.BS
-		}
-		return a.GroupID < b.GroupID
-	})
 	return tr
+}
+
+// Run executes the sharded scenario and returns the merged trace.
+func (e *Engine) Run() (*Trace, error) { return e.RunContext(context.Background()) }
+
+// RunContext executes the sharded scenario under ctx, with
+// cancellation checked at every interval boundary. A cancelled run
+// returns ctx.Err() and no trace.
+func (e *Engine) RunContext(ctx context.Context) (*Trace, error) {
+	for w := 0; w < e.cfg.Sim.WarmupIntervals; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.WarmupStep(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.TrainAndBuild(ctx); err != nil {
+		return nil, err
+	}
+	for interval := 0; interval < e.cfg.Sim.NumIntervals; interval++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := e.StepInterval(ctx, interval); err != nil {
+			return nil, err
+		}
+	}
+	return e.Finish(), nil
 }
 
 // Run executes a sharded cluster scenario end to end.

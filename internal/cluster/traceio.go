@@ -1,63 +1,38 @@
 package cluster
 
 import (
-	"encoding/csv"
-	"encoding/json"
-	"fmt"
 	"io"
 	"strconv"
+
+	"dtmsvs/internal/sim"
+	"dtmsvs/internal/traceio"
 )
+
+// recordHeader is the cluster trace's CSV schema: the monolithic
+// schema prefixed with the serving cell.
+var recordHeader = append([]string{"bs"}, (sim.GroupIntervalRecord{}).CSVHeader()...)
+
+// CSVHeader returns the record's flat CSV schema.
+func (r Record) CSVHeader() []string { return recordHeader }
+
+// AppendCSVRow appends the record's CSV fields to dst.
+func (r Record) AppendCSVRow(dst []string) []string {
+	dst = append(dst, strconv.Itoa(r.BS))
+	return r.GroupIntervalRecord.AppendCSVRow(dst)
+}
 
 // WriteRecordsJSON serializes cluster trace records as a JSON array.
 func WriteRecordsJSON(w io.Writer, records []Record) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(records)
+	return traceio.WriteJSONArray(w, records)
 }
 
 // ReadRecordsJSON decodes a JSON array of cluster trace records.
 func ReadRecordsJSON(r io.Reader) ([]Record, error) {
-	var out []Record
-	if err := json.NewDecoder(r).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decode cluster trace: %w", err)
-	}
-	return out, nil
+	return traceio.ReadJSONArray[Record](r, "cluster trace")
 }
 
 // WriteRecordsCSV writes cluster trace records as CSV with a header
-// row: the monolithic trace schema prefixed with the serving cell.
+// row.
 func WriteRecordsCSV(w io.Writer, records []Record) error {
-	cw := csv.NewWriter(w)
-	header := []string{
-		"bs", "interval", "group_id", "size",
-		"predicted_rbs", "actual_rbs", "allocated_rbs",
-		"predicted_cycles", "actual_cycles",
-		"predicted_bits", "actual_bits",
-		"predicted_waste_bits", "actual_waste_bits",
-		"actual_engagement_s",
-		"worst_snr_db", "bitrate_bps",
-	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("write header: %w", err)
-	}
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }
-	for i, r := range records {
-		row := []string{
-			strconv.Itoa(r.BS),
-			strconv.Itoa(r.Interval),
-			strconv.Itoa(r.GroupID),
-			strconv.Itoa(r.Size),
-			f(r.PredictedRBs), f(r.ActualRBs), strconv.Itoa(r.AllocatedRBs),
-			f(r.PredictedCycles), f(r.ActualCycles),
-			f(r.PredictedBits), f(r.ActualBits),
-			f(r.PredictedWasteBits), f(r.ActualWasteBits),
-			f(r.ActualEngagementS),
-			f(r.WorstSNRdB), f(r.BitrateBps),
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("write row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return traceio.WriteCSV(w, records)
 }

@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -104,8 +105,20 @@ func (p *Pool) Workers() int { return p.workers }
 // is returned — so the outcome, including the error, is independent of
 // worker count and scheduling.
 func (p *Pool) For(n int, fn func(i int) error) error {
+	return p.ForContext(context.Background(), n, fn)
+}
+
+// ForContext is For with cooperative cancellation: once ctx is done,
+// workers stop picking up new indices (in-flight fn calls run to
+// completion) and ForContext returns ctx.Err(), which takes precedence
+// over any fn error. A cancelled fan-out may therefore have visited
+// only a scheduling-dependent subset of the indices — callers must
+// treat the touched state as indeterminate and either discard it or
+// stop the run, which is exactly what the engines' interval-boundary
+// cancellation contract does.
+func (p *Pool) ForContext(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := p.workers
 	if workers > n {
@@ -115,6 +128,9 @@ func (p *Pool) For(n int, fn func(i int) error) error {
 		var firstErr error
 		firstIdx := -1
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil && firstIdx == -1 {
 				firstErr, firstIdx = err, i
 			}
@@ -141,6 +157,9 @@ func (p *Pool) For(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -152,5 +171,8 @@ func (p *Pool) For(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return firstErr
 }

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -127,5 +129,63 @@ func TestForEmptyAndDefaults(t *testing.T) {
 	}
 	if err := p.For(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		var ran atomic.Int32
+		err := p.ForContext(ctx, 100, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d indices ran under a pre-cancelled ctx", workers, ran.Load())
+		}
+	}
+}
+
+func TestForContextCancelMidway(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := New(workers)
+		var ran atomic.Int32
+		err := p.ForContext(ctx, 10_000, func(i int) error {
+			if ran.Add(1) == 50 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the fan-out (%d ran)", workers, n)
+		}
+	}
+}
+
+// TestForContextCancelPrecedence: ctx.Err() wins over fn errors so a
+// cancelled run always surfaces the cancellation to its caller.
+func TestForContextCancelPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(4)
+	errBoom := errors.New("boom")
+	err := p.ForContext(ctx, 1000, func(i int) error {
+		if i == 10 {
+			cancel()
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v want context.Canceled", err)
 	}
 }

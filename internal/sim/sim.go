@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,13 @@ import (
 
 // ErrConfig indicates an invalid simulation configuration.
 var ErrConfig = errors.New("sim: invalid config")
+
+// ErrEmptyScenario indicates a degenerate scenario with nothing to
+// simulate — no users or no intervals. It wraps ErrConfig, so callers
+// matching the broader class keep working; the session API surfaces
+// it as a typed error instead of an empty trace with undefined
+// summary fields.
+var ErrEmptyScenario = fmt.Errorf("empty scenario: %w", ErrConfig)
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -216,11 +224,15 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	d := c.withDefaults()
 	switch {
-	case d.NumUsers <= 0:
+	case d.NumUsers == 0:
+		return fmt.Errorf("zero users: %w", ErrEmptyScenario)
+	case d.NumIntervals == 0:
+		return fmt.Errorf("zero intervals: %w", ErrEmptyScenario)
+	case d.NumUsers < 0:
 		return fmt.Errorf("users %d: %w", d.NumUsers, ErrConfig)
 	case d.NumBS <= 0:
 		return fmt.Errorf("base stations %d: %w", d.NumBS, ErrConfig)
-	case d.NumIntervals <= 0:
+	case d.NumIntervals < 0:
 		return fmt.Errorf("intervals %d: %w", d.NumIntervals, ErrConfig)
 	case d.FixedK < 0 || d.FixedK > d.NumUsers:
 		return fmt.Errorf("fixed k %d for %d users: %w", d.FixedK, d.NumUsers, ErrConfig)
@@ -652,12 +664,12 @@ func (s *Simulation) newUser(id int, rng *rand.Rand) (*user, error) {
 // other users' randomness nor depends on evaluation order — the bug
 // class the old shared-RNG draw had, where a churn decision shifted
 // every subsequent user's draws for the rest of the run.
-func (s *Simulation) churnUsers() (int, error) {
+func (s *Simulation) churnUsers(ctx context.Context) (int, error) {
 	if s.cfg.ChurnPerInterval <= 0 {
 		return 0, nil
 	}
 	replaced := make([]bool, len(s.users))
-	if err := s.pool.For(len(s.users), func(i int) error {
+	if err := s.pool.ForContext(ctx, len(s.users), func(i int) error {
 		old := s.users[i]
 		if old.rng.Float64() >= s.cfg.ChurnPerInterval {
 			return nil
@@ -692,9 +704,9 @@ func (s *Simulation) Catalog() *video.Catalog { return s.catalog }
 // user's tick sequence is self-contained: own mobility model, own
 // link, own twin, own random stream). Users hand over to the nearest
 // base station as they move.
-func (s *Simulation) collectTicks() error {
+func (s *Simulation) collectTicks(ctx context.Context) error {
 	dt := s.cfg.IntervalS / float64(s.cfg.TicksPerInterval)
-	return s.pool.For(len(s.users), func(i int) error {
+	return s.pool.ForContext(ctx, len(s.users), func(i int) error {
 		u := s.users[i]
 		for tick := 0; tick < s.cfg.TicksPerInterval; tick++ {
 			pos, err := u.mob.Advance(dt)
@@ -841,8 +853,8 @@ func (s *Simulation) predictGroupWorstSNR(g *groupState) float64 {
 // warmupBrowse lets every user browse individually for one interval to
 // populate the watch/engagement series of the twins. Sessions draw
 // from each user's private stream, so the fan-out is deterministic.
-func (s *Simulation) warmupBrowse() error {
-	return s.pool.For(len(s.users), func(i int) error {
+func (s *Simulation) warmupBrowse(ctx context.Context) error {
+	return s.pool.ForContext(ctx, len(s.users), func(i int) error {
 		u := s.users[i]
 		linkBps := s.params.RateBps(u.meanSNR.Mean()) * float64(s.cfg.NominalRBsPerGroup)
 		events, err := behavior.Session(s.catalog, u.profile, s.cfg.IntervalS, linkBps, u.rng)
@@ -1063,8 +1075,8 @@ func (s *Simulation) groupWorstSNR(g *groupState) float64 {
 // swiping distributions sharpen over time and remain available right
 // after a regroup. Groups are disjoint and twins are only read, so
 // the abstraction fans across the pool.
-func (s *Simulation) abstractGroups() error {
-	return s.pool.For(len(s.groups), func(gi int) error {
+func (s *Simulation) abstractGroups(ctx context.Context) error {
+	return s.pool.ForContext(ctx, len(s.groups), func(gi int) error {
 		g := s.groups[gi]
 		if len(g.members) == 0 {
 			// Emptied by cross-shard migration; skip until refilled.
@@ -1183,9 +1195,16 @@ func (s *Simulation) streamInterval(g *groupState, rep video.Representation) (*p
 
 // Warmup runs the configured warm-up intervals: individual browsing
 // to populate twins and calibrate the per-user SNR offsets.
-func (s *Simulation) Warmup() error {
+func (s *Simulation) Warmup() error { return s.WarmupContext(context.Background()) }
+
+// WarmupContext is Warmup with cooperative cancellation, checked at
+// every warm-up interval boundary.
+func (s *Simulation) WarmupContext(ctx context.Context) error {
 	for w := 0; w < s.cfg.WarmupIntervals; w++ {
-		if err := s.WarmupInterval(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.WarmupIntervalContext(ctx); err != nil {
 			return err
 		}
 	}
@@ -1197,10 +1216,18 @@ func (s *Simulation) Warmup() error {
 // cells one warm-up interval at a time so twin handover can run at
 // every interval boundary.
 func (s *Simulation) WarmupInterval() error {
-	if err := s.collectTicks(); err != nil {
+	return s.WarmupIntervalContext(context.Background())
+}
+
+// WarmupIntervalContext is WarmupInterval under ctx. A cancellation
+// that fires mid-interval aborts the fan-out and leaves the engine's
+// per-user state indeterminate — callers must stop the run (the
+// session layer marks itself failed).
+func (s *Simulation) WarmupIntervalContext(ctx context.Context) error {
+	if err := s.collectTicks(ctx); err != nil {
 		return err
 	}
-	if err := s.warmupBrowse(); err != nil {
+	if err := s.warmupBrowse(ctx); err != nil {
 		return err
 	}
 	s.closeInterval()
@@ -1209,11 +1236,14 @@ func (s *Simulation) WarmupInterval() error {
 
 // CollectTicks runs one interval's worth of mobility + channel
 // collection (exported for the cluster engine's per-cell stepping).
-func (s *Simulation) CollectTicks() error { return s.collectTicks() }
+func (s *Simulation) CollectTicks() error { return s.collectTicks(context.Background()) }
 
 // CloseInterval folds the finished interval's observations into the
 // per-user calibration state (exported for the cluster engine).
 func (s *Simulation) CloseInterval() { s.closeInterval() }
+
+// Churned reports the number of users replaced by churn so far.
+func (s *Simulation) Churned() int { return s.churned }
 
 // Train fits the grouping pipeline on the current population: the
 // 1D-CNN compressor, then (unless a K baseline is configured) the
@@ -1241,10 +1271,15 @@ func (s *Simulation) Train() error {
 // BuildGroups runs one group construction and the follow-up
 // abstraction pass.
 func (s *Simulation) BuildGroups() error {
+	return s.BuildGroupsContext(context.Background())
+}
+
+// BuildGroupsContext is BuildGroups under ctx.
+func (s *Simulation) BuildGroupsContext(ctx context.Context) error {
 	if err := s.rebuildGroups(); err != nil {
 		return err
 	}
-	return s.abstractGroups()
+	return s.abstractGroups(ctx)
 }
 
 // NumGroups reports the current number of multicast groups.
@@ -1272,19 +1307,30 @@ func (s *Simulation) FinishTrace(trace *Trace) {
 }
 
 // Run executes the full simulation and returns the trace.
-func (s *Simulation) Run() (*Trace, error) {
-	if err := s.Warmup(); err != nil {
+func (s *Simulation) Run() (*Trace, error) { return s.RunContext(context.Background()) }
+
+// RunContext executes the full simulation under ctx, with
+// cancellation checked at every interval boundary. A cancelled run
+// returns ctx.Err() and no trace.
+func (s *Simulation) RunContext(ctx context.Context) (*Trace, error) {
+	if err := s.WarmupContext(ctx); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := s.Train(); err != nil {
 		return nil, err
 	}
-	if err := s.BuildGroups(); err != nil {
+	if err := s.BuildGroupsContext(ctx); err != nil {
 		return nil, err
 	}
 	trace := NewTrace()
 	for interval := 0; interval < s.cfg.NumIntervals; interval++ {
-		if err := s.RunInterval(interval, trace); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.RunIntervalContext(ctx, interval, trace); err != nil {
 			return nil, err
 		}
 	}
@@ -1317,6 +1363,15 @@ func (s *Simulation) refineComputeForecast(d *predict.Demand, rep video.Represen
 // cadence and the record rows; the cluster engine calls this once per
 // cell per interval, then migrates twins between cells.
 func (s *Simulation) RunInterval(interval int, trace *Trace) error {
+	return s.RunIntervalContext(context.Background(), interval, trace)
+}
+
+// RunIntervalContext is RunInterval under ctx. A cancellation that
+// fires mid-interval aborts the in-flight fan-out and leaves the
+// engine (and any records already appended to trace) in an
+// indeterminate state: the caller must discard the trace delta and
+// stop stepping, which is what the session layer does.
+func (s *Simulation) RunIntervalContext(ctx context.Context, interval int, trace *Trace) error {
 	// 1. Predict each group's demand for this interval from the
 	//    previous interval's abstraction and channel forecast.
 	//    Groups only read shared state here (twins, trackers, the
@@ -1331,7 +1386,7 @@ func (s *Simulation) RunInterval(interval int, trace *Trace) error {
 	}
 	preds := make([]pendingPred, len(s.groups))
 	s.predictor.CacheHitRate = s.server.Cache().HitRate()
-	if err := s.pool.For(len(s.groups), func(gi int) error {
+	if err := s.pool.ForContext(ctx, len(s.groups), func(gi int) error {
 		g := s.groups[gi]
 		if len(g.members) == 0 {
 			// Emptied by cross-shard migration: nothing to serve.
@@ -1401,7 +1456,7 @@ func (s *Simulation) RunInterval(interval int, trace *Trace) error {
 
 	// 2. Simulate the interval: channel/mobility collection, then
 	//    multicast streaming with real swipes.
-	if err := s.collectTicks(); err != nil {
+	if err := s.collectTicks(ctx); err != nil {
 		return err
 	}
 	s.server.ResetInterval()
@@ -1450,12 +1505,12 @@ func (s *Simulation) RunInterval(interval int, trace *Trace) error {
 	}
 
 	// 3. Re-abstract group profiles from this interval's data.
-	if err := s.abstractGroups(); err != nil {
+	if err := s.abstractGroups(ctx); err != nil {
 		return err
 	}
 
 	// 4. User churn, then periodic regrouping to track dynamics.
-	churned, cerr := s.churnUsers()
+	churned, cerr := s.churnUsers(ctx)
 	if cerr != nil {
 		return cerr
 	}
@@ -1464,7 +1519,7 @@ func (s *Simulation) RunInterval(interval int, trace *Trace) error {
 		if err := s.rebuildGroups(); err != nil {
 			return err
 		}
-		if err := s.abstractGroups(); err != nil {
+		if err := s.abstractGroups(ctx); err != nil {
 			return err
 		}
 	}

@@ -1,63 +1,56 @@
 package sim
 
 import (
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
+
+	"dtmsvs/internal/traceio"
 )
+
+// recordHeader is the monolithic trace's CSV schema.
+var recordHeader = []string{
+	"interval", "group_id", "size",
+	"predicted_rbs", "actual_rbs", "allocated_rbs",
+	"predicted_cycles", "actual_cycles",
+	"predicted_bits", "actual_bits",
+	"predicted_waste_bits", "actual_waste_bits",
+	"actual_engagement_s",
+	"worst_snr_db", "bitrate_bps",
+}
+
+// CSVHeader returns the record's flat CSV schema.
+func (r GroupIntervalRecord) CSVHeader() []string { return recordHeader }
+
+// AppendCSVRow appends the record's CSV fields to dst.
+func (r GroupIntervalRecord) AppendCSVRow(dst []string) []string {
+	f := traceio.FormatFloat
+	return append(dst,
+		strconv.Itoa(r.Interval),
+		strconv.Itoa(r.GroupID),
+		strconv.Itoa(r.Size),
+		f(r.PredictedRBs), f(r.ActualRBs), strconv.Itoa(r.AllocatedRBs),
+		f(r.PredictedCycles), f(r.ActualCycles),
+		f(r.PredictedBits), f(r.ActualBits),
+		f(r.PredictedWasteBits), f(r.ActualWasteBits),
+		f(r.ActualEngagementS),
+		f(r.WorstSNRdB), f(r.BitrateBps),
+	)
+}
 
 // WriteRecordsJSON serializes the trace records as a JSON array.
 func WriteRecordsJSON(w io.Writer, records []GroupIntervalRecord) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(records)
+	return traceio.WriteJSONArray(w, records)
 }
 
 // ReadRecordsJSON decodes a JSON array of trace records.
 func ReadRecordsJSON(r io.Reader) ([]GroupIntervalRecord, error) {
-	var out []GroupIntervalRecord
-	if err := json.NewDecoder(r).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decode trace: %w", err)
-	}
-	return out, nil
+	return traceio.ReadJSONArray[GroupIntervalRecord](r, "trace")
 }
 
 // WriteRecordsCSV writes the trace records as CSV with a header row.
 func WriteRecordsCSV(w io.Writer, records []GroupIntervalRecord) error {
-	cw := csv.NewWriter(w)
-	header := []string{
-		"interval", "group_id", "size",
-		"predicted_rbs", "actual_rbs", "allocated_rbs",
-		"predicted_cycles", "actual_cycles",
-		"predicted_bits", "actual_bits",
-		"predicted_waste_bits", "actual_waste_bits",
-		"actual_engagement_s",
-		"worst_snr_db", "bitrate_bps",
-	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("write header: %w", err)
-	}
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 10, 64) }
-	for i, r := range records {
-		row := []string{
-			strconv.Itoa(r.Interval),
-			strconv.Itoa(r.GroupID),
-			strconv.Itoa(r.Size),
-			f(r.PredictedRBs), f(r.ActualRBs), strconv.Itoa(r.AllocatedRBs),
-			f(r.PredictedCycles), f(r.ActualCycles),
-			f(r.PredictedBits), f(r.ActualBits),
-			f(r.PredictedWasteBits), f(r.ActualWasteBits),
-			f(r.ActualEngagementS),
-			f(r.WorstSNRdB), f(r.BitrateBps),
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("write row %d: %w", i, err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return traceio.WriteCSV(w, records)
 }
 
 // Summary aggregates a trace into run-level statistics.

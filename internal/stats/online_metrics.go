@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineMAPE folds the paper's prediction-accuracy metric (1 − MAPE,
+// clamped to [0, 1]) incrementally, so streamed runs can score
+// themselves without retaining the (pred, actual) series. Matches
+// PredictionAccuracy over the same samples exactly: zero actuals are
+// skipped and addition order follows Add order.
+type OnlineMAPE struct {
+	sum float64
+	n   int
+}
+
+// Add folds one (pred, actual) sample.
+func (o *OnlineMAPE) Add(pred, actual float64) {
+	if actual == 0 {
+		return
+	}
+	o.sum += math.Abs(pred-actual) / math.Abs(actual)
+	o.n++
+}
+
+// Accuracy returns the running 1 − MAPE. It fails like
+// PredictionAccuracy when no scorable sample has been added.
+func (o *OnlineMAPE) Accuracy() (float64, error) {
+	if o.n == 0 {
+		return 0, fmt.Errorf("online mape: no nonzero actuals: %w", ErrMetric)
+	}
+	return clamp01(1 - o.sum/float64(o.n)), nil
+}
+
+// OnlineVolume folds the volume-accuracy metric
+// (1 − Σ|pred−actual| / Σ|actual|, clamped to [0, 1]) incrementally.
+// Matches VolumeAccuracy over the same samples exactly.
+type OnlineVolume struct {
+	errSum, actSum float64
+	n              int
+}
+
+// Add folds one (pred, actual) sample.
+func (o *OnlineVolume) Add(pred, actual float64) {
+	o.errSum += math.Abs(pred - actual)
+	o.actSum += math.Abs(actual)
+	o.n++
+}
+
+// Accuracy returns the running volume accuracy. It fails like
+// VolumeAccuracy on an empty or all-zero series.
+func (o *OnlineVolume) Accuracy() (float64, error) {
+	if o.n == 0 {
+		return 0, fmt.Errorf("online volume accuracy over 0 samples: %w", ErrMetric)
+	}
+	if o.actSum == 0 {
+		return 0, fmt.Errorf("online volume accuracy: zero actual volume: %w", ErrMetric)
+	}
+	return clamp01(1 - o.errSum/o.actSum), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

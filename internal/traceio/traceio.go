@@ -1,0 +1,148 @@
+// Package traceio is the shared trace-record encoder used by the
+// monolithic and cluster trace IO paths and by the root package's
+// streaming sinks. Records describe their own flat CSV schema through
+// the Row interface; this package owns the batch writers (JSON array,
+// CSV with header) and the incremental encoders (NDJSON and CSV
+// streams) so the per-engine IO files reduce to schema definitions.
+package traceio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Row is one trace record flattened to CSV fields. Implementations
+// must return a stable header whose length matches every appended row.
+type Row interface {
+	// CSVHeader returns the column names of the record's schema.
+	CSVHeader() []string
+	// AppendCSVRow appends the record's fields to dst and returns it.
+	AppendCSVRow(dst []string) []string
+}
+
+// FormatFloat renders a float the way every trace CSV column does:
+// shortest 'g' form with 10 significant digits.
+func FormatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 10, 64)
+}
+
+// WriteJSONArray serializes records as an indented JSON array — the
+// whole-trace batch format the Write*TraceJSON helpers expose.
+func WriteJSONArray(w io.Writer, records any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// ReadJSONArray decodes a JSON array of records; what names the
+// record kind in the error message.
+func ReadJSONArray[T any](r io.Reader, what string) ([]T, error) {
+	var out []T
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", what, err)
+	}
+	return out, nil
+}
+
+// WriteCSV writes records as CSV with a header row taken from the
+// first record's schema (or from a zero T when there are none).
+func WriteCSV[T Row](w io.Writer, records []T) error {
+	s := NewCSVStream(w)
+	if len(records) == 0 {
+		var zero T
+		if err := s.writeHeader(zero); err != nil {
+			return err
+		}
+		return s.Flush()
+	}
+	for i, r := range records {
+		if err := s.Write(r); err != nil {
+			return fmt.Errorf("write row %d: %w", i, err)
+		}
+	}
+	return s.Flush()
+}
+
+// CSVStream encodes rows incrementally: the header is written before
+// the first record, each Write appends one row, and Flush pushes
+// everything buffered to the underlying writer.
+type CSVStream struct {
+	cw      *csv.Writer
+	scratch []string
+	started bool
+}
+
+// NewCSVStream returns a CSV encoder over w.
+func NewCSVStream(w io.Writer) *CSVStream {
+	return &CSVStream{cw: csv.NewWriter(w)}
+}
+
+func (s *CSVStream) writeHeader(r Row) error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	if err := s.cw.Write(r.CSVHeader()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	return nil
+}
+
+// Write encodes one record, emitting the header first if this is the
+// stream's first row.
+func (s *CSVStream) Write(r Row) error {
+	if err := s.writeHeader(r); err != nil {
+		return err
+	}
+	s.scratch = r.AppendCSVRow(s.scratch[:0])
+	return s.cw.Write(s.scratch)
+}
+
+// Flush drains the encoder's buffer to the underlying writer.
+func (s *CSVStream) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// NDJSONStream encodes one JSON value per line (newline-delimited
+// JSON), buffered until Flush.
+type NDJSONStream struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewNDJSONStream returns an NDJSON encoder over w.
+func NewNDJSONStream(w io.Writer) *NDJSONStream {
+	bw := bufio.NewWriter(w)
+	return &NDJSONStream{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record as a single JSON line.
+func (s *NDJSONStream) Write(v any) error {
+	return s.enc.Encode(v)
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (s *NDJSONStream) Flush() error {
+	return s.bw.Flush()
+}
+
+// ReadNDJSON decodes newline-delimited JSON records until EOF; what
+// names the record kind in the error message.
+func ReadNDJSON[T any](r io.Reader, what string) ([]T, error) {
+	dec := json.NewDecoder(r)
+	var out []T
+	for {
+		var rec T
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("decode %s: %w", what, err)
+		}
+		out = append(out, rec)
+	}
+}

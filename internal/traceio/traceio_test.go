@@ -1,0 +1,109 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type row struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+}
+
+func (r row) CSVHeader() []string { return []string{"id", "x"} }
+func (r row) AppendCSVRow(dst []string) []string {
+	return append(dst, string(rune('0'+r.ID)), FormatFloat(r.X))
+}
+
+func TestWriteCSVHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV[row](&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "id,x" {
+		t.Fatalf("empty CSV %q", got)
+	}
+}
+
+func TestCSVStreamWritesHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVStream(&buf)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(row{ID: i, X: 1.5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3", len(lines))
+	}
+	if lines[0] != "id,x" {
+		t.Fatalf("header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if l == "id,x" {
+			t.Fatal("header repeated mid-stream")
+		}
+	}
+}
+
+func TestNDJSONStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONStream(&buf)
+	want := []row{{ID: 1, X: 2.5}, {ID: 2, X: -1}, {ID: 3, X: 0}}
+	for _, r := range want {
+		if err := s.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(want) {
+		t.Fatalf("%d newlines for %d records", n, len(want))
+	}
+	back, err := ReadNDJSON[row](&buf, "row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(want) {
+		t.Fatalf("round trip %d != %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], want[i])
+		}
+	}
+}
+
+// TestNDJSONFlushExposesPrefix is the sink contract the cancellation
+// semantics rely on: after Flush, everything written so far is on the
+// underlying writer, decodable as a standalone NDJSON prefix.
+func TestNDJSONFlushExposesPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONStream(&buf)
+	if err := s.Write(row{ID: 1, X: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	prefix := buf.String()
+	back, err := ReadNDJSON[row](strings.NewReader(prefix), "row")
+	if err != nil || len(back) != 1 {
+		t.Fatalf("prefix not decodable: %v (%d records)", err, len(back))
+	}
+}
+
+func TestReadJSONArrayError(t *testing.T) {
+	if _, err := ReadJSONArray[row](strings.NewReader("not json"), "row"); err == nil {
+		t.Fatal("malformed array must error")
+	}
+	if _, err := ReadNDJSON[row](strings.NewReader("{\"id\":1}\nnope"), "row"); err == nil {
+		t.Fatal("malformed NDJSON must error")
+	}
+}

@@ -1,0 +1,500 @@
+// This file is the unified Session API: both engines — the monolithic
+// simulation and the sharded cluster — run behind the same
+// interval-stepped handle, with per-interval records flowing to a
+// TraceSink instead of accumulating in heap, and cooperative
+// context.Context cancellation checked at every interval boundary.
+//
+// The lifecycle is
+//
+//	s, err := dtmsvs.Open(cfg, dtmsvs.WithSink(sink))
+//	for !s.Done() {
+//	    rep, err := s.Step(ctx)
+//	    ...
+//	}
+//	s.Close()
+//
+// The first Step runs the prologue (warm-up intervals, pipeline
+// training, initial group construction) before its scheduling
+// interval, so it is by far the most expensive one. Cancellation that
+// lands on a boundary — Step called with an already-cancelled ctx —
+// leaves the session resumable with a fresh context; cancellation
+// that fires mid-interval aborts the in-flight fan-out, flushes the
+// records of every completed interval to the sink, and permanently
+// fails the session (the engine's mid-interval state is
+// indeterminate).
+package dtmsvs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/sim"
+	"dtmsvs/internal/stats"
+)
+
+// ErrSessionClosed is returned by Step after Close.
+var ErrSessionClosed = errors.New("dtmsvs: session closed")
+
+// ErrSessionDone is returned by Step once every scheduling interval
+// has run.
+var ErrSessionDone = errors.New("dtmsvs: session done")
+
+// ErrEmptyScenario is returned by Open, OpenCluster and the Run shims
+// for degenerate scenarios (zero users or zero intervals) that would
+// otherwise produce an empty trace with undefined summary fields. It
+// wraps the engines' config error class.
+var ErrEmptyScenario = sim.ErrEmptyScenario
+
+// TraceRecord is one streamed trace row: a group-interval record plus
+// the serving cell. BS is -1 for the monolithic engine, whose groups
+// are campus-wide; its JSON and CSV forms then match the monolithic
+// trace schema exactly (no bs column).
+type TraceRecord struct {
+	BS int
+	GroupIntervalRecord
+}
+
+// MarshalJSON emits the cluster schema (leading "bs") for cell
+// records and the monolithic schema for BS < 0.
+func (r TraceRecord) MarshalJSON() ([]byte, error) {
+	if r.BS < 0 {
+		return json.Marshal(r.GroupIntervalRecord)
+	}
+	return json.Marshal(struct {
+		BS int `json:"bs"`
+		GroupIntervalRecord
+	}{r.BS, r.GroupIntervalRecord})
+}
+
+// UnmarshalJSON accepts both schemas: a missing "bs" field decodes to
+// BS = -1 (a monolithic record).
+func (r *TraceRecord) UnmarshalJSON(data []byte) error {
+	aux := struct {
+		BS *int `json:"bs"`
+		*GroupIntervalRecord
+	}{GroupIntervalRecord: &r.GroupIntervalRecord}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.BS = -1
+	if aux.BS != nil {
+		r.BS = *aux.BS
+	}
+	return nil
+}
+
+// CSVHeader returns the record's flat CSV schema (the cluster schema
+// when BS >= 0).
+func (r TraceRecord) CSVHeader() []string {
+	if r.BS < 0 {
+		return r.GroupIntervalRecord.CSVHeader()
+	}
+	return append([]string{"bs"}, r.GroupIntervalRecord.CSVHeader()...)
+}
+
+// AppendCSVRow appends the record's CSV fields to dst.
+func (r TraceRecord) AppendCSVRow(dst []string) []string {
+	if r.BS >= 0 {
+		dst = append(dst, strconv.Itoa(r.BS))
+	}
+	return r.GroupIntervalRecord.AppendCSVRow(dst)
+}
+
+// IntervalReport is what one Step produced: the interval's records
+// plus interval- and run-level counters.
+type IntervalReport struct {
+	// Interval is the scheduling interval index that just ran.
+	Interval int
+	// Records are the interval's trace rows in (cell, group) order.
+	Records []TraceRecord
+	// Groups is the number of multicast groups served this interval.
+	Groups int
+	// PredictedRBs and ActualRBs are the interval's summed radio
+	// demand across groups.
+	PredictedRBs, ActualRBs float64
+	// Handovers is the cumulative cross-cell twin migration count
+	// (always 0 for the monolithic engine).
+	Handovers int
+	// ChurnedUsers is the cumulative count of users replaced by churn.
+	ChurnedUsers int
+}
+
+// Session is the interval-stepped handle on a running scenario. Both
+// Open (monolithic) and OpenCluster (sharded multi-BS) return one.
+type Session interface {
+	// Step advances exactly one scheduling interval and reports that
+	// interval's records and stats. The first call also runs the
+	// warm-up / train / group prologue. Calling Step with an
+	// already-cancelled ctx returns ctx.Err() with the sink flushed
+	// and the session still resumable; a cancellation or error that
+	// fires mid-step permanently fails the session.
+	Step(ctx context.Context) (IntervalReport, error)
+	// Interval reports the number of completed scheduling intervals —
+	// the index the next Step will run.
+	Interval() int
+	// Done reports whether every scheduling interval has run.
+	Done() bool
+	// Close flushes the sink and releases the session. It is
+	// idempotent; Step returns ErrSessionClosed afterwards.
+	Close() error
+}
+
+// SessionOption configures a session at Open time, replacing ad-hoc
+// config fields for run observation and output.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	sink      TraceSink
+	observers []func(IntervalReport)
+	progress  func(done, total int)
+}
+
+// WithSink streams every interval's records into sink (flushed at
+// each interval boundary). With a sink attached the session stops
+// retaining records internally — Trace() then carries only run-level
+// statistics — so a streamed run never holds the full trace in heap.
+func WithSink(sink TraceSink) SessionOption {
+	return func(o *sessionOptions) { o.sink = sink }
+}
+
+// WithObserver registers fn to be called after every completed
+// interval with that interval's report. Observers run on the stepping
+// goroutine, in registration order.
+func WithObserver(fn func(IntervalReport)) SessionOption {
+	return func(o *sessionOptions) { o.observers = append(o.observers, fn) }
+}
+
+// WithProgress registers fn to be called after every completed
+// interval with (completed, total) scheduling-interval counts.
+func WithProgress(fn func(done, total int)) SessionOption {
+	return func(o *sessionOptions) { o.progress = fn }
+}
+
+// stepper is the engine-side contract a session drives: the prologue
+// split at every resumable boundary, one scheduling interval at a
+// time, and the final stamp.
+type stepper interface {
+	warmupIntervals() int
+	intervals() int
+	warmupStep(ctx context.Context) error
+	trainAndBuild(ctx context.Context) error
+	stepInterval(ctx context.Context, interval int) ([]TraceRecord, error)
+	finish()
+	handovers() int
+	churned() int
+}
+
+// session is the engine-independent state machine shared by
+// SimSession and ClusterSession.
+type session struct {
+	eng        stepper
+	opts       sessionOptions
+	next       int
+	warmupDone int
+	trained    bool
+	finished   bool
+	closed     bool
+	failed     error
+	// sinkBroken is set when a WriteRecord fails partway through an
+	// interval: the sink's buffer then holds a torn interval, so no
+	// further flush may push it out — the sink's backing store keeps
+	// the whole-interval prefix of the last successful flush.
+	sinkBroken bool
+}
+
+// Interval implements Session.
+func (s *session) Interval() int { return s.next }
+
+// Done implements Session.
+func (s *session) Done() bool { return s.finished }
+
+// Step implements Session.
+func (s *session) Step(ctx context.Context) (IntervalReport, error) {
+	var zero IntervalReport
+	switch {
+	case s.closed:
+		return zero, ErrSessionClosed
+	case s.failed != nil:
+		return zero, s.failed
+	case s.finished:
+		return zero, ErrSessionDone
+	}
+	// Boundary cancellation: no engine state has been touched, so the
+	// session stays resumable with a fresh context.
+	if err := ctx.Err(); err != nil {
+		if ferr := s.flush(); ferr != nil {
+			return zero, s.fail(ferr)
+		}
+		return zero, err
+	}
+	// Prologue, resumable at every internal boundary.
+	for s.warmupDone < s.eng.warmupIntervals() {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		if err := s.eng.warmupStep(ctx); err != nil {
+			return zero, s.fail(err)
+		}
+		s.warmupDone++
+	}
+	if !s.trained {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		if err := s.eng.trainAndBuild(ctx); err != nil {
+			return zero, s.fail(err)
+		}
+		s.trained = true
+	}
+	recs, err := s.eng.stepInterval(ctx, s.next)
+	if err != nil {
+		// Mid-interval failure: the completed intervals are already on
+		// the sink; flush so the partial trace survives, then fail.
+		_ = s.flush()
+		return zero, s.fail(err)
+	}
+	rep := IntervalReport{
+		Interval:     s.next,
+		Records:      recs,
+		Groups:       len(recs),
+		Handovers:    s.eng.handovers(),
+		ChurnedUsers: s.eng.churned(),
+	}
+	for _, r := range recs {
+		rep.PredictedRBs += r.PredictedRBs
+		rep.ActualRBs += r.ActualRBs
+	}
+	if s.opts.sink != nil {
+		for _, r := range recs {
+			if werr := s.opts.sink.WriteRecord(r); werr != nil {
+				s.sinkBroken = true
+				return zero, s.fail(fmt.Errorf("sink interval %d: %w", s.next, werr))
+			}
+		}
+	}
+	if ferr := s.flush(); ferr != nil {
+		return zero, s.fail(ferr)
+	}
+	s.next++
+	if s.next >= s.eng.intervals() {
+		s.finished = true
+		s.eng.finish()
+	}
+	for _, ob := range s.opts.observers {
+		ob(rep)
+	}
+	if s.opts.progress != nil {
+		s.opts.progress(s.next, s.eng.intervals())
+	}
+	return rep, nil
+}
+
+// Close implements Session.
+func (s *session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.flush()
+}
+
+func (s *session) fail(err error) error {
+	s.failed = err
+	return err
+}
+
+func (s *session) flush() error {
+	if s.opts.sink == nil || s.sinkBroken {
+		return nil
+	}
+	return s.opts.sink.Flush()
+}
+
+func buildOptions(opts []SessionOption) sessionOptions {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// simStepper adapts the monolithic engine to the session state
+// machine.
+type simStepper struct {
+	eng     *sim.Simulation
+	cfg     Config // defaulted
+	trace   *Trace
+	scratch sim.Trace
+	retain  bool
+}
+
+func (a *simStepper) warmupIntervals() int { return a.cfg.WarmupIntervals }
+func (a *simStepper) intervals() int       { return a.cfg.NumIntervals }
+func (a *simStepper) handovers() int       { return 0 }
+func (a *simStepper) churned() int         { return a.eng.Churned() }
+
+func (a *simStepper) warmupStep(ctx context.Context) error {
+	return a.eng.WarmupIntervalContext(ctx)
+}
+
+func (a *simStepper) trainAndBuild(ctx context.Context) error {
+	if err := a.eng.Train(); err != nil {
+		return err
+	}
+	return a.eng.BuildGroupsContext(ctx)
+}
+
+func (a *simStepper) stepInterval(ctx context.Context, interval int) ([]TraceRecord, error) {
+	a.scratch.Records = a.scratch.Records[:0]
+	if err := a.eng.RunIntervalContext(ctx, interval, &a.scratch); err != nil {
+		return nil, err
+	}
+	out := make([]TraceRecord, len(a.scratch.Records))
+	for i, r := range a.scratch.Records {
+		out[i] = TraceRecord{BS: -1, GroupIntervalRecord: r}
+	}
+	if a.retain {
+		a.trace.Records = append(a.trace.Records, a.scratch.Records...)
+	}
+	return out, nil
+}
+
+func (a *simStepper) finish() { a.eng.FinishTrace(a.trace) }
+
+// SimSession is the monolithic engine's Session. It satisfies the
+// Session interface and additionally exposes the accumulated Trace.
+type SimSession struct {
+	session
+	st *simStepper
+}
+
+// Trace returns the run's trace: the full record set once Done (or
+// run-level statistics only, when a sink owned the records). Before
+// completion it carries the records of the completed intervals with
+// unstamped run-level fields.
+func (s *SimSession) Trace() *Trace { return s.st.trace }
+
+// Open validates cfg and returns a monolithic-engine session. No
+// simulation work happens until the first Step. Degenerate scenarios
+// (zero users or intervals) fail with ErrEmptyScenario.
+func Open(cfg Config, opts ...SessionOption) (*SimSession, error) {
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	st := &simStepper{
+		eng:    eng,
+		cfg:    cfg.Defaulted(),
+		trace:  sim.NewTrace(),
+		retain: o.sink == nil,
+	}
+	return &SimSession{session: session{eng: st, opts: o}, st: st}, nil
+}
+
+// clusterStepper adapts the sharded cluster engine to the session
+// state machine.
+type clusterStepper struct {
+	eng   *cluster.Engine
+	cfg   ClusterConfig // defaulted
+	trace *ClusterTrace // stamped at finish
+}
+
+func (a *clusterStepper) warmupIntervals() int { return a.cfg.Sim.WarmupIntervals }
+func (a *clusterStepper) intervals() int       { return a.cfg.Sim.NumIntervals }
+func (a *clusterStepper) handovers() int       { return a.eng.Handovers() }
+func (a *clusterStepper) churned() int         { return a.eng.Churned() }
+
+func (a *clusterStepper) warmupStep(ctx context.Context) error { return a.eng.WarmupStep(ctx) }
+
+func (a *clusterStepper) trainAndBuild(ctx context.Context) error { return a.eng.TrainAndBuild(ctx) }
+
+func (a *clusterStepper) stepInterval(ctx context.Context, interval int) ([]TraceRecord, error) {
+	recs, err := a.eng.StepInterval(ctx, interval)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TraceRecord, len(recs))
+	for i, r := range recs {
+		out[i] = TraceRecord{BS: r.BS, GroupIntervalRecord: r.GroupIntervalRecord}
+	}
+	return out, nil
+}
+
+func (a *clusterStepper) finish() { a.trace = a.eng.Finish() }
+
+// ClusterSession is the sharded cluster engine's Session. It
+// satisfies the Session interface and additionally exposes the merged
+// ClusterTrace.
+type ClusterSession struct {
+	session
+	st *clusterStepper
+}
+
+// Trace returns the merged cluster trace: the full record set once
+// Done (or run-level and per-cell statistics only, when a sink owned
+// the records). Before completion it returns a snapshot of the
+// completed intervals.
+func (s *ClusterSession) Trace() *ClusterTrace {
+	if s.st.trace != nil {
+		return s.st.trace
+	}
+	return s.st.eng.Finish()
+}
+
+// OpenCluster validates cfg and returns a sharded-cluster session. No
+// simulation work happens until the first Step. Degenerate scenarios
+// (zero users or intervals) fail with ErrEmptyScenario.
+func OpenCluster(cfg ClusterConfig, opts ...SessionOption) (*ClusterSession, error) {
+	eng, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	eng.SetRetainRecords(o.sink == nil)
+	st := &clusterStepper{eng: eng, cfg: eng.Config()}
+	return &ClusterSession{session: session{eng: st, opts: o}, st: st}, nil
+}
+
+// ReadTraceRecordsNDJSON decodes the newline-delimited JSON stream an
+// NDJSONSink writes (either engine's schema; rows without a "bs"
+// field decode with BS = -1).
+func ReadTraceRecordsNDJSON(r io.Reader) ([]TraceRecord, error) {
+	return readNDJSONRecords(r)
+}
+
+// AccuracyTracker folds a run's accuracy metrics from interval
+// reports, so a session streaming to a sink can score itself without
+// ever retaining trace records. Attach it with
+// WithObserver(tracker.Observe); the results match the Trace methods
+// of the same name over the full record set.
+type AccuracyTracker struct {
+	radio   stats.OnlineMAPE
+	compute stats.OnlineVolume
+	waste   stats.OnlineVolume
+}
+
+// Observe folds one interval report. Pass it to WithObserver.
+func (t *AccuracyTracker) Observe(rep IntervalReport) {
+	for _, r := range rep.Records {
+		t.radio.Add(r.PredictedRBs, r.ActualRBs)
+		t.compute.Add(r.PredictedCycles, r.ActualCycles)
+		t.waste.Add(r.PredictedWasteBits, r.ActualWasteBits)
+	}
+}
+
+// RadioAccuracy returns the running 1 − MAPE over radio demand.
+func (t *AccuracyTracker) RadioAccuracy() (float64, error) { return t.radio.Accuracy() }
+
+// ComputeAccuracy returns the running volume accuracy over
+// transcoding demand.
+func (t *AccuracyTracker) ComputeAccuracy() (float64, error) { return t.compute.Accuracy() }
+
+// WasteAccuracy returns the running volume accuracy over wasted
+// traffic.
+func (t *AccuracyTracker) WasteAccuracy() (float64, error) { return t.waste.Accuracy() }

@@ -1,0 +1,382 @@
+package dtmsvs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/sim"
+)
+
+// sessionTestConfig exercises churn, regrouping and every parallel
+// stage while staying fast enough to run many times.
+func sessionTestConfig(seed int64, workers int) Config {
+	return Config{
+		Seed:             seed,
+		NumUsers:         24,
+		NumBS:            2,
+		NumIntervals:     4,
+		TicksPerInterval: 6,
+		WarmupIntervals:  1,
+		RegroupEvery:     2,
+		CompressorEpochs: 2,
+		AgentEpisodes:    10,
+		ChurnPerInterval: 0.1,
+		PrefetchDepth:    -1,
+		Parallelism:      workers,
+	}
+}
+
+// TestSessionMatchesRun is the batch-equivalence guarantee: stepping
+// a session by hand produces the exact trace the engine-level batch
+// path (sim.Simulation.Run — the pre-session API, which the internal
+// determinism suites pin) produces, and the deprecated Run shim
+// agrees with both.
+func TestSessionMatchesRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := sessionTestConfig(11, workers)
+		eng, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shim, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(shim.Records, want.Records) {
+			t.Fatalf("workers %d: Run shim diverged from engine batch path", workers)
+		}
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for !s.Done() {
+			rep, serr := s.Step(context.Background())
+			if serr != nil {
+				t.Fatalf("workers %d step %d: %v", workers, steps, serr)
+			}
+			if rep.Interval != steps {
+				t.Fatalf("workers %d: report interval %d at step %d", workers, rep.Interval, steps)
+			}
+			steps++
+		}
+		if steps != cfg.NumIntervals {
+			t.Fatalf("workers %d: %d steps for %d intervals", workers, steps, cfg.NumIntervals)
+		}
+		if s.Interval() != cfg.NumIntervals {
+			t.Fatalf("workers %d: Interval() = %d", workers, s.Interval())
+		}
+		got := s.Trace()
+		if !reflect.DeepEqual(got.Records, want.Records) {
+			t.Fatalf("workers %d: session records diverged from Run", workers)
+		}
+		if got.K != want.K || got.Silhouette != want.Silhouette ||
+			got.CacheHitRate != want.CacheHitRate || got.ChurnedUsers != want.ChurnedUsers {
+			t.Fatalf("workers %d: run stats diverged", workers)
+		}
+		if !reflect.DeepEqual(got.SwipeByGroup, want.SwipeByGroup) {
+			t.Fatalf("workers %d: swipe distributions diverged", workers)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterSessionMatchesRunCluster is the cluster-side
+// batch-equivalence guarantee across shard counts: the session path
+// matches the engine-level cluster.Run, and so does the shim.
+func TestClusterSessionMatchesRunCluster(t *testing.T) {
+	for _, shards := range []int{1, 2} { // 2 == NumBS
+		cfg := ClusterConfig{Sim: sessionTestConfig(7, 4), Shards: shards}
+		want, err := cluster.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shim, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(shim.Records, want.Records) {
+			t.Fatalf("shards %d: RunCluster shim diverged from engine batch path", shards)
+		}
+		s, err := OpenCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !s.Done() {
+			if _, serr := s.Step(context.Background()); serr != nil {
+				t.Fatalf("shards %d: %v", shards, serr)
+			}
+		}
+		got := s.Trace()
+		if !reflect.DeepEqual(got.Records, want.Records) {
+			t.Fatalf("shards %d: session records diverged from RunCluster", shards)
+		}
+		if !reflect.DeepEqual(got.Cells, want.Cells) {
+			t.Fatalf("shards %d: cell stats diverged", shards)
+		}
+		if got.Handovers != want.Handovers || got.ChurnedUsers != want.ChurnedUsers ||
+			got.CacheHitRate != want.CacheHitRate {
+			t.Fatalf("shards %d: run stats diverged", shards)
+		}
+	}
+}
+
+// TestSessionSinkAndObservers: the sink receives exactly the trace's
+// records (and then owns them — the session retains none), observers
+// see every interval in order, progress counts to completion, and the
+// AccuracyTracker matches the batch metrics.
+func TestSessionSinkAndObservers(t *testing.T) {
+	cfg := sessionTestConfig(3, 2)
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink BufferedSink
+	var acc AccuracyTracker
+	var seen []int
+	var progress [][2]int
+	s, err := Open(cfg,
+		WithSink(&sink),
+		WithObserver(func(rep IntervalReport) { seen = append(seen, rep.Interval) }),
+		WithObserver(acc.Observe),
+		WithProgress(func(done, total int) { progress = append(progress, [2]int{done, total}) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, serr := s.Step(context.Background()); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	if len(sink.Records) != len(want.Records) {
+		t.Fatalf("sink has %d records, want %d", len(sink.Records), len(want.Records))
+	}
+	for i, r := range sink.Records {
+		if r.BS != -1 {
+			t.Fatalf("monolithic record %d has BS %d", i, r.BS)
+		}
+		if r.GroupIntervalRecord != want.Records[i] {
+			t.Fatalf("sink record %d diverged", i)
+		}
+	}
+	if len(s.Trace().Records) != 0 {
+		t.Fatalf("session retained %d records despite sink", len(s.Trace().Records))
+	}
+	if s.Trace().K != want.K {
+		t.Fatalf("stats-only trace K %d, want %d", s.Trace().K, want.K)
+	}
+	for i, iv := range seen {
+		if iv != i {
+			t.Fatalf("observer saw intervals %v", seen)
+		}
+	}
+	if len(progress) != cfg.NumIntervals || progress[len(progress)-1] != [2]int{cfg.NumIntervals, cfg.NumIntervals} {
+		t.Fatalf("progress %v", progress)
+	}
+	wantAcc, err := want.RadioAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAcc, err := acc.RadioAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAcc != wantAcc {
+		t.Fatalf("tracker accuracy %v, batch %v", gotAcc, wantAcc)
+	}
+	wantC, err := want.ComputeAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := acc.ComputeAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC != wantC {
+		t.Fatalf("tracker compute accuracy %v, batch %v", gotC, wantC)
+	}
+}
+
+// TestEmptyScenario: degenerate configs fail with the typed
+// ErrEmptyScenario from Open, OpenCluster and the shims.
+func TestEmptyScenario(t *testing.T) {
+	noUsers := sessionTestConfig(1, 1)
+	noUsers.NumUsers = 0
+	noIntervals := sessionTestConfig(1, 1)
+	noIntervals.NumIntervals = 0
+	for name, cfg := range map[string]Config{"no users": noUsers, "no intervals": noIntervals} {
+		if _, err := Open(cfg); !errors.Is(err, ErrEmptyScenario) {
+			t.Fatalf("Open %s: want ErrEmptyScenario, got %v", name, err)
+		}
+		if _, err := Run(cfg); !errors.Is(err, ErrEmptyScenario) {
+			t.Fatalf("Run %s: want ErrEmptyScenario, got %v", name, err)
+		}
+		if _, err := OpenCluster(ClusterConfig{Sim: cfg}); !errors.Is(err, ErrEmptyScenario) {
+			t.Fatalf("OpenCluster %s: want ErrEmptyScenario, got %v", name, err)
+		}
+		if _, err := RunCluster(ClusterConfig{Sim: cfg}); !errors.Is(err, ErrEmptyScenario) {
+			t.Fatalf("RunCluster %s: want ErrEmptyScenario, got %v", name, err)
+		}
+	}
+	// Negative counts stay plain config errors, and every empty-scenario
+	// error still matches the broad config class.
+	negative := sessionTestConfig(1, 1)
+	negative.NumUsers = -1
+	if _, err := Open(negative); err == nil || errors.Is(err, ErrEmptyScenario) {
+		t.Fatalf("negative users: got %v", err)
+	}
+}
+
+// TestSessionDoneAndClosed: stepping past the end and after Close
+// yields the typed sentinel errors.
+func TestSessionDoneAndClosed(t *testing.T) {
+	cfg := sessionTestConfig(5, 2)
+	cfg.NumIntervals = 1
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := s.Step(context.Background()); serr != nil {
+		t.Fatal(serr)
+	}
+	if !s.Done() {
+		t.Fatal("session not done after final interval")
+	}
+	if _, serr := s.Step(context.Background()); !errors.Is(serr, ErrSessionDone) {
+		t.Fatalf("want ErrSessionDone, got %v", serr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+	if _, serr := s.Step(context.Background()); !errors.Is(serr, ErrSessionClosed) {
+		t.Fatalf("want ErrSessionClosed, got %v", serr)
+	}
+}
+
+// TestTraceRecordEncodings: the unified record type round-trips both
+// schemas through NDJSON and renders the right CSV header per engine.
+func TestTraceRecordEncodings(t *testing.T) {
+	mono := TraceRecord{BS: -1, GroupIntervalRecord: GroupIntervalRecord{Interval: 2, GroupID: 1, Size: 9, ActualRBs: 3.25}}
+	cell := TraceRecord{BS: 3, GroupIntervalRecord: GroupIntervalRecord{Interval: 1, GroupID: 0, Size: 4, ActualRBs: 1.5}}
+
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	for _, r := range []TraceRecord{mono, cell} {
+		if err := sink.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d NDJSON lines", len(lines))
+	}
+	if strings.Contains(lines[0], `"bs"`) {
+		t.Fatalf("monolithic record leaked a bs field: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], `{"bs":3,`) {
+		t.Fatalf("cluster record missing leading bs: %s", lines[1])
+	}
+	back, err := ReadTraceRecordsNDJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != mono || back[1] != cell {
+		t.Fatalf("NDJSON round trip diverged: %+v", back)
+	}
+
+	buf.Reset()
+	csvSink := NewCSVSink(&buf)
+	if err := csvSink.WriteRecord(cell); err != nil {
+		t.Fatal(err)
+	}
+	if err := csvSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "bs,interval,group_id") {
+		t.Fatalf("cluster CSV header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	buf.Reset()
+	csvSink = NewCSVSink(&buf)
+	if err := csvSink.WriteRecord(mono); err != nil {
+		t.Fatal(err)
+	}
+	if err := csvSink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "interval,group_id") {
+		t.Fatalf("monolithic CSV header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+// failingSink passes records through to an inner sink until a given
+// record count, then errors — simulating a writer that dies mid-interval.
+type failingSink struct {
+	inner   TraceSink
+	failAt  int
+	written int
+}
+
+func (f *failingSink) WriteRecord(r TraceRecord) error {
+	if f.written >= f.failAt {
+		return errors.New("disk full")
+	}
+	f.written++
+	return f.inner.WriteRecord(r)
+}
+
+func (f *failingSink) Flush() error { return f.inner.Flush() }
+
+// TestSinkFailureKeepsWholeIntervalPrefix: when WriteRecord dies
+// partway through an interval, neither the failing Step nor Close may
+// flush the torn interval — the backing store keeps exactly the
+// whole-interval prefix of the last successful flush.
+func TestSinkFailureKeepsWholeIntervalPrefix(t *testing.T) {
+	cfg := sessionTestConfig(9, 2)
+	full, perInterval := ndjsonRun(t, func(opts ...SessionOption) (Session, error) {
+		return Open(cfg, opts...)
+	})
+	if len(perInterval) < 2 || perInterval[1] < 2 {
+		t.Fatalf("scenario too small to tear an interval: %v", perInterval)
+	}
+	// Fail on the second record of interval 1.
+	failAt := perInterval[0] + 1
+	var buf bytes.Buffer
+	sink := &failingSink{inner: NewNDJSONSink(&buf), failAt: failAt}
+	s, err := Open(cfg, WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := s.Step(context.Background()); serr != nil {
+		t.Fatal(serr)
+	}
+	if _, serr := s.Step(context.Background()); serr == nil {
+		t.Fatal("torn-interval step must fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := linePrefix(full, perInterval[0])
+	if buf.String() != want {
+		t.Fatalf("backing store holds %d bytes, want the %d-byte whole-interval prefix",
+			buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,97 @@
+// This file holds the TraceSink implementations: trace records flow
+// out of a Session per interval instead of accumulating in the run's
+// heap. BufferedSink restores the whole-trace-in-memory behavior when
+// that is what the caller wants; NDJSONSink and CSVSink stream to any
+// io.Writer with a flush at every interval boundary, so a cancelled
+// run leaves a well-formed trace prefix behind; DiscardSink keeps
+// nothing (statistics-only runs).
+package dtmsvs
+
+import (
+	"io"
+
+	"dtmsvs/internal/traceio"
+)
+
+// TraceSink receives trace records as a session produces them. A
+// session writes every record of a completed interval, then calls
+// Flush — so after any Flush the sink holds a consistent
+// whole-interval prefix of the run.
+type TraceSink interface {
+	// WriteRecord receives one trace row.
+	WriteRecord(TraceRecord) error
+	// Flush pushes buffered rows to the sink's backing store. Called
+	// at every interval boundary and by Session.Close.
+	Flush() error
+}
+
+// BufferedSink accumulates records in memory — the pre-session
+// whole-run trace behavior, as a sink.
+type BufferedSink struct {
+	Records []TraceRecord
+}
+
+// WriteRecord implements TraceSink.
+func (b *BufferedSink) WriteRecord(r TraceRecord) error {
+	b.Records = append(b.Records, r)
+	return nil
+}
+
+// Flush implements TraceSink.
+func (b *BufferedSink) Flush() error { return nil }
+
+// NDJSONSink streams records as newline-delimited JSON: one record
+// per line, in the engine's record schema (monolithic records carry
+// no "bs" field). Decode with ReadTraceRecordsNDJSON.
+type NDJSONSink struct {
+	s *traceio.NDJSONStream
+}
+
+// NewNDJSONSink returns an NDJSON sink over w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{s: traceio.NewNDJSONStream(w)}
+}
+
+// WriteRecord implements TraceSink.
+func (s *NDJSONSink) WriteRecord(r TraceRecord) error { return s.s.Write(r) }
+
+// Flush implements TraceSink.
+func (s *NDJSONSink) Flush() error { return s.s.Flush() }
+
+// CSVSink streams records as CSV, writing the header before the first
+// record (the monolithic schema for BS < 0 records, the bs-prefixed
+// cluster schema otherwise — a session never mixes the two). Because
+// the schema is only known once a record arrives, a run that ends
+// before its first interval completes (e.g. cancelled during the
+// prologue) leaves the output empty rather than header-only; the
+// batch WriteTraceCSV helpers, whose record type is fixed, still
+// write a header for empty traces.
+type CSVSink struct {
+	s *traceio.CSVStream
+}
+
+// NewCSVSink returns a CSV sink over w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{s: traceio.NewCSVStream(w)}
+}
+
+// WriteRecord implements TraceSink.
+func (s *CSVSink) WriteRecord(r TraceRecord) error { return s.s.Write(r) }
+
+// Flush implements TraceSink.
+func (s *CSVSink) Flush() error { return s.s.Flush() }
+
+// DiscardSink drops every record: attach it when only the run-level
+// statistics and interval reports matter, so neither the session nor
+// a sink retains the trace.
+type DiscardSink struct{}
+
+// WriteRecord implements TraceSink.
+func (DiscardSink) WriteRecord(TraceRecord) error { return nil }
+
+// Flush implements TraceSink.
+func (DiscardSink) Flush() error { return nil }
+
+func readNDJSONRecords(r io.Reader) ([]TraceRecord, error) {
+	return traceio.ReadNDJSON[TraceRecord](r, "trace stream")
+}
