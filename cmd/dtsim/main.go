@@ -48,7 +48,7 @@ func run() error {
 		fixedK    = flag.Int("fixed-k", 0, "bypass the DDQN with a fixed grouping number (0 = use DDQN)")
 		noCNN     = flag.Bool("no-cnn", false, "disable the 1D-CNN compressor (raw-feature baseline)")
 		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
-		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; trace is identical for any value)")
+		par       = flag.Int("parallel", 0, "worker goroutines for simulation fan-out and training GEMM row-blocks (0 = all cores; trace is identical for any value)")
 		shards    = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
 		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson" or "csv" (streamed per interval)`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")

@@ -198,6 +198,19 @@ func New(cfg Config) (*Engine, error) {
 	if cellBytes <= 0 {
 		cellBytes = d.Sim.CacheBytes
 	}
+	// Split the worker budget across the cells that can train
+	// concurrently (one per shard, capped by the pool), so the
+	// per-cell GEMM crews sum to at most Parallelism workers instead
+	// of oversubscribing the host Shards-fold. Width only moves
+	// wall-clock time — cell traces are bit-identical at any value.
+	concurrent := d.Shards
+	if concurrent > pool.Workers() {
+		concurrent = pool.Workers()
+	}
+	gemmWorkers := pool.Workers() / concurrent
+	if gemmWorkers < 1 {
+		gemmWorkers = 1
+	}
 	cells := make([]*cellState, numCells)
 	for c := 0; c < numCells; c++ {
 		server, serr := edge.NewServer(cellBytes, edge.DefaultTranscodeModel(), catalog, d.Sim.CatalogSize/10)
@@ -205,12 +218,13 @@ func New(cfg Config) (*Engine, error) {
 			return nil, serr
 		}
 		eng, cerr := sim.NewCell(d.Sim, sim.CellOptions{
-			Stations: stations,
-			Campus:   campus,
-			Catalog:  catalog,
-			Server:   server,
-			Pool:     pool,
-			Salt:     uint64(c) + 1,
+			Stations:    stations,
+			Campus:      campus,
+			Catalog:     catalog,
+			Server:      server,
+			Pool:        pool,
+			Salt:        uint64(c) + 1,
+			GEMMWorkers: gemmWorkers,
 		})
 		if cerr != nil {
 			return nil, fmt.Errorf("cell %d: %w", c, cerr)
@@ -332,6 +346,15 @@ func (e *Engine) migrate() error {
 		}
 	}
 	return nil
+}
+
+// Close releases every cell's training GEMM workers. The engine
+// stays readable afterwards — further training GEMMs would run
+// sequentially with identical results. Idempotent.
+func (e *Engine) Close() {
+	for _, c := range e.cells {
+		c.eng.Close()
+	}
 }
 
 // Handovers reports cross-cell twin migrations so far.

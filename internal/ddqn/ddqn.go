@@ -278,6 +278,15 @@ func New(cfg Config, rng *rand.Rand) (*Agent, error) {
 	return a, nil
 }
 
+// SetGEMMPool routes the batched Learn GEMMs of both the online and
+// target networks through the given pool (nil restores the sequential
+// kernels). Purely a wall-clock knob: learned weights and Q-values
+// are bit-identical for any worker count.
+func (a *Agent) SetGEMMPool(p *vecmath.GEMMPool) {
+	a.online.net.SetGEMMPool(p)
+	a.target.net.SetGEMMPool(p)
+}
+
 // Epsilon returns the current exploration rate.
 func (a *Agent) Epsilon() float64 { return a.eps }
 

@@ -113,6 +113,18 @@ type Builder struct {
 // bit-identical either way.
 func (b *Builder) SetPool(p *parallel.Pool) { b.pool = p }
 
+// SetGEMMPool routes the training GEMMs of the CNN compressor and the
+// DDQN agent through the given pool (nil restores the sequential
+// kernels). Like SetPool this is purely a wall-clock knob — trained
+// weights and grouping results are bit-identical for any worker
+// count.
+func (b *Builder) SetGEMMPool(p *vecmath.GEMMPool) {
+	if b.compressor != nil {
+		b.compressor.SetGEMMPool(p)
+	}
+	b.agent.SetGEMMPool(p)
+}
+
 // New constructs a builder.
 func New(cfg Config, rng *rand.Rand) (*Builder, error) {
 	if err := cfg.Validate(); err != nil {

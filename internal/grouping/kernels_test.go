@@ -1,0 +1,66 @@
+package grouping
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// TestTrainedWeightsDeterministicAcrossKernels pins the acceptance
+// criterion at the weight level: compressor and agent weights after
+// a full TrainCompressor+TrainAgent run must be bit-identical across
+// {dispatched, forced-generic} kernels × GEMM pool workers {1, 4, 8},
+// not merely produce the same groupings.
+func TestTrainedWeightsDeterministicAcrossKernels(t *testing.T) {
+	defer vecmath.ForceGeneric(false)
+	twins := makeTwins(t, 16)
+	type result struct {
+		comp  any
+		agent any
+		loss  float64
+	}
+	var base *result
+	for _, generic := range []bool{false, true} {
+		vecmath.ForceGeneric(generic)
+		for _, workers := range []int{1, 4, 8} {
+			cfg := testConfig()
+			cfg.UseCNN = true
+			b, err := New(cfg, rand.New(rand.NewSource(31)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := vecmath.NewGEMMPool(workers)
+			pool.MinFlops = 1 // engage the fan-out at test scale
+			b.SetGEMMPool(pool)
+			loss, err := b.TrainCompressor(twins, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.TrainAgent(twins, 10); err != nil {
+				t.Fatal(err)
+			}
+			got := &result{
+				comp:  b.compressor.SaveState(),
+				agent: b.agent.SaveState(),
+				loss:  loss,
+			}
+			pool.Close()
+			if base == nil {
+				base = got
+				continue
+			}
+			if got.loss != base.loss {
+				t.Fatalf("generic=%v workers=%d: compressor loss %v want %v",
+					generic, workers, got.loss, base.loss)
+			}
+			if !reflect.DeepEqual(got.comp, base.comp) {
+				t.Fatalf("generic=%v workers=%d: compressor weights diverged", generic, workers)
+			}
+			if !reflect.DeepEqual(got.agent, base.agent) {
+				t.Fatalf("generic=%v workers=%d: agent weights diverged", generic, workers)
+			}
+		}
+	}
+}

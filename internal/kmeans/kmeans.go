@@ -175,8 +175,28 @@ func AssignPoints(points, centroids []vecmath.Vec, assign []int, pool *parallel.
 
 func nearestCentroid(p vecmath.Vec, centroids []vecmath.Vec) int {
 	best, bestD := 0, math.Inf(1)
-	for c, cent := range centroids {
-		if d := vecmath.SqDistUnchecked(p, cent); d < bestD {
+	// Four centroids per pass through the multi-chain kernel; the
+	// argmin compares in ascending centroid order either way, so ties
+	// still resolve to the lowest index.
+	c := 0
+	for ; c+4 <= len(centroids); c += 4 {
+		d0, d1, d2, d3 := vecmath.SqDist4Unchecked(
+			p, centroids[c], centroids[c+1], centroids[c+2], centroids[c+3])
+		if d0 < bestD {
+			best, bestD = c, d0
+		}
+		if d1 < bestD {
+			best, bestD = c+1, d1
+		}
+		if d2 < bestD {
+			best, bestD = c+2, d2
+		}
+		if d3 < bestD {
+			best, bestD = c+3, d3
+		}
+	}
+	for ; c < len(centroids); c++ {
+		if d := vecmath.SqDistUnchecked(p, centroids[c]); d < bestD {
 			best, bestD = c, d
 		}
 	}
@@ -360,8 +380,20 @@ func PairDistances(points []vecmath.Vec, pool *parallel.Pool) (*DistMatrix, erro
 	fill := func(i int) error {
 		p := points[i]
 		row := m.D[i*n : (i+1)*n]
-		for j, q := range points {
-			row[j] = math.Sqrt(vecmath.SqDistUnchecked(p, q))
+		// Four columns per pass through the multi-chain kernel; each
+		// distance keeps its own ascending-dimension chain, so every
+		// entry is bit-identical to the one-pair scan.
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			d0, d1, d2, d3 := vecmath.SqDist4Unchecked(
+				p, points[j], points[j+1], points[j+2], points[j+3])
+			row[j] = math.Sqrt(d0)
+			row[j+1] = math.Sqrt(d1)
+			row[j+2] = math.Sqrt(d2)
+			row[j+3] = math.Sqrt(d3)
+		}
+		for ; j < n; j++ {
+			row[j] = math.Sqrt(vecmath.SqDistUnchecked(p, points[j]))
 		}
 		return nil
 	}
@@ -501,11 +533,30 @@ func SilhouettePool(points []vecmath.Vec, assign []int, k int, pool *parallel.Po
 	one := func(i int) error {
 		p := points[i]
 		st := sumTo[i*k : (i+1)*k]
-		for j, q := range points {
-			if i == j {
-				continue
+		// Four distances per pass through the multi-chain kernel; the
+		// bucket adds run in the same ascending-j order as the
+		// one-pair scan, so each bucket's sum is bit-identical.
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			d0, d1, d2, d3 := vecmath.SqDist4Unchecked(
+				p, points[j], points[j+1], points[j+2], points[j+3])
+			if j != i {
+				st[assign[j]] += math.Sqrt(d0)
 			}
-			st[assign[j]] += math.Sqrt(vecmath.SqDistUnchecked(p, q))
+			if j+1 != i {
+				st[assign[j+1]] += math.Sqrt(d1)
+			}
+			if j+2 != i {
+				st[assign[j+2]] += math.Sqrt(d2)
+			}
+			if j+3 != i {
+				st[assign[j+3]] += math.Sqrt(d3)
+			}
+		}
+		for ; j < n; j++ {
+			if j != i {
+				st[assign[j]] += math.Sqrt(vecmath.SqDistUnchecked(p, points[j]))
+			}
 		}
 		contrib[i] = silhouetteOf(st, sizes, assign[i])
 		return nil

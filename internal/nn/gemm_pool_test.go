@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dtmsvs/internal/vecmath"
+)
+
+// buildBatchNet constructs the compressor-shaped stack the batched
+// training paths exercise: conv → relu → pool → dense → tanh.
+func buildBatchNet(t *testing.T, rng *rand.Rand) *Network {
+	t.Helper()
+	conv, err := NewConv1D(5, 16, 8, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool1D(8, conv.OutLen(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := NewDense(8*pool.OutLen(), 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(5*16, conv, &ReLU{}, pool, head, &Tanh{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestBatchGEMMPoolIdentical pins the plumbed pool to the sequential
+// batch path: forward outputs, input gradients and every parameter
+// gradient must be bit-identical at every worker count.
+func TestBatchGEMMPoolIdentical(t *testing.T) {
+	const batch = 12
+	mkIO := func() (*vecmath.Matrix, *vecmath.Matrix) {
+		rng := rand.New(rand.NewSource(21))
+		x := vecmath.MustMatrix(batch, 5*16)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		g := vecmath.MustMatrix(batch, 8)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		return x, g
+	}
+	run := func(pool *vecmath.GEMMPool) (*vecmath.Matrix, *vecmath.Matrix, []Param) {
+		rng := rand.New(rand.NewSource(22))
+		net := buildBatchNet(t, rng)
+		net.SetGEMMPool(pool)
+		x, g := mkIO()
+		out, err := net.ForwardBatch(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := net.BackwardBatch(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, dx, net.Params()
+	}
+
+	wantOut, wantDx, wantParams := run(nil)
+	for _, workers := range []int{1, 4, 8} {
+		pool := vecmath.NewGEMMPool(workers)
+		pool.MinFlops = 1 // force fan-out even on these small batches
+		out, dx, params := run(pool)
+		for i := range wantOut.Data {
+			if math.Float64bits(out.Data[i]) != math.Float64bits(wantOut.Data[i]) {
+				t.Fatalf("workers=%d: forward out differs at %d", workers, i)
+			}
+		}
+		for i := range wantDx.Data {
+			if math.Float64bits(dx.Data[i]) != math.Float64bits(wantDx.Data[i]) {
+				t.Fatalf("workers=%d: input gradient differs at %d", workers, i)
+			}
+		}
+		for pi := range wantParams {
+			for j := range wantParams[pi].G {
+				if math.Float64bits(params[pi].G[j]) != math.Float64bits(wantParams[pi].G[j]) {
+					t.Fatalf("workers=%d: param %d gradient differs at %d", workers, pi, j)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestBatchGEMMPoolAllocFree extends the batched-training allocation
+// gate to the pooled path: steady-state forward+backward through the
+// fanned GEMMs must stay off the heap at every worker count.
+func TestBatchGEMMPoolAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := buildBatchNet(t, rng)
+	x := vecmath.MustMatrix(16, 5*16)
+	g := vecmath.MustMatrix(16, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	for _, workers := range []int{1, 4, 8} {
+		pool := vecmath.NewGEMMPool(workers)
+		pool.MinFlops = 1
+		net.SetGEMMPool(pool)
+		// Prime scratch and spawn the crew.
+		if _, err := net.ForwardBatch(x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.BackwardBatch(g); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			net.ZeroGrads()
+			if _, err := net.ForwardBatch(x); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.BackwardBatch(g); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("workers=%d: pooled batch step allocates %v per run", workers, n)
+		}
+		pool.Close()
+	}
+	net.SetGEMMPool(nil)
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestCrewRunsEveryWorker checks that Run invokes fn exactly once per
+// worker slot, clamps to the bound, and reuses workers across calls.
+func TestCrewRunsEveryWorker(t *testing.T) {
+	c := NewCrew(4)
+	defer c.Close()
+	var seen [4]atomic.Int64
+	fn := func(w int) { seen[w].Add(1) }
+	for round := 1; round <= 3; round++ {
+		c.Run(4, fn)
+		for w := range seen {
+			if got := seen[w].Load(); got != int64(round) {
+				t.Fatalf("round %d: worker %d ran %d times", round, w, got)
+			}
+		}
+	}
+	// Clamped fan-out: only the first 2 slots run.
+	c.Run(2, fn)
+	if seen[0].Load() != 4 || seen[1].Load() != 4 || seen[2].Load() != 3 {
+		t.Fatalf("clamped run touched wrong workers: %v %v %v %v",
+			seen[0].Load(), seen[1].Load(), seen[2].Load(), seen[3].Load())
+	}
+	// Oversized n clamps to the worker bound.
+	c.Run(100, fn)
+	if seen[3].Load() != 4 {
+		t.Fatalf("oversized run did not clamp: worker 3 ran %d times", seen[3].Load())
+	}
+}
+
+// TestCrewSequential covers the no-goroutine paths: worker bound 1
+// and single-slot runs.
+func TestCrewSequential(t *testing.T) {
+	c := NewCrew(1)
+	defer c.Close()
+	ran := 0
+	c.Run(5, func(w int) {
+		if w != 0 {
+			t.Fatalf("sequential crew ran worker %d", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("sequential crew ran %d times", ran)
+	}
+}
+
+// TestCrewCloseDegradesToSequential checks the post-Close contract:
+// further Runs stay on the calling goroutine.
+func TestCrewCloseDegradesToSequential(t *testing.T) {
+	c := NewCrew(4)
+	c.Run(4, func(int) {})
+	c.Close()
+	c.Close() // idempotent
+	ran := 0
+	c.Run(4, func(w int) {
+		if w != 0 {
+			t.Fatalf("closed crew woke worker %d", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("closed crew ran %d times", ran)
+	}
+	// Closing a crew that never spawned must not panic either.
+	NewCrew(8).Close()
+}
+
+// TestCrewRunAllocFree gates the dispatch: a steady-state fan-out
+// with a long-lived func value must not touch the heap.
+func TestCrewRunAllocFree(t *testing.T) {
+	c := NewCrew(4)
+	defer c.Close()
+	var sink [4]atomic.Int64
+	fn := func(w int) { sink[w].Add(1) }
+	c.Run(4, fn) // prime: spawns workers
+	if n := testing.AllocsPerRun(200, func() {
+		c.Run(4, fn)
+	}); n != 0 {
+		t.Fatalf("crew Run allocates %v per run", n)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"dtmsvs/internal/segment"
 	"dtmsvs/internal/stats"
 	"dtmsvs/internal/udt"
+	"dtmsvs/internal/vecmath"
 	"dtmsvs/internal/video"
 )
 
@@ -432,6 +433,10 @@ type Simulation struct {
 	rng *rand.Rand
 	// pool fans per-user and per-group stages across workers.
 	pool *parallel.Pool
+	// gemm fans training GEMM row blocks across a persistent crew of
+	// the same worker bound (results are bit-identical for any
+	// count); Close releases its workers.
+	gemm *vecmath.GEMMPool
 	// salt decorrelates this engine's derived group/builder streams
 	// from other shards' in a cluster run (0 in the monolithic engine,
 	// cell id + 1 in cluster cells).
@@ -535,12 +540,15 @@ func New(cfg Config) (*Simulation, error) {
 
 	pool := parallel.New(c.Parallelism)
 	builder.SetPool(pool)
+	gemm := vecmath.NewGEMMPool(c.Parallelism)
+	builder.SetGEMMPool(gemm)
 
 	eng := &Simulation{
 		cfg:           c,
 		sched:         sched,
 		rng:           rng,
 		pool:          pool,
+		gemm:          gemm,
 		params:        params,
 		stations:      stations,
 		campus:        campus,
@@ -1237,6 +1245,11 @@ func (s *Simulation) WarmupIntervalContext(ctx context.Context) error {
 // CollectTicks runs one interval's worth of mobility + channel
 // collection (exported for the cluster engine's per-cell stepping).
 func (s *Simulation) CollectTicks() error { return s.collectTicks(context.Background()) }
+
+// Close releases the engine's training GEMM workers. The engine
+// stays usable afterwards — any further training GEMMs run
+// sequentially with identical results. Idempotent.
+func (s *Simulation) Close() { s.gemm.Close() }
 
 // CloseInterval folds the finished interval's observations into the
 // per-user calibration state (exported for the cluster engine).

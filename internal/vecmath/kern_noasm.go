@@ -1,0 +1,18 @@
+//go:build !amd64 || purego
+
+package vecmath
+
+// useAVX2 is constant false without the amd64 assembly kernels, so
+// the dispatch branch in AXPYUnchecked folds away and the scalar loop
+// compiles exactly as it did before the kernel layer existed.
+func useAVX2() bool { return false }
+
+// ForceGeneric is a no-op without dispatched kernels: every call
+// already runs the portable implementation.
+func ForceGeneric(force bool) {}
+
+// axpyAVX2 is never reachable on this build; the stub satisfies the
+// shared dispatch call site.
+func axpyAVX2(alpha float64, x, y *float64, n int) {
+	panic("vecmath: axpyAVX2 called without AVX2 support")
+}

@@ -1,0 +1,108 @@
+package vecmath
+
+// CPU-dispatched micro-kernels for the learning hot path.
+//
+// The package's determinism contract — every destination element
+// accumulates its inner sum in fixed ascending index order, bit-
+// identical across machines, build tags and worker counts — survives
+// vectorization only for kernels in AXPY form: y[i] += alpha*x[i]
+// touches each element's sum exactly once per call, so a 4-wide SIMD
+// lane computes the same rounded multiply and add the scalar loop
+// does. The AVX2 AXPY kernel therefore uses separate VMULPD/VADDPD
+// (never VFMADDxxx: a fused multiply-add rounds once where the scalar
+// contract rounds twice, which would change result bits) and is
+// selected once at init via CPUID feature detection; the `purego`
+// build tag, non-amd64 targets and pre-AVX2 hardware all fall back to
+// the scalar loop, and ForceGeneric flips the dispatch at runtime for
+// same-binary A/B tests and benchmarks.
+//
+// Dot-form kernels are different: a single inner product is one
+// strictly sequential chain of rounded adds, so no reassociating
+// (multi-accumulator or horizontal-SIMD) implementation can be
+// bit-identical to it. Instead of changing the contract, the dot-form
+// hot paths batch *independent* outputs: Dot4Unchecked and
+// SqDist4Unchecked compute four sums at once, each with its own
+// accumulator walking ascending indices — bit-identical per output to
+// DotUnchecked/SqDistUnchecked — while the four independent add
+// chains hide the FP-add latency that bounds a lone chain. These are
+// hand-unrolled portable Go, identical on every platform and build
+// tag by construction.
+
+// cpuHasAVX2 / cpuHasFMA record what CPUID detection found at init
+// (always false on non-amd64 and under the purego tag). FMA presence
+// is recorded for bench environment blocks even though the kernels
+// deliberately never emit fused ops.
+var cpuHasAVX2, cpuHasFMA bool
+
+// CPUInfo describes the kernel dispatch decision for this process.
+type CPUInfo struct {
+	// AVX2 and FMA report CPUID feature detection (with OS XSAVE
+	// support for the YMM state). Always false under `purego` and on
+	// non-amd64 targets.
+	AVX2, FMA bool
+	// Kernel names the AXPY micro-kernel implementation in use:
+	// "avx2" or "generic".
+	Kernel string
+}
+
+// CPU reports the detected CPU features and the active kernel
+// implementation, for bench environment records and logs.
+func CPU() CPUInfo {
+	info := CPUInfo{AVX2: cpuHasAVX2, FMA: cpuHasFMA, Kernel: "generic"}
+	if useAVX2() {
+		info.Kernel = "avx2"
+	}
+	return info
+}
+
+// axpyGeneric is the portable AXPY micro-kernel: the reslice hoists
+// the per-element bounds check out of the loop. It is the purego
+// fallback of the dispatched kernel and the reference implementation
+// the equivalence tests compare against.
+func axpyGeneric(alpha float64, x, y Vec) {
+	y = y[:len(x)]
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Dot4Unchecked computes the four inner products of a with b0..b3
+// without shape checks: the caller guarantees every b has length >=
+// len(a). Each sum owns its accumulator and walks ascending indices,
+// so every output is bit-identical to DotUnchecked(a, bN) — the four
+// independent chains exist purely to hide FP-add latency.
+func Dot4Unchecked(a, b0, b1, b2, b3 Vec) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for i, av := range a {
+		s0 += av * b0[i]
+		s1 += av * b1[i]
+		s2 += av * b2[i]
+		s3 += av * b3[i]
+	}
+	return s0, s1, s2, s3
+}
+
+// SqDist4Unchecked computes the four squared Euclidean distances of a
+// to b0..b3 without shape checks: the caller guarantees every b has
+// length >= len(a). Each output is bit-identical to
+// SqDistUnchecked(a, bN), for the same reason as Dot4Unchecked.
+func SqDist4Unchecked(a, b0, b1, b2, b3 Vec) (s0, s1, s2, s3 float64) {
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for i, av := range a {
+		d0 := av - b0[i]
+		s0 += d0 * d0
+		d1 := av - b1[i]
+		s1 += d1 * d1
+		d2 := av - b2[i]
+		s2 += d2 * d2
+		d3 := av - b3[i]
+		s3 += d3 * d3
+	}
+	return s0, s1, s2, s3
+}

@@ -72,14 +72,26 @@ func DotUnchecked(a, b Vec) float64 {
 }
 
 // AXPYUnchecked computes y += alpha*x without a shape check: the
-// caller guarantees len(y) >= len(x). The reslice hoists the
-// per-element bounds check out of the loop.
+// caller guarantees len(y) >= len(x). It is the dispatched micro-
+// kernel of the GEMM hot path: on amd64 with AVX2 (and without the
+// `purego` build tag) long vectors run the 4-wide assembly kernel,
+// which is bit-identical to the scalar loop — see kernels.go for the
+// contract. Short vectors stay scalar: the call overhead would
+// dominate, and the results are identical either way.
 func AXPYUnchecked(alpha float64, x, y Vec) {
 	y = y[:len(x)]
-	for i, xv := range x {
-		y[i] += alpha * xv
+	if len(x) >= axpySIMDMinLen && useAVX2() {
+		axpyAVX2(alpha, &x[0], &y[0], len(x))
+		return
 	}
+	axpyGeneric(alpha, x, y)
 }
+
+// axpySIMDMinLen is the vector length where the AVX2 AXPY kernel
+// starts beating the scalar loop (call + VZEROUPPER overhead); below
+// it the dispatch stays scalar. Purely a speed threshold — both sides
+// produce identical bits.
+const axpySIMDMinLen = 8
 
 // SqDistUnchecked returns the squared Euclidean distance between a and
 // b without a shape check: the caller guarantees len(b) >= len(a).

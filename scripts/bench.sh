@@ -6,12 +6,14 @@
 #   BENCH_COUNT  repetitions per benchmark (default 5)
 #   BENCH_TIME   -benchtime value (default: go's 1s)
 #   BENCH_OUT    output path (default BENCH_baseline.json)
+#   BENCH_TAGS   build tags for the bench binary (e.g. purego)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-5}"
 BENCHTIME="${BENCH_TIME:-}"
 OUT="${BENCH_OUT:-BENCH_baseline.json}"
+TAGS="${BENCH_TAGS:-}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -19,7 +21,27 @@ ARGS=(test -run '^$' -bench . -benchmem -count "$COUNT")
 if [ -n "$BENCHTIME" ]; then
 	ARGS+=(-benchtime "$BENCHTIME")
 fi
+if [ -n "$TAGS" ]; then
+	ARGS+=(-tags "$TAGS")
+fi
 
-go "${ARGS[@]}" . | tee "$RAW"
+# Emit the machine facts the SIMD/parallel kernels depend on ahead of
+# the go test stream, in the "key: value" shape benchjson.py already
+# parses, so BENCH_*.json baselines say which kernel and worker pool
+# they were measured with and stay comparable across machines.
+{
+	if [ -r /proc/cpuinfo ]; then
+		FEATS=""
+		grep -q ' avx2' /proc/cpuinfo && FEATS="avx2"
+		grep -qw 'fma' /proc/cpuinfo && FEATS="${FEATS:+$FEATS,}fma"
+		echo "cpufeatures: ${FEATS:-none}"
+	else
+		echo "cpufeatures: unknown"
+	fi
+	echo "goamd64: $(go env GOAMD64)"
+	echo "workers: $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+	echo "tags: ${TAGS:-none}"
+	go "${ARGS[@]}" .
+} | tee "$RAW"
 python3 scripts/benchjson.py "$COUNT" <"$RAW" >"$OUT"
 echo "wrote $OUT"

@@ -15,7 +15,10 @@ def main() -> None:
     samples = {}
     for line in sys.stdin:
         line = line.strip()
-        for key in ("goos", "goarch", "cpu", "pkg"):
+        # cpufeatures/goamd64/workers/tags come from bench.sh's
+        # prologue: they pin which kernel dispatch (AVX2 vs generic),
+        # codegen level and worker pool produced the numbers.
+        for key in ("goos", "goarch", "cpu", "pkg", "cpufeatures", "goamd64", "workers", "tags"):
             if line.startswith(key + ":"):
                 env[key] = line.split(":", 1)[1].strip()
         if not line.startswith("Benchmark"):

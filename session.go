@@ -187,6 +187,10 @@ type stepper interface {
 	finish()
 	handovers() int
 	churned() int
+	// close releases engine-held workers (the training GEMM crews);
+	// the engine stays readable and any later training GEMMs run
+	// sequentially with identical results.
+	close()
 }
 
 // session is the engine-independent state machine shared by
@@ -300,6 +304,7 @@ func (s *session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.eng.close()
 	return s.flush()
 }
 
@@ -365,6 +370,7 @@ func (a *simStepper) stepInterval(ctx context.Context, interval int) ([]TraceRec
 }
 
 func (a *simStepper) finish() { a.eng.FinishTrace(a.trace) }
+func (a *simStepper) close()  { a.eng.Close() }
 
 // SimSession is the monolithic engine's Session. It satisfies the
 // Session interface and additionally exposes the accumulated Trace.
@@ -427,6 +433,7 @@ func (a *clusterStepper) stepInterval(ctx context.Context, interval int) ([]Trac
 }
 
 func (a *clusterStepper) finish() { a.trace = a.eng.Finish() }
+func (a *clusterStepper) close()  { a.eng.Close() }
 
 // ClusterSession is the sharded cluster engine's Session. It
 // satisfies the Session interface and additionally exposes the merged
