@@ -1,0 +1,145 @@
+// This file is the public checkpoint/restore surface of the Session
+// API. Checkpoint serializes a session's complete deterministic state
+// at an interval boundary — session counters, engine state, trained
+// weights, twins, caches and every random-stream position — into the
+// versioned binary format of internal/checkpoint. Resume and
+// ResumeCluster rebuild a session from the same configuration and a
+// checkpoint stream; the resumed session produces a trace suffix
+// bit-identical to the uninterrupted run at the same seed, for either
+// engine and any Parallelism / shard layout.
+package dtmsvs
+
+import (
+	"fmt"
+	"io"
+
+	"dtmsvs/internal/checkpoint"
+)
+
+// Sentinel errors for checkpoint streams, re-exported so callers can
+// classify failures without importing internal packages. All three
+// are errors.Is-compatible targets.
+var (
+	// ErrCheckpointCorrupt marks a stream that is structurally broken:
+	// truncated, bit-flipped (CRC mismatch), or semantically
+	// inconsistent with the configuration it claims to match.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointVersion marks a checkpoint written by an
+	// incompatible format version.
+	ErrCheckpointVersion = checkpoint.ErrVersion
+	// ErrCheckpointConfig marks a checkpoint whose engine kind or
+	// configuration fingerprint does not match the session it is being
+	// restored into.
+	ErrCheckpointConfig = checkpoint.ErrConfigMismatch
+)
+
+// Checkpoint implements Session. The stream is self-describing
+// (versioned header, per-section CRCs) and safe to write through
+// checkpoint.WriteFile for atomic on-disk persistence.
+func (s *session) Checkpoint(w io.Writer) error {
+	switch {
+	case s.closed:
+		return fmt.Errorf("checkpoint of closed session: %w", ErrSessionClosed)
+	case s.failed != nil:
+		return fmt.Errorf("checkpoint of failed session: %w", s.failed)
+	}
+	fp, err := s.eng.fingerprint()
+	if err != nil {
+		return err
+	}
+	cw := checkpoint.NewWriter(w, s.eng.kind(), fp)
+	if err := cw.Section("session", func(e *checkpoint.Enc) {
+		e.Int(s.next)
+		e.Int(s.warmupDone)
+		e.Bool(s.trained)
+		e.Bool(s.finished)
+	}); err != nil {
+		return err
+	}
+	if err := s.eng.writeState(cw); err != nil {
+		return err
+	}
+	return cw.Finish()
+}
+
+// resume restores the session from a checkpoint stream. The session
+// must be freshly opened with the identical configuration (the header
+// fingerprint enforces this).
+func (s *session) resume(r io.Reader) error {
+	fp, err := s.eng.fingerprint()
+	if err != nil {
+		return err
+	}
+	cr, err := checkpoint.NewReader(r, s.eng.kind(), fp)
+	if err != nil {
+		return err
+	}
+	d, err := cr.Section("session")
+	if err != nil {
+		return err
+	}
+	next := d.Int()
+	warmupDone := d.Int()
+	trained := d.Bool()
+	finished := d.Bool()
+	if err := d.Close(); err != nil {
+		return err
+	}
+	switch {
+	case next < 0 || next > s.eng.intervals(),
+		warmupDone < 0 || warmupDone > s.eng.warmupIntervals(),
+		finished && next < s.eng.intervals(),
+		next > 0 && (!trained || warmupDone < s.eng.warmupIntervals()):
+		return fmt.Errorf("checkpoint counters inconsistent (next=%d warmup=%d trained=%v finished=%v): %w",
+			next, warmupDone, trained, finished, ErrCheckpointCorrupt)
+	}
+	if err := s.eng.readState(cr); err != nil {
+		return err
+	}
+	if err := cr.Finish(); err != nil {
+		return err
+	}
+	s.next = next
+	s.warmupDone = warmupDone
+	s.trained = trained
+	s.finished = finished
+	if s.finished {
+		// The run had already completed; stamp the (suffix-only) trace
+		// so Done/Trace behave as after a normal final Step.
+		s.eng.finish()
+	}
+	return nil
+}
+
+// Resume opens a monolithic-engine session from cfg and restores the
+// checkpoint previously written by (*SimSession).Checkpoint under the
+// identical configuration. Stepping the resumed session yields the
+// same records, in the same order, as the uninterrupted run would
+// have produced from that boundary on. The session's Trace holds only
+// the resumed suffix; the prefix lives wherever the original run's
+// sink put it.
+func Resume(cfg Config, r io.Reader, opts ...SessionOption) (*SimSession, error) {
+	s, err := Open(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resume(r); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ResumeCluster is Resume for the sharded cluster engine, restoring a
+// checkpoint written by (*ClusterSession).Checkpoint.
+func ResumeCluster(cfg ClusterConfig, r io.Reader, opts ...SessionOption) (*ClusterSession, error) {
+	s, err := OpenCluster(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.resume(r); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,359 @@
+package dtmsvs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"dtmsvs/internal/faultinject"
+)
+
+// checkpointCase wires one engine shape — monolithic, or cluster at a
+// shard width — into the generic kill-and-resume harness.
+type checkpointCase struct {
+	name   string
+	open   func(opts ...SessionOption) (Session, error)
+	resume func(r io.Reader, opts ...SessionOption) (Session, error)
+}
+
+func checkpointCases(seed int64, workers int) []checkpointCase {
+	simCfg := sessionTestConfig(seed, workers)
+	oneShard := ClusterConfig{Sim: simCfg, Shards: 1}
+	allShards := ClusterConfig{Sim: simCfg}
+	return []checkpointCase{
+		{
+			name:   "sim",
+			open:   func(opts ...SessionOption) (Session, error) { return Open(simCfg, opts...) },
+			resume: func(r io.Reader, opts ...SessionOption) (Session, error) { return Resume(simCfg, r, opts...) },
+		},
+		{
+			name: "cluster/shards=1",
+			open: func(opts ...SessionOption) (Session, error) { return OpenCluster(oneShard, opts...) },
+			resume: func(r io.Reader, opts ...SessionOption) (Session, error) {
+				return ResumeCluster(oneShard, r, opts...)
+			},
+		},
+		{
+			name: "cluster/shards=all",
+			open: func(opts ...SessionOption) (Session, error) { return OpenCluster(allShards, opts...) },
+			resume: func(r io.Reader, opts ...SessionOption) (Session, error) {
+				return ResumeCluster(allShards, r, opts...)
+			},
+		},
+	}
+}
+
+// referenceRun executes the scenario uninterrupted and returns the
+// NDJSON stream, per-interval line counts, and the checkpoint taken
+// at the final boundary.
+func referenceRun(t *testing.T, open func(opts ...SessionOption) (Session, error)) (string, []int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	var perInterval []int
+	s, err := open(
+		WithSink(NewNDJSONSink(&buf)),
+		WithObserver(func(rep IntervalReport) { perInterval = append(perInterval, len(rep.Records)) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, serr := s.Step(context.Background()); serr != nil {
+			t.Fatal(serr)
+		}
+	}
+	var ckpt bytes.Buffer
+	if cerr := s.Checkpoint(&ckpt); cerr != nil {
+		t.Fatalf("final checkpoint: %v", cerr)
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	return buf.String(), perInterval, ckpt.Bytes()
+}
+
+// TestSessionCheckpointResumeAtEveryBoundary is the determinism
+// contract of the tentpole: for both engines, at Parallelism 1/4/8
+// and shard widths 1/NumBS, a run checkpointed after k intervals and
+// resumed into a fresh process produces (a) a trace suffix that makes
+// prefix+suffix bit-identical to the uninterrupted run and (b) a
+// final-boundary checkpoint bit-identical to the uninterrupted run's.
+func TestSessionCheckpointResumeAtEveryBoundary(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		for _, tc := range checkpointCases(11, workers) {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				full, perInterval, finalCkpt := referenceRun(t, tc.open)
+				intervals := len(perInterval)
+				if intervals == 0 {
+					t.Fatal("no intervals ran")
+				}
+				for k := 0; k <= intervals; k++ {
+					var pre bytes.Buffer
+					s, err := tc.open(WithSink(NewNDJSONSink(&pre)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for step := 0; step < k; step++ {
+						if _, serr := s.Step(context.Background()); serr != nil {
+							t.Fatalf("boundary %d step %d: %v", k, step, serr)
+						}
+					}
+					var ckpt bytes.Buffer
+					if cerr := s.Checkpoint(&ckpt); cerr != nil {
+						t.Fatalf("checkpoint at boundary %d: %v", k, cerr)
+					}
+					if cerr := s.Close(); cerr != nil {
+						t.Fatal(cerr)
+					}
+					var lines int
+					for _, n := range perInterval[:k] {
+						lines += n
+					}
+					if pre.String() != linePrefix(full, lines) {
+						t.Fatalf("boundary %d: flushed prefix diverged", k)
+					}
+					var post bytes.Buffer
+					rs, err := tc.resume(bytes.NewReader(ckpt.Bytes()), WithSink(NewNDJSONSink(&post)))
+					if err != nil {
+						t.Fatalf("resume at boundary %d: %v", k, err)
+					}
+					if got := rs.Interval(); got != k {
+						t.Fatalf("resumed at interval %d, want %d", got, k)
+					}
+					for !rs.Done() {
+						if _, serr := rs.Step(context.Background()); serr != nil {
+							t.Fatalf("resumed step at boundary %d: %v", k, serr)
+						}
+					}
+					var reCkpt bytes.Buffer
+					if cerr := rs.Checkpoint(&reCkpt); cerr != nil {
+						t.Fatalf("final checkpoint of resumed run at boundary %d: %v", k, cerr)
+					}
+					if cerr := rs.Close(); cerr != nil {
+						t.Fatal(cerr)
+					}
+					if pre.String()+post.String() != full {
+						t.Fatalf("boundary %d: resumed suffix diverged from uninterrupted run", k)
+					}
+					if !bytes.Equal(reCkpt.Bytes(), finalCkpt) {
+						t.Fatalf("boundary %d: final checkpoint of resumed run diverged", k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSessionCheckpointMidPrologue: checkpoints taken between warm-up
+// intervals — before training has run — restore exactly. The harness
+// drives the prologue's internal boundary white-box, since Step runs
+// the whole prologue in one call.
+func TestSessionCheckpointMidPrologue(t *testing.T) {
+	cfg := sessionTestConfig(13, 2)
+	cfg.WarmupIntervals = 2
+
+	for _, tc := range []struct {
+		name   string
+		open   func(opts ...SessionOption) (*session, Session, error)
+		resume func(r io.Reader, opts ...SessionOption) (Session, error)
+	}{
+		{
+			"sim",
+			func(opts ...SessionOption) (*session, Session, error) {
+				s, err := Open(cfg, opts...)
+				if err != nil {
+					return nil, nil, err
+				}
+				return &s.session, s, nil
+			},
+			func(r io.Reader, opts ...SessionOption) (Session, error) { return Resume(cfg, r, opts...) },
+		},
+		{
+			"cluster",
+			func(opts ...SessionOption) (*session, Session, error) {
+				s, err := OpenCluster(ClusterConfig{Sim: cfg}, opts...)
+				if err != nil {
+					return nil, nil, err
+				}
+				return &s.session, s, nil
+			},
+			func(r io.Reader, opts ...SessionOption) (Session, error) {
+				return ResumeCluster(ClusterConfig{Sim: cfg}, r, opts...)
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var refBuf bytes.Buffer
+			ref, refSess, err := tc.open(WithSink(NewNDJSONSink(&refBuf)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = ref
+			for !refSess.Done() {
+				if _, serr := refSess.Step(context.Background()); serr != nil {
+					t.Fatal(serr)
+				}
+			}
+			refSess.Close()
+			full := refBuf.String()
+
+			inner, sess, err := tc.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One warm-up interval done, one to go: an internal prologue
+			// boundary no Step call ever pauses at.
+			if werr := inner.eng.warmupStep(context.Background()); werr != nil {
+				t.Fatal(werr)
+			}
+			inner.warmupDone++
+			var ckpt bytes.Buffer
+			if cerr := sess.Checkpoint(&ckpt); cerr != nil {
+				t.Fatalf("mid-prologue checkpoint: %v", cerr)
+			}
+			sess.Close()
+
+			var buf bytes.Buffer
+			rs, err := tc.resume(bytes.NewReader(ckpt.Bytes()), WithSink(NewNDJSONSink(&buf)))
+			if err != nil {
+				t.Fatalf("mid-prologue resume: %v", err)
+			}
+			for !rs.Done() {
+				if _, serr := rs.Step(context.Background()); serr != nil {
+					t.Fatal(serr)
+				}
+			}
+			rs.Close()
+			if buf.String() != full {
+				t.Fatal("mid-prologue resume diverged from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSessionCheckpointAfterMidIntervalFault is the kill-and-resume
+// path for crashes that land inside an interval: a permanently
+// failing sink aborts Step with ErrSink, the failed session refuses
+// further checkpoints, and resuming from the last boundary checkpoint
+// replays the killed interval bit-identically.
+func TestSessionCheckpointAfterMidIntervalFault(t *testing.T) {
+	for _, tc := range checkpointCases(17, 4) {
+		t.Run(tc.name, func(t *testing.T) {
+			full, perInterval, _ := referenceRun(t, tc.open)
+			const k = 1 // crash during interval 1
+			if len(perInterval) <= k {
+				t.Fatalf("scenario too short: %d intervals", len(perInterval))
+			}
+			prefixLines := perInterval[0]
+			// Fail partway through interval k's records, mid-interval.
+			fault := faultinject.Fault{Mode: faultinject.FailWrite, N: prefixLines + 1 + perInterval[k]/2}
+
+			var buf bytes.Buffer
+			sink := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf), fault)
+			s, err := tc.open(WithSink(sink))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, serr := s.Step(context.Background()); serr != nil {
+				t.Fatal(serr)
+			}
+			var ckpt bytes.Buffer
+			if cerr := s.Checkpoint(&ckpt); cerr != nil {
+				t.Fatal(cerr)
+			}
+			_, serr := s.Step(context.Background())
+			if !errors.Is(serr, ErrSink) || !errors.Is(serr, faultinject.ErrInjected) {
+				t.Fatalf("want ErrSink wrapping the injected fault, got %v", serr)
+			}
+			// The failed session refuses checkpoints (its engine has
+			// advanced past the session counters)...
+			if cerr := s.Checkpoint(io.Discard); !errors.Is(cerr, ErrSink) {
+				t.Fatalf("checkpoint of failed session: want the Step failure, got %v", cerr)
+			}
+			// ...and Close after the failure is clean: the broken sink is
+			// not flushed again.
+			if cerr := s.Close(); cerr != nil {
+				t.Fatalf("close after failed step: %v", cerr)
+			}
+			if buf.String() != linePrefix(full, prefixLines) {
+				t.Fatal("failed run leaked bytes past the last whole-interval flush")
+			}
+
+			var post bytes.Buffer
+			rs, err := tc.resume(bytes.NewReader(ckpt.Bytes()), WithSink(NewNDJSONSink(&post)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !rs.Done() {
+				if _, serr := rs.Step(context.Background()); serr != nil {
+					t.Fatal(serr)
+				}
+			}
+			rs.Close()
+			if buf.String()+post.String() != full {
+				t.Fatal("resume after mid-interval fault diverged from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSessionCheckpointRejectsDamage: truncations and bit flips at
+// every region of the stream surface as typed checkpoint errors —
+// never a panic, never a silently wrong resume.
+func TestSessionCheckpointRejectsDamage(t *testing.T) {
+	cfg := sessionTestConfig(5, 2)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := s.Step(context.Background()); serr != nil {
+		t.Fatal(serr)
+	}
+	var ckpt bytes.Buffer
+	if cerr := s.Checkpoint(&ckpt); cerr != nil {
+		t.Fatal(cerr)
+	}
+	s.Close()
+	raw := ckpt.Bytes()
+
+	isTyped := func(err error) bool {
+		return errors.Is(err, ErrCheckpointCorrupt) ||
+			errors.Is(err, ErrCheckpointVersion) ||
+			errors.Is(err, ErrCheckpointConfig)
+	}
+	// Every truncation length (sampled past the header region).
+	for n := 0; n < len(raw); n += max(1, min(n/64, 97)) {
+		if _, rerr := Resume(cfg, bytes.NewReader(raw[:n])); !isTyped(rerr) {
+			t.Fatalf("truncation at %d/%d: want typed checkpoint error, got %v", n, len(raw), rerr)
+		}
+	}
+	// Bit flips across the stream: header, section framing, payloads,
+	// CRCs.
+	for i := 0; i < len(raw); i += max(1, len(raw)/512) {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x40
+		if _, rerr := Resume(cfg, bytes.NewReader(mut)); !isTyped(rerr) {
+			t.Fatalf("bit flip at %d/%d: want typed checkpoint error, got %v", i, len(raw), rerr)
+		}
+	}
+	// A future format version is ErrCheckpointVersion specifically.
+	mut := bytes.Clone(raw)
+	mut[8] = 0xFE
+	mut[9] = 0x7F
+	if _, rerr := Resume(cfg, bytes.NewReader(mut)); !errors.Is(rerr, ErrCheckpointVersion) {
+		t.Fatalf("version bump: want ErrCheckpointVersion, got %v", rerr)
+	}
+	// The wrong engine kind and the wrong configuration are both
+	// ErrCheckpointConfig.
+	if _, rerr := ResumeCluster(ClusterConfig{Sim: cfg}, bytes.NewReader(raw)); !errors.Is(rerr, ErrCheckpointConfig) {
+		t.Fatalf("sim checkpoint into cluster session: want ErrCheckpointConfig, got %v", rerr)
+	}
+	other := cfg
+	other.Seed++
+	if _, rerr := Resume(other, bytes.NewReader(raw)); !errors.Is(rerr, ErrCheckpointConfig) {
+		t.Fatalf("different config: want ErrCheckpointConfig, got %v", rerr)
+	}
+}

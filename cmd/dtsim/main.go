@@ -18,18 +18,32 @@
 // whole-interval prefix behind. "json" buffers the run and writes one
 // JSON array at the end (the partial array is still written on
 // interrupt). -progress prints per-interval stats to stderr.
+//
+// Checkpointing: -checkpoint PATH writes the session's full
+// deterministic state to PATH (atomically, via temp file + rename)
+// after every -checkpoint-every intervals and again when an interrupt
+// lands on an interval boundary. -resume PATH restores a checkpoint
+// written under the identical flags and continues the run; the
+// resumed trace suffix is bit-identical to what the uninterrupted run
+// would have produced, so prefix + suffix reassemble the full trace.
+//
+//	dtsim -users 100 -intervals 24 -out part1.ndjson -format ndjson -checkpoint run.ckpt
+//	dtsim -users 100 -intervals 24 -out part2.ndjson -format ndjson -resume run.ckpt
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"dtmsvs"
+	"dtmsvs/internal/checkpoint"
 )
 
 func main() {
@@ -53,8 +67,14 @@ func run() error {
 		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson" or "csv" (streamed per interval)`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")
 		progress  = flag.Bool("progress", false, "print per-interval stats to stderr")
+		ckptPath  = flag.String("checkpoint", "", "write the session state to this file at interval boundaries (atomic temp-file + rename)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "with -checkpoint, write every N intervals")
+		resume    = flag.String("resume", "", "resume from a checkpoint file written under identical flags (trace output holds the resumed suffix)")
 	)
 	flag.Parse()
+	if *ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", *ckptEvery)
+	}
 
 	cfg := dtmsvs.DefaultConfig(*seed)
 	cfg.NumUsers = *users
@@ -109,7 +129,17 @@ func run() error {
 		if n < 0 {
 			n = cfg.NumBS
 		}
-		cs, err := dtmsvs.OpenCluster(dtmsvs.ClusterConfig{Sim: cfg, Shards: n}, opts...)
+		ccfg := dtmsvs.ClusterConfig{Sim: cfg, Shards: n}
+		var cs *dtmsvs.ClusterSession
+		var err error
+		if *resume != "" {
+			err = readCheckpoint(*resume, func(r io.Reader) error {
+				cs, err = dtmsvs.ResumeCluster(ccfg, r, opts...)
+				return err
+			})
+		} else {
+			cs, err = dtmsvs.OpenCluster(ccfg, opts...)
+		}
 		if err != nil {
 			return err
 		}
@@ -127,7 +157,16 @@ func run() error {
 			return nil
 		}
 	} else {
-		ms, err := dtmsvs.Open(cfg, opts...)
+		var ms *dtmsvs.SimSession
+		var err error
+		if *resume != "" {
+			err = readCheckpoint(*resume, func(r io.Reader) error {
+				ms, err = dtmsvs.Resume(cfg, r, opts...)
+				return err
+			})
+		} else {
+			ms, err = dtmsvs.Open(cfg, opts...)
+		}
 		if err != nil {
 			return err
 		}
@@ -151,6 +190,7 @@ func run() error {
 	}
 	defer s.Close()
 
+	start := s.Interval()
 	interrupted := false
 	for !s.Done() {
 		if _, err := s.Step(ctx); err != nil {
@@ -160,6 +200,11 @@ func run() error {
 			}
 			return err
 		}
+		if *ckptPath != "" && (s.Done() || s.Interval()%*ckptEvery == 0) {
+			if err := writeCheckpoint(*ckptPath, s); err != nil {
+				return err
+			}
+		}
 	}
 
 	if buffered != nil {
@@ -168,11 +213,50 @@ func run() error {
 		}
 	}
 	if interrupted {
+		// A boundary-cancelled session is still checkpointable, so the
+		// interrupted run leaves a resume point at exactly the flushed
+		// trace prefix.
+		if *ckptPath != "" {
+			if err := writeCheckpoint(*ckptPath, s); err != nil {
+				return err
+			}
+		}
 		fmt.Fprintf(os.Stderr, "dtsim: interrupted after %d of %d intervals; partial trace flushed\n",
 			s.Interval(), *intervals)
 		return nil
 	}
+	if s.Interval() == start && start > 0 {
+		// The checkpoint was taken at the final boundary: the run is
+		// already complete and the summary statistics live with the
+		// original run's output.
+		fmt.Fprintf(os.Stderr, "dtsim: checkpoint already complete (%d intervals); nothing to resume\n", start)
+		return nil
+	}
 	return summary()
+}
+
+// writeCheckpoint persists the session state atomically: the bytes
+// land in a temp file that replaces path only after a full, synced
+// write, so a crash mid-checkpoint never destroys the previous one.
+func writeCheckpoint(path string, s dtmsvs.Session) error {
+	if err := checkpoint.WriteFile(path, s.Checkpoint); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// readCheckpoint opens a checkpoint file and hands the stream to
+// restore.
+func readCheckpoint(path string, restore func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	defer f.Close()
+	if err := restore(bufio.NewReader(f)); err != nil {
+		return fmt.Errorf("resume %s: %w", path, err)
+	}
+	return nil
 }
 
 // writeBuffered converts the buffered sink back to the engine's

@@ -1,0 +1,35 @@
+// This file exports the link's mutable state for session
+// checkpoint/restore. The channel parameters and the link's random
+// stream are restored by replaying construction on the same derived
+// stream; these accessors cover the serving station, the shadowing
+// draw, and the AR(1) fading tap.
+
+package channel
+
+import "fmt"
+
+// LinkState is the mutable state of a Link. BS is the serving base
+// station id (station pointers are rebound at restore).
+type LinkState struct {
+	BS       int
+	ShadowDB float64
+	HRe, HIm float64
+}
+
+// State captures the link's mutable state.
+func (l *Link) State() LinkState {
+	return LinkState{BS: l.bs.ID, ShadowDB: l.shadowDB, HRe: l.hRe, HIm: l.hIm}
+}
+
+// SetState restores state captured by State, rebinding the serving
+// station from the deployment (stations[i].ID must equal i, as
+// GridDeploy guarantees).
+func (l *Link) SetState(st LinkState, stations []*BaseStation) error {
+	if st.BS < 0 || st.BS >= len(stations) {
+		return fmt.Errorf("link state bs %d of %d: %w", st.BS, len(stations), ErrParam)
+	}
+	l.bs = stations[st.BS]
+	l.shadowDB = st.ShadowDB
+	l.hRe, l.hIm = st.HRe, st.HIm
+	return nil
+}

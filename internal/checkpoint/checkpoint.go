@@ -1,0 +1,521 @@
+// Package checkpoint implements the versioned binary container the
+// session layer uses to persist engine state at interval boundaries.
+//
+// A checkpoint is a header — magic, format version, engine kind, and
+// a fingerprint of the producing configuration — followed by named
+// sections, each length-prefixed and protected by a CRC32 of its
+// payload, and closed by an empty "end" section so truncation after
+// the last real section is still detected. Readers are strict: any
+// framing damage, CRC mismatch, or over-long length surfaces as
+// ErrCorrupt (never a panic or an unbounded allocation), a format
+// version the reader does not speak surfaces as ErrVersion, and a
+// header whose engine kind or config fingerprint disagrees with the
+// resuming session surfaces as ErrConfigMismatch.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Version is the checkpoint format version this package writes and
+// the only one it reads.
+const Version uint16 = 1
+
+// magic opens every checkpoint stream.
+var magic = [8]byte{'D', 'T', 'C', 'K', 'P', 'T', '0', '\n'}
+
+var (
+	// ErrCorrupt marks a checkpoint whose framing, lengths, or
+	// section checksums do not hold together.
+	ErrCorrupt = errors.New("checkpoint corrupt")
+	// ErrVersion marks a checkpoint written by a format version this
+	// reader does not understand.
+	ErrVersion = errors.New("checkpoint version unsupported")
+	// ErrConfigMismatch marks a structurally valid checkpoint that
+	// belongs to a different engine kind or configuration than the
+	// session trying to resume from it.
+	ErrConfigMismatch = errors.New("checkpoint config mismatch")
+)
+
+// maxSection bounds a section payload; anything larger is treated as
+// corruption rather than allocated.
+const maxSection = 1 << 30
+
+// maxName bounds a section name.
+const maxName = 64
+
+// Fingerprint hashes an arbitrary configuration value (via its
+// canonical JSON encoding) to the 64-bit FNV-1a digest stored in the
+// header. Callers should pass the fully defaulted configuration so
+// explicit and implied defaults fingerprint identically.
+func Fingerprint(cfg any) (uint64, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint fingerprint: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64(), nil
+}
+
+// Enc accumulates one section's payload. The zero value is ready to
+// use; Writer.Section hands a reset Enc to its fill callback.
+type Enc struct{ buf []byte }
+
+// Reset empties the buffer, keeping capacity.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a two's-complement int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as I64.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends the IEEE-754 bits of v.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a 0/1 byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// F64s appends a length-prefixed float64 slice.
+func (e *Enc) F64s(v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Ints appends a length-prefixed int slice.
+func (e *Enc) Ints(v []int) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// Dec consumes one section's payload with bounds-checked, error-
+// latching reads: after the first malformed read every subsequent
+// read returns a zero value and Err reports ErrCorrupt, so decode
+// sequences never need per-read error checks and never panic or
+// over-allocate on adversarial input.
+type Dec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewDec returns a decoder over a raw payload (tests and nested
+// decoders; Reader.Section hands out CRC-verified ones).
+func NewDec(data []byte) *Dec { return &Dec{data: data} }
+
+// Err reports the latched decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Close verifies the payload was consumed exactly.
+func (d *Dec) Close() error {
+	if d.err == nil && d.pos != len(d.data) {
+		d.err = fmt.Errorf("%d trailing bytes: %w", len(d.data)-d.pos, ErrCorrupt)
+	}
+	return d.err
+}
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s at offset %d: %w", what, d.pos, ErrCorrupt)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.data)-d.pos {
+		d.fail("short payload")
+		return nil
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a two's-complement int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an I64 and verifies it fits the platform int.
+func (d *Dec) Int() int {
+	v := d.I64()
+	if int64(int(v)) != v {
+		d.fail("int overflow")
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads IEEE-754 bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a 0/1 byte; anything else is corruption.
+func (d *Dec) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad bool")
+		return false
+	}
+}
+
+// len reads a u32 length prefix for elements of elemSize bytes and
+// verifies the claimed payload fits in the remaining bytes.
+func (d *Dec) len(elemSize int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(len(d.data)-d.pos) {
+		d.fail("length overruns payload")
+		return 0
+	}
+	return int(n)
+}
+
+// Blob reads a length-prefixed byte slice (aliasing the payload).
+func (d *Dec) Blob() []byte { return d.take(d.len(1)) }
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.take(d.len(1))) }
+
+// F64s reads a length-prefixed float64 slice; nil when empty.
+func (d *Dec) F64s() []float64 {
+	n := d.len(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice; nil when empty.
+func (d *Dec) Ints() []int {
+	n := d.len(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// Writer emits a checkpoint stream: header at construction, then one
+// framed section per Section call, then the end marker at Finish.
+// Errors latch — after a write error every call is a no-op and
+// Finish reports the first failure.
+type Writer struct {
+	w   io.Writer
+	enc Enc
+	err error
+}
+
+// NewWriter writes the header for the given engine kind and config
+// fingerprint and returns the section writer.
+func NewWriter(w io.Writer, kind string, fingerprint uint64) *Writer {
+	cw := &Writer{w: w}
+	var hdr Enc
+	hdr.buf = append(hdr.buf, magic[:]...)
+	hdr.U16(Version)
+	hdr.String(kind)
+	hdr.U64(fingerprint)
+	cw.write(hdr.Bytes())
+	return cw
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = fmt.Errorf("checkpoint write: %w", err)
+	}
+}
+
+// Section frames one named payload: fill receives a reset encoder,
+// and the accumulated bytes are written with a length prefix and a
+// CRC32 trailer.
+func (w *Writer) Section(name string, fill func(*Enc)) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.enc.Reset()
+	fill(&w.enc)
+	payload := w.enc.Bytes()
+	var frame Enc
+	frame.String(name)
+	frame.U32(uint32(len(payload)))
+	w.write(frame.Bytes())
+	w.write(payload)
+	frame.Reset()
+	frame.U32(crc32.ChecksumIEEE(payload))
+	w.write(frame.Bytes())
+	return w.err
+}
+
+// Finish writes the end marker and returns the first write error.
+func (w *Writer) Finish() error {
+	w.Section("end", func(*Enc) {})
+	return w.err
+}
+
+// Err reports the latched write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Reader consumes a checkpoint stream written by Writer.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader validates the stream header against the expected engine
+// kind and config fingerprint.
+func NewReader(r io.Reader, kind string, fingerprint uint64) (*Reader, error) {
+	cr := &Reader{r: r}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint header: %w", ErrCorrupt)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("checkpoint magic: %w", ErrCorrupt)
+	}
+	ver, err := cr.readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("checkpoint format v%d, reader speaks v%d: %w", ver, Version, ErrVersion)
+	}
+	gotKind, err := cr.readString(maxName)
+	if err != nil {
+		return nil, err
+	}
+	if gotKind != kind {
+		return nil, fmt.Errorf("checkpoint for engine %q, session is %q: %w", gotKind, kind, ErrConfigMismatch)
+	}
+	gotFP, err := cr.readU64()
+	if err != nil {
+		return nil, err
+	}
+	if gotFP != fingerprint {
+		return nil, fmt.Errorf("checkpoint config fingerprint %016x, session has %016x: %w", gotFP, fingerprint, ErrConfigMismatch)
+	}
+	return cr, nil
+}
+
+func (r *Reader) readN(n int) ([]byte, error) {
+	if n > cap(r.buf) {
+		r.buf = make([]byte, n)
+	}
+	b := r.buf[:n]
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return nil, fmt.Errorf("checkpoint truncated: %w", ErrCorrupt)
+	}
+	return b, nil
+}
+
+func (r *Reader) readU16() (uint16, error) {
+	b, err := r.readN(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *Reader) readU32() (uint32, error) {
+	b, err := r.readN(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *Reader) readU64() (uint64, error) {
+	b, err := r.readN(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *Reader) readString(maxLen int) (string, error) {
+	n, err := r.readU32()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxLen {
+		return "", fmt.Errorf("checkpoint string length %d: %w", n, ErrCorrupt)
+	}
+	b, err := r.readN(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Section reads the next frame, verifies its name and CRC, and
+// returns a decoder over the payload.
+func (r *Reader) Section(name string) (*Dec, error) {
+	gotName, err := r.readString(maxName)
+	if err != nil {
+		return nil, err
+	}
+	if gotName != name {
+		return nil, fmt.Errorf("checkpoint section %q, want %q: %w", gotName, name, ErrCorrupt)
+	}
+	n, err := r.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSection {
+		return nil, fmt.Errorf("checkpoint section %q length %d: %w", name, n, ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint section %q truncated: %w", name, ErrCorrupt)
+	}
+	sum, err := r.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if sum != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("checkpoint section %q checksum: %w", name, ErrCorrupt)
+	}
+	return NewDec(payload), nil
+}
+
+// Finish consumes the end marker.
+func (r *Reader) Finish() error {
+	d, err := r.Section("end")
+	if err != nil {
+		return err
+	}
+	return d.Close()
+}
+
+// WriteFile writes a checkpoint atomically: the write callback runs
+// against a buffered temp file in the target's directory, which is
+// synced and renamed over path only after the callback and flush
+// succeed — a crash mid-write never clobbers an existing checkpoint.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint flush: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("checkpoint close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint rename: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEncDecRoundTrip: every primitive round-trips and Close verifies
+// exact consumption.
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.U16(65000)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Int(-7)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Bool(true)
+	e.Bool(false)
+	e.Blob([]byte("blob"))
+	e.String("str")
+	e.F64s([]float64{1.5, -2.5})
+	e.Ints([]int{3, -4, 5})
+	e.F64s(nil)
+	e.Ints(nil)
+
+	d := NewDec(e.Bytes())
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8: %d", got)
+	}
+	if got := d.U16(); got != 65000 {
+		t.Fatalf("U16: %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Fatalf("U32: %d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Fatalf("U64: %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64: %d", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Fatalf("Int: %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Fatalf("F64: %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 -inf: %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := d.Blob(); string(got) != "blob" {
+		t.Fatalf("Blob: %q", got)
+	}
+	if got := d.String(); got != "str" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := d.F64s(); len(got) != 2 || got[0] != 1.5 || got[1] != -2.5 {
+		t.Fatalf("F64s: %v", got)
+	}
+	if got := d.Ints(); len(got) != 3 || got[1] != -4 {
+		t.Fatalf("Ints: %v", got)
+	}
+	if got := d.F64s(); got != nil {
+		t.Fatalf("empty F64s: %v", got)
+	}
+	if got := d.Ints(); got != nil {
+		t.Fatalf("empty Ints: %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecMalformed: short payloads, oversized length prefixes, bad
+// bools and trailing bytes all latch ErrCorrupt; reads after the
+// latch return zero values rather than panicking.
+func TestDecMalformed(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	if d.U64(); !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatal("short U64 not corrupt")
+	}
+	if got := d.U32(); got != 0 {
+		t.Fatalf("read after latch: %d", got)
+	}
+
+	// Length prefix claiming more elements than bytes remain.
+	var e Enc
+	e.U32(1 << 28)
+	d = NewDec(e.Bytes())
+	if d.F64s(); !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatal("oversized F64s not corrupt")
+	}
+
+	d = NewDec([]byte{2})
+	if d.Bool(); !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatal("bad bool not corrupt")
+	}
+
+	d = NewDec([]byte{0, 0})
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing bytes not corrupt")
+	}
+}
+
+func writeStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "sim", 0xDEADBEEF)
+	if err := w.Section("alpha", func(e *Enc) { e.Int(42); e.String("hello") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("beta", func(e *Enc) { e.F64s([]float64{1, 2, 3}) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWriterReaderRoundTrip: a two-section stream reads back exactly.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	raw := writeStream(t)
+	r, err := NewReader(bytes.NewReader(raw), "sim", 0xDEADBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Int(); got != 42 {
+		t.Fatalf("alpha int: %d", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("alpha string: %q", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = r.Section("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.F64s(); len(got) != 3 {
+		t.Fatalf("beta floats: %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderHeaderChecks: kind, fingerprint and version mismatches
+// map to their sentinels.
+func TestReaderHeaderChecks(t *testing.T) {
+	raw := writeStream(t)
+	if _, err := NewReader(bytes.NewReader(raw), "cluster", 0xDEADBEEF); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(raw), "sim", 1); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("fingerprint mismatch: %v", err)
+	}
+	mut := bytes.Clone(raw)
+	mut[8]++
+	if _, err := NewReader(bytes.NewReader(mut), "sim", 0xDEADBEEF); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version mismatch: %v", err)
+	}
+	mut = bytes.Clone(raw)
+	mut[0] ^= 0xFF
+	if _, err := NewReader(bytes.NewReader(mut), "sim", 0xDEADBEEF); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("magic mismatch: %v", err)
+	}
+}
+
+// TestReaderDamage: every truncation and every single-byte flip of
+// the stream body fails typed, never panics, never succeeds.
+func TestReaderDamage(t *testing.T) {
+	raw := writeStream(t)
+	read := func(b []byte) error {
+		r, err := NewReader(bytes.NewReader(b), "sim", 0xDEADBEEF)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"alpha", "beta"} {
+			d, err := r.Section(name)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "alpha":
+				d.Int()
+				_ = d.String()
+			case "beta":
+				d.F64s()
+			}
+			if err := d.Close(); err != nil {
+				return err
+			}
+		}
+		return r.Finish()
+	}
+	typed := func(err error) bool {
+		return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) || errors.Is(err, ErrConfigMismatch)
+	}
+	for n := 0; n < len(raw); n++ {
+		if err := read(raw[:n]); !typed(err) {
+			t.Fatalf("truncation at %d: %v", n, err)
+		}
+	}
+	for i := 0; i < len(raw); i++ {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x01
+		if err := read(mut); !typed(err) {
+			t.Fatalf("flip at %d: %v", i, err)
+		}
+	}
+}
+
+// TestFingerprintStability: equal configs agree, different configs
+// disagree.
+func TestFingerprintStability(t *testing.T) {
+	type cfg struct {
+		Seed int64
+		N    int
+	}
+	a, err := Fingerprint(cfg{Seed: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(cfg{Seed: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Fingerprint(cfg{Seed: 2, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal configs fingerprint differently")
+	}
+	if a == c {
+		t.Fatal("different configs fingerprint equal")
+	}
+}
+
+// TestWriteFileAtomic: a failing write callback leaves neither the
+// target nor temp litter behind; a successful one installs the bytes.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+
+	boom := errors.New("boom")
+	if err := WriteFile(path, func(w io.Writer) error { return boom }); err == nil {
+		t.Fatal("failing callback reported success")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed WriteFile left the target behind")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed WriteFile left temp litter: %v", ents)
+	}
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write([]byte("payload"))
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("WriteFile content: %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+// This file exports the cache's full state — entries in recency
+// order plus the hit/miss counters — for session checkpoint/restore.
+// The cache is the only edge-server state that survives an interval
+// boundary (cycle accounting is reset at the start of every
+// interval), so restoring it restores the server.
+
+package edge
+
+import "fmt"
+
+// CacheEntry is one cached representation, exported for
+// serialization.
+type CacheEntry struct {
+	VideoID, Level int
+	SizeBytes      int64
+}
+
+// Entries returns the cached entries from most- to least-recently
+// used.
+func (c *Cache) Entries() []CacheEntry {
+	out := make([]CacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		out = append(out, CacheEntry{VideoID: ent.key.videoID, Level: ent.key.level, SizeBytes: ent.size})
+	}
+	return out
+}
+
+// Restore replaces the cache contents with the given entries (in the
+// MRU-to-LRU order Entries produced) and counters. Entries must fit
+// the capacity — a restore never silently evicts.
+func (c *Cache) Restore(entries []CacheEntry, hits, misses int) error {
+	var total int64
+	for _, ent := range entries {
+		if ent.SizeBytes <= 0 {
+			return fmt.Errorf("cache restore entry (%d,%d) size %d: %w", ent.VideoID, ent.Level, ent.SizeBytes, ErrParam)
+		}
+		total += ent.SizeBytes
+	}
+	if total > c.capacityBytes {
+		return fmt.Errorf("cache restore %d bytes into capacity %d: %w", total, c.capacityBytes, ErrParam)
+	}
+	if hits < 0 || misses < 0 {
+		return fmt.Errorf("cache restore counters %d/%d: %w", hits, misses, ErrParam)
+	}
+	c.ll.Init()
+	clear(c.items)
+	c.usedBytes = 0
+	// Insert back-to-front so list order matches the captured recency.
+	for i := len(entries) - 1; i >= 0; i-- {
+		ent := entries[i]
+		key := cacheKey{ent.VideoID, ent.Level}
+		if _, ok := c.items[key]; ok {
+			return fmt.Errorf("cache restore duplicate entry (%d,%d): %w", ent.VideoID, ent.Level, ErrParam)
+		}
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, size: ent.SizeBytes})
+		c.usedBytes += ent.SizeBytes
+	}
+	c.hits, c.misses = hits, misses
+	return nil
+}

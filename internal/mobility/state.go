@@ -1,0 +1,54 @@
+// This file exports each mobility model's mutable state for session
+// checkpoint/restore. Construction-time parameters (map, speed
+// bounds, route, noise parameters) and the model's random stream are
+// restored by replaying the constructor on the same derived stream;
+// these accessors cover only the fields that evolve as the walker
+// advances.
+
+package mobility
+
+// WaypointState is the mutable state of a RandomWaypoint walker.
+type WaypointState struct {
+	Pos, Dst  Point
+	Speed     float64
+	PauseLeft float64
+}
+
+// State captures the walker's mutable state.
+func (w *RandomWaypoint) State() WaypointState {
+	return WaypointState{Pos: w.pos, Dst: w.dst, Speed: w.speed, PauseLeft: w.pauseLeft}
+}
+
+// SetState restores state captured by State.
+func (w *RandomWaypoint) SetState(st WaypointState) {
+	w.pos, w.dst, w.speed, w.pauseLeft = st.Pos, st.Dst, st.Speed, st.PauseLeft
+}
+
+// WalkState is the mutable state of a LandmarkWalk walker (the route
+// itself is fixed at construction).
+type WalkState struct {
+	Pos  Point
+	Next int
+}
+
+// State captures the walker's mutable state.
+func (w *LandmarkWalk) State() WalkState { return WalkState{Pos: w.pos, Next: w.next} }
+
+// SetState restores state captured by State.
+func (w *LandmarkWalk) SetState(st WalkState) { w.pos, w.next = st.Pos, st.Next }
+
+// GaussMarkovState is the mutable state of a GaussMarkov walker.
+type GaussMarkovState struct {
+	Pos        Point
+	Speed, Dir float64
+}
+
+// State captures the walker's mutable state.
+func (g *GaussMarkov) State() GaussMarkovState {
+	return GaussMarkovState{Pos: g.pos, Speed: g.speed, Dir: g.dir}
+}
+
+// SetState restores state captured by State.
+func (g *GaussMarkov) SetState(st GaussMarkovState) {
+	g.pos, g.speed, g.dir = st.Pos, st.Speed, st.Dir
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"dtmsvs/internal/checkpoint"
 )
 
 // WeightState is the serializable parameter set of a network: one
@@ -60,4 +62,29 @@ func ReadWeightState(r io.Reader) (*WeightState, error) {
 		return nil, fmt.Errorf("decode weights: %w", err)
 	}
 	return &s, nil
+}
+
+// Encode appends the weight state to a checkpoint section: tensor
+// count, then each tensor as a length-prefixed float64 slice. Float
+// bits round-trip exactly, so encode/decode preserves weights
+// bitwise.
+func (s *WeightState) Encode(e *checkpoint.Enc) {
+	e.U32(uint32(len(s.Params)))
+	for _, p := range s.Params {
+		e.F64s(p)
+	}
+}
+
+// DecodeWeightState reads a weight state written by Encode. Shape
+// validation happens at LoadWeights time, against the live network.
+func DecodeWeightState(d *checkpoint.Dec) *WeightState {
+	n := d.U32()
+	if d.Err() != nil {
+		return &WeightState{}
+	}
+	s := &WeightState{Params: make([][]float64, 0, min(int(n), 1024))}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		s.Params = append(s.Params, d.F64s())
+	}
+	return s
 }

@@ -56,28 +56,8 @@ func DeriveSeed(seed int64, ids ...uint64) int64 {
 // dominates when every user, group and churn arrival gets its own
 // stream) and each draw is a single mix.
 func NewRand(seed int64, ids ...uint64) *rand.Rand {
-	return rand.New(&splitMixSource{state: uint64(DeriveSeed(seed, ids...))})
+	return rand.New(NewStream(seed, ids...))
 }
-
-// splitMixSource is a rand.Source64 stepping the splitmix64 sequence.
-type splitMixSource struct{ state uint64 }
-
-var _ rand.Source64 = (*splitMixSource)(nil)
-
-// Seed implements rand.Source.
-func (s *splitMixSource) Seed(seed int64) { s.state = uint64(seed) }
-
-// Uint64 implements rand.Source64.
-func (s *splitMixSource) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Int63 implements rand.Source.
-func (s *splitMixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // Pool is a bounded fan-out executor. It holds no goroutines between
 // calls; For spawns at most Workers() goroutines for the duration of

@@ -1,0 +1,24 @@
+// This file exports the mutable state of the EWMA-family predictors
+// for session checkpoint/restore. Alpha is configuration (replayed at
+// construction); value/ready is what an interval's observations
+// accumulate.
+
+package predict
+
+// EWMAState is the mutable state of an EWMA or SNRForecaster.
+type EWMAState struct {
+	Value float64
+	Ready bool
+}
+
+// State captures the predictor's mutable state.
+func (e *EWMA) State() EWMAState { return EWMAState{Value: e.value, Ready: e.ready} }
+
+// SetState restores state captured by State.
+func (e *EWMA) SetState(st EWMAState) { e.value, e.ready = st.Value, st.Ready }
+
+// State captures the forecaster's mutable state.
+func (f *SNRForecaster) State() EWMAState { return EWMAState{Value: f.value, Ready: f.ready} }
+
+// SetState restores state captured by State.
+func (f *SNRForecaster) SetState(st EWMAState) { f.value, f.ready = st.Value, st.Ready }

@@ -87,7 +87,8 @@ func NewCell(cfg Config, opts CellOptions) (*Simulation, error) {
 	}
 	meanDur := durSum / float64(opts.Catalog.Size())
 
-	builderRng := rand.New(rand.NewSource(parallel.DeriveSeed(c.Seed, streamBuilder, opts.Salt)))
+	cnt := parallel.NewCounting(rand.NewSource(parallel.DeriveSeed(c.Seed, streamBuilder, opts.Salt)).(rand.Source64))
+	builderRng := rand.New(cnt)
 	builder, err := grouping.New(c.Grouping, builderRng)
 	if err != nil {
 		return nil, err
@@ -122,6 +123,7 @@ func NewCell(cfg Config, opts CellOptions) (*Simulation, error) {
 	eng := &Simulation{
 		cfg:           c,
 		sched:         sched,
+		cnt:           cnt,
 		rng:           builderRng,
 		pool:          opts.Pool,
 		gemm:          gemm,
@@ -160,7 +162,7 @@ func (m *User) ServingBS() int { return m.u.link.BS().ID }
 // it does not matter which cell spawns — and attaches each user to
 // the cell of its initial serving base station.
 func (s *Simulation) SpawnUser(id int) (*User, error) {
-	u, err := s.newUser(id, parallel.NewRand(s.cfg.Seed, streamUser, uint64(id), 0))
+	u, err := s.newUser(id, parallel.NewStream(s.cfg.Seed, streamUser, uint64(id), 0))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,536 @@
+// This file serializes the full mutable state of a Simulation at an
+// interval boundary, and restores it into a freshly constructed
+// engine. The contract is bit-exactness: a restored engine produces
+// the same draw-for-draw trace suffix the original would have.
+//
+// The restore strategy is hybrid. Everything derivable from the
+// configuration — catalog, stations, campus, untrained network
+// shapes, per-user construction draws — is rebuilt by replaying the
+// deterministic constructors; the checkpoint carries only what
+// evolves afterwards: RNG positions (one splitmix64 word per derived
+// stream, a draw count for the run-level stdlib source), trained
+// weights, twin histories, calibration EWMAs, mobility/link state,
+// group membership + profiles, the edge cache, and the engine's
+// bookkeeping counters. Per-interval accumulators (tick statistics,
+// scheduler reservations, transcoder cycle meters) are always zeroed
+// at a boundary, so they never ride in a checkpoint.
+//
+// WriteState only runs at interval boundaries — the session layer
+// guarantees that by refusing to checkpoint failed sessions.
+
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dtmsvs/internal/channel"
+	"dtmsvs/internal/checkpoint"
+	"dtmsvs/internal/cnn"
+	"dtmsvs/internal/edge"
+	"dtmsvs/internal/grouping"
+	"dtmsvs/internal/kmeans"
+	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/nn"
+	"dtmsvs/internal/parallel"
+	"dtmsvs/internal/predict"
+	"dtmsvs/internal/udt"
+	"dtmsvs/internal/vecmath"
+	"dtmsvs/internal/video"
+)
+
+// mobility model kind tags (checkpoint encoding).
+const (
+	mobWaypoint uint8 = iota
+	mobLandmark
+	mobGaussMarkov
+	mobStatic
+)
+
+// WriteState appends the engine's boundary state to a checkpoint as
+// the sections "engine", "builder", "cache", "users" and "groups".
+func (s *Simulation) WriteState(cw *checkpoint.Writer) error {
+	if err := cw.Section("engine", s.encodeEngine); err != nil {
+		return err
+	}
+	if err := cw.Section("builder", s.encodeBuilder); err != nil {
+		return err
+	}
+	if err := cw.Section("cache", s.encodeCache); err != nil {
+		return err
+	}
+	var userErr error
+	if err := cw.Section("users", func(e *checkpoint.Enc) {
+		userErr = s.encodeUsers(e)
+	}); err != nil {
+		return err
+	}
+	if userErr != nil {
+		return userErr
+	}
+	return cw.Section("groups", s.encodeGroups)
+}
+
+// ReadState restores boundary state written by WriteState into a
+// freshly constructed engine of the identical configuration. Any
+// structural damage surfaces as checkpoint.ErrCorrupt.
+func (s *Simulation) ReadState(cr *checkpoint.Reader) error {
+	if err := readSection(cr, "engine", s.decodeEngine); err != nil {
+		return err
+	}
+	if err := readSection(cr, "builder", s.decodeBuilder); err != nil {
+		return err
+	}
+	if err := readSection(cr, "cache", s.decodeCache); err != nil {
+		return err
+	}
+	if err := readSection(cr, "users", s.decodeUsers); err != nil {
+		return err
+	}
+	return readSection(cr, "groups", s.decodeGroups)
+}
+
+// readSection frames one decode callback: section lookup, the
+// decode, then the consumed-exactly check.
+func readSection(cr *checkpoint.Reader, name string, decode func(*checkpoint.Dec) error) error {
+	d, err := cr.Section(name)
+	if err != nil {
+		return err
+	}
+	if err := decode(d); err != nil {
+		return fmt.Errorf("section %q: %w", name, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("section %q: %w", name, err)
+	}
+	return nil
+}
+
+func (s *Simulation) encodeEngine(e *checkpoint.Enc) {
+	e.U64(s.cnt.Draws())
+	e.U64(s.constructions)
+	e.Int(s.churned)
+	e.F64s(s.stability)
+	e.Bool(s.prevAssign != nil)
+	if s.prevAssign != nil {
+		e.Ints(s.prevAssign)
+	}
+	e.Bool(s.lastResult != nil)
+	if s.lastResult != nil {
+		e.F64(s.lastResult.Silhouette)
+	}
+	levels := make([]int, 0, len(s.cyclesPerTxS))
+	for lv := range s.cyclesPerTxS {
+		levels = append(levels, lv)
+	}
+	sort.Ints(levels)
+	e.U32(uint32(len(levels)))
+	for _, lv := range levels {
+		st := s.cyclesPerTxS[lv].State()
+		e.Int(lv)
+		e.F64(st.Value)
+		e.Bool(st.Ready)
+	}
+	st := s.wastePerPlayS.State()
+	e.F64(st.Value)
+	e.Bool(st.Ready)
+}
+
+func (s *Simulation) decodeEngine(d *checkpoint.Dec) error {
+	draws := d.U64()
+	s.constructions = d.U64()
+	s.churned = d.Int()
+	s.stability = d.F64s()
+	s.prevAssign = nil
+	if d.Bool() {
+		s.prevAssign = d.Ints()
+		if s.prevAssign == nil {
+			s.prevAssign = []int{}
+		}
+	}
+	s.lastResult = nil
+	if d.Bool() {
+		s.lastResult = &grouping.Result{Silhouette: d.F64()}
+	}
+	nLevels := d.U32()
+	clear(s.cyclesPerTxS)
+	for i := uint32(0); i < nLevels && d.Err() == nil; i++ {
+		lv := d.Int()
+		st := predict.EWMAState{Value: d.F64(), Ready: d.Bool()}
+		tracker, err := predict.NewEWMA(0.5)
+		if err != nil {
+			return err
+		}
+		tracker.SetState(st)
+		s.cyclesPerTxS[lv] = tracker
+	}
+	s.wastePerPlayS.SetState(predict.EWMAState{Value: d.F64(), Ready: d.Bool()})
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// The run-level source was replayed through construction; skip it
+	// forward to the recorded position.
+	if draws < s.cnt.Draws() {
+		return fmt.Errorf("run rng at draw %d, checkpoint says %d: %w", s.cnt.Draws(), draws, checkpoint.ErrCorrupt)
+	}
+	s.cnt.Skip(draws - s.cnt.Draws())
+	return nil
+}
+
+func (s *Simulation) encodeBuilder(e *checkpoint.Enc) {
+	st := s.builder.SaveState()
+	e.Bool(st.Compressor != nil)
+	if st.Compressor != nil {
+		st.Compressor.Encoder.Encode(e)
+		st.Compressor.Decoder.Encode(e)
+	}
+	st.Agent.Encode(e)
+}
+
+func (s *Simulation) decodeBuilder(d *checkpoint.Dec) error {
+	st := &grouping.State{}
+	if d.Bool() {
+		st.Compressor = &cnn.State{
+			Encoder: nn.DecodeWeightState(d),
+			Decoder: nn.DecodeWeightState(d),
+		}
+	}
+	st.Agent = nn.DecodeWeightState(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.builder.LoadState(st); err != nil {
+		return fmt.Errorf("%v: %w", err, checkpoint.ErrCorrupt)
+	}
+	return nil
+}
+
+func (s *Simulation) encodeCache(e *checkpoint.Enc) {
+	cache := s.server.Cache()
+	entries := cache.Entries()
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.Int(ent.VideoID)
+		e.Int(ent.Level)
+		e.I64(ent.SizeBytes)
+	}
+	hits, misses := cache.Counts()
+	e.Int(hits)
+	e.Int(misses)
+}
+
+func (s *Simulation) decodeCache(d *checkpoint.Dec) error {
+	n := d.U32()
+	entries := make([]edge.CacheEntry, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		entries = append(entries, edge.CacheEntry{
+			VideoID:   d.Int(),
+			Level:     d.Int(),
+			SizeBytes: d.I64(),
+		})
+	}
+	hits := d.Int()
+	misses := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.server.Cache().Restore(entries, hits, misses); err != nil {
+		return fmt.Errorf("%v: %w", err, checkpoint.ErrCorrupt)
+	}
+	return nil
+}
+
+func (s *Simulation) encodeUsers(e *checkpoint.Enc) error {
+	e.U32(uint32(len(s.users)))
+	for _, u := range s.users {
+		e.Int(u.id)
+		e.U64(u.gen)
+		e.U64(u.src.State())
+		e.F64s(u.profile.Pref)
+		if err := encodeMobility(e, u.mob); err != nil {
+			return err
+		}
+		ls := u.link.State()
+		e.Int(ls.BS)
+		e.F64(ls.ShadowDB)
+		e.F64(ls.HRe)
+		e.F64(ls.HIm)
+		blob, err := json.Marshal(u.twin.Snapshot())
+		if err != nil {
+			return fmt.Errorf("user %d twin: %w", u.id, err)
+		}
+		e.Blob(blob)
+		e.F64(u.posPrev.X)
+		e.F64(u.posPrev.Y)
+		e.F64(u.posPrev2.X)
+		e.F64(u.posPrev2.Y)
+		e.Int(u.havePos)
+		e.F64(u.prevDispX)
+		e.F64(u.prevDispY)
+		for _, st := range []predict.EWMAState{u.snrOffset.State(), u.snrEWMA.State(), u.persist.State()} {
+			e.F64(st.Value)
+			e.Bool(st.Ready)
+		}
+	}
+	return nil
+}
+
+func (s *Simulation) decodeUsers(d *checkpoint.Dec) error {
+	n := d.U32()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	users := make([]*user, 0, min(int(n), 1<<20))
+	for i := uint32(0); i < n; i++ {
+		id := d.Int()
+		gen := d.U64()
+		srcState := d.U64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if id < 0 {
+			return fmt.Errorf("user id %d: %w", id, checkpoint.ErrCorrupt)
+		}
+		// Replay the constructor on the user's derived stream (this
+		// reproduces every construction-time draw), then overwrite the
+		// mutable state and reposition the stream.
+		u, err := s.newUser(id, parallel.NewStream(s.cfg.Seed, streamUser, uint64(id), gen))
+		if err != nil {
+			return fmt.Errorf("user %d replay: %w", id, err)
+		}
+		u.gen = gen
+		pref := d.F64s()
+		if len(pref) != len(u.profile.Pref) {
+			return fmt.Errorf("user %d preference of %d categories: %w", id, len(pref), checkpoint.ErrCorrupt)
+		}
+		copy(u.profile.Pref, pref)
+		if err := decodeMobility(d, u.mob); err != nil {
+			return fmt.Errorf("user %d mobility: %w", id, err)
+		}
+		var ls channel.LinkState
+		ls.BS = d.Int()
+		ls.ShadowDB = d.F64()
+		ls.HRe = d.F64()
+		ls.HIm = d.F64()
+		blob := d.Blob()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := u.link.SetState(ls, s.stations); err != nil {
+			return fmt.Errorf("user %d link: %v: %w", id, err, checkpoint.ErrCorrupt)
+		}
+		var snap udt.Snapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
+		}
+		twin, err := udt.Restore(&snap)
+		if err != nil {
+			return fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
+		}
+		u.twin = twin
+		u.posPrev = mobility.Point{X: d.F64(), Y: d.F64()}
+		u.posPrev2 = mobility.Point{X: d.F64(), Y: d.F64()}
+		u.havePos = d.Int()
+		u.prevDispX = d.F64()
+		u.prevDispY = d.F64()
+		for _, f := range []interface{ SetState(predict.EWMAState) }{u.snrOffset, u.snrEWMA, u.persist} {
+			f.SetState(predict.EWMAState{Value: d.F64(), Ready: d.Bool()})
+		}
+		u.src.SetState(srcState)
+		users = append(users, u)
+		if err := d.Err(); err != nil {
+			return err
+		}
+	}
+	s.users = users
+	return nil
+}
+
+func encodeMobility(e *checkpoint.Enc, m mobility.Model) error {
+	switch mob := m.(type) {
+	case *mobility.RandomWaypoint:
+		st := mob.State()
+		e.U8(mobWaypoint)
+		e.F64(st.Pos.X)
+		e.F64(st.Pos.Y)
+		e.F64(st.Dst.X)
+		e.F64(st.Dst.Y)
+		e.F64(st.Speed)
+		e.F64(st.PauseLeft)
+	case *mobility.LandmarkWalk:
+		st := mob.State()
+		e.U8(mobLandmark)
+		e.F64(st.Pos.X)
+		e.F64(st.Pos.Y)
+		e.Int(st.Next)
+	case *mobility.GaussMarkov:
+		st := mob.State()
+		e.U8(mobGaussMarkov)
+		e.F64(st.Pos.X)
+		e.F64(st.Pos.Y)
+		e.F64(st.Speed)
+		e.F64(st.Dir)
+	case *mobility.Static:
+		e.U8(mobStatic)
+	default:
+		return fmt.Errorf("unknown mobility model %T: %w", m, ErrConfig)
+	}
+	return nil
+}
+
+func decodeMobility(d *checkpoint.Dec, m mobility.Model) error {
+	kind := d.U8()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	switch kind {
+	case mobWaypoint:
+		mob, ok := m.(*mobility.RandomWaypoint)
+		st := mobility.WaypointState{
+			Pos:       mobility.Point{X: d.F64(), Y: d.F64()},
+			Dst:       mobility.Point{X: d.F64(), Y: d.F64()},
+			Speed:     d.F64(),
+			PauseLeft: d.F64(),
+		}
+		if !ok {
+			return fmt.Errorf("waypoint state for %T: %w", m, checkpoint.ErrCorrupt)
+		}
+		mob.SetState(st)
+	case mobLandmark:
+		mob, ok := m.(*mobility.LandmarkWalk)
+		st := mobility.WalkState{
+			Pos:  mobility.Point{X: d.F64(), Y: d.F64()},
+			Next: d.Int(),
+		}
+		if !ok {
+			return fmt.Errorf("landmark state for %T: %w", m, checkpoint.ErrCorrupt)
+		}
+		mob.SetState(st)
+	case mobGaussMarkov:
+		mob, ok := m.(*mobility.GaussMarkov)
+		st := mobility.GaussMarkovState{
+			Pos:   mobility.Point{X: d.F64(), Y: d.F64()},
+			Speed: d.F64(),
+			Dir:   d.F64(),
+		}
+		if !ok {
+			return fmt.Errorf("gauss-markov state for %T: %w", m, checkpoint.ErrCorrupt)
+		}
+		mob.SetState(st)
+	case mobStatic:
+		if _, ok := m.(*mobility.Static); !ok {
+			return fmt.Errorf("static state for %T: %w", m, checkpoint.ErrCorrupt)
+		}
+	default:
+		return fmt.Errorf("mobility kind %d: %w", kind, checkpoint.ErrCorrupt)
+	}
+	return d.Err()
+}
+
+func (s *Simulation) encodeGroups(e *checkpoint.Enc) {
+	e.U32(uint32(len(s.groups)))
+	for _, g := range s.groups {
+		e.Int(g.id)
+		e.U64(g.src.State())
+		e.Ints(g.members)
+		fst := g.forecast.State()
+		e.F64(fst.Value)
+		e.Bool(fst.Ready)
+		kmeans.EncodeCentroids(e, []vecmath.Vec{vecmath.Vec(g.centroid)})
+		e.Bool(g.profile != nil)
+		if g.profile == nil {
+			continue
+		}
+		p := g.profile
+		e.U32(uint32(len(p.Swipe.CDF)))
+		for ci := range p.Swipe.CDF {
+			e.F64s(p.Swipe.CDF[ci])
+			e.Int(p.Swipe.Samples[ci])
+		}
+		e.F64s(p.Preference)
+		e.U32(uint32(len(p.Recommended)))
+		for _, v := range p.Recommended {
+			e.Int(v.ID)
+		}
+		e.Int(p.Size)
+		e.F64(p.MeanEngagementS)
+	}
+}
+
+func (s *Simulation) decodeGroups(d *checkpoint.Dec) error {
+	n := d.U32()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	groups := make([]*groupState, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		g := &groupState{id: d.Int()}
+		g.src = parallel.StreamAt(d.U64())
+		g.rng = rand.New(g.src)
+		g.members = d.Ints()
+		if g.members == nil {
+			g.members = []int{}
+		}
+		f, err := predict.NewSNRForecaster(s.cfg.SNRAlpha)
+		if err != nil {
+			return err
+		}
+		f.SetState(predict.EWMAState{Value: d.F64(), Ready: d.Bool()})
+		g.forecast = f
+		cs := kmeans.DecodeCentroids(d)
+		if len(cs) == 1 {
+			g.centroid = []float64(cs[0])
+		}
+		hasProfile := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if hasProfile {
+			p, err := decodeGroupProfile(d, s.catalog)
+			if err != nil {
+				return fmt.Errorf("group %d profile: %w", g.id, err)
+			}
+			g.profile = p
+		}
+		groups = append(groups, g)
+		if err := d.Err(); err != nil {
+			return err
+		}
+	}
+	s.groups = groups
+	return nil
+}
+
+func decodeGroupProfile(d *checkpoint.Dec, catalog *video.Catalog) (*predict.GroupProfile, error) {
+	nCat := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if int(nCat) != video.NumCategories {
+		return nil, fmt.Errorf("profile with %d categories, want %d: %w", nCat, video.NumCategories, checkpoint.ErrCorrupt)
+	}
+	swipe := &predict.SwipeDistribution{}
+	for ci := 0; ci < video.NumCategories; ci++ {
+		swipe.CDF[ci] = d.F64s()
+		swipe.Samples[ci] = d.Int()
+	}
+	p := &predict.GroupProfile{Swipe: swipe}
+	p.Preference = d.F64s()
+	nRec := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	p.Recommended = make([]*video.Video, 0, min(int(nRec), 1<<20))
+	for i := uint32(0); i < nRec && d.Err() == nil; i++ {
+		id := d.Int()
+		if id < 0 || id >= len(catalog.Videos) {
+			return nil, fmt.Errorf("recommended video %d of %d: %w", id, len(catalog.Videos), checkpoint.ErrCorrupt)
+		}
+		p.Recommended = append(p.Recommended, catalog.Videos[id])
+	}
+	p.Size = d.Int()
+	p.MeanEngagementS = d.F64()
+	return p, d.Err()
+}

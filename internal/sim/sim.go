@@ -375,7 +375,9 @@ type user struct {
 	// rng is the user's private random stream; all of the user's
 	// stochastic state (mobility, link fading, swipe draws, churn
 	// decision) draws from it, which is what makes per-user fan-out
-	// deterministic under any Parallelism.
+	// deterministic under any Parallelism. src is the stream behind
+	// it, kept so checkpoints can capture and restore the position.
+	src     *parallel.Stream
 	rng     *rand.Rand
 	profile *behavior.Profile
 	mob     mobility.Model
@@ -412,6 +414,8 @@ type groupState struct {
 	id int
 	// rng drives the group's shared-feed video selection; derived per
 	// construction so streaming stays deterministic under parallelism.
+	// src is the stream behind it, kept for checkpoint capture.
+	src *parallel.Stream
 	rng *rand.Rand
 	// members holds global user ids (not slice indices), so membership
 	// survives cross-shard user migration in cluster runs. In the
@@ -429,7 +433,11 @@ type groupState struct {
 type Simulation struct {
 	cfg Config
 	// rng seeds run-level construction (catalog, builder training);
-	// per-user and per-group randomness lives on derived streams.
+	// per-user and per-group randomness lives on derived streams. cnt
+	// wraps rng's source and counts its draws: the stdlib generator's
+	// 607-word register is restored by replaying construction and
+	// skipping forward to the recorded count.
+	cnt *parallel.CountingSource
 	rng *rand.Rand
 	// pool fans per-user and per-group stages across workers.
 	pool *parallel.Pool
@@ -488,7 +496,8 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	c := cfg.withDefaults()
-	rng := rand.New(rand.NewSource(c.Seed))
+	cnt := parallel.NewCounting(rand.NewSource(c.Seed).(rand.Source64))
+	rng := rand.New(cnt)
 
 	campus := mobility.CampusMap()
 	stations, err := channel.GridDeploy(campus, c.NumBS, c.TxPowerDBm)
@@ -546,6 +555,7 @@ func New(cfg Config) (*Simulation, error) {
 	eng := &Simulation{
 		cfg:           c,
 		sched:         sched,
+		cnt:           cnt,
 		rng:           rng,
 		pool:          pool,
 		gemm:          gemm,
@@ -562,7 +572,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	eng.predictor = eng.newPredictor()
 	if err := pool.For(len(users), func(i int) error {
-		u, uerr := eng.newUser(i, parallel.NewRand(c.Seed, streamUser, uint64(i), 0))
+		u, uerr := eng.newUser(i, parallel.NewStream(c.Seed, streamUser, uint64(i), 0))
 		if uerr != nil {
 			return uerr
 		}
@@ -605,7 +615,8 @@ func (s *Simulation) userByID(id int) *user {
 // four mobility classes, a link to the nearest BS and a cold twin.
 // Every random choice — construction included — draws from the user's
 // private stream, so creation order never matters.
-func (s *Simulation) newUser(id int, rng *rand.Rand) (*user, error) {
+func (s *Simulation) newUser(id int, src *parallel.Stream) (*user, error) {
+	rng := rand.New(src)
 	cats := video.AllCategories()
 	favDist, derr := stats.NewCategorical(s.cfg.CategoryWeights)
 	if derr != nil {
@@ -659,7 +670,7 @@ func (s *Simulation) newUser(id int, rng *rand.Rand) (*user, error) {
 		return nil, serr
 	}
 	return &user{
-		id: id, rng: rng, profile: profile, mob: mob, link: link, twin: twin,
+		id: id, src: src, rng: rng, profile: profile, mob: mob, link: link, twin: twin,
 		snrOffset: offset, snrEWMA: ewma, persist: persist,
 	}, nil
 }
@@ -683,8 +694,8 @@ func (s *Simulation) churnUsers(ctx context.Context) (int, error) {
 			return nil
 		}
 		gen := old.gen + 1
-		rng := parallel.NewRand(s.cfg.Seed, streamUser, uint64(old.id), gen)
-		u, err := s.newUser(old.id, rng)
+		src := parallel.NewStream(s.cfg.Seed, streamUser, uint64(old.id), gen)
+		u, err := s.newUser(old.id, src)
 		if err != nil {
 			return fmt.Errorf("churn user %d: %w", old.id, err)
 		}
@@ -928,9 +939,11 @@ func (s *Simulation) rebuildGroups() error {
 		if ferr != nil {
 			return ferr
 		}
+		src := s.groupStream(s.constructions, uint64(gid))
 		s.groups[gid] = &groupState{
 			id:       gid,
-			rng:      s.groupRand(s.constructions, uint64(gid)),
+			src:      src,
+			rng:      rand.New(src),
 			members:  bg.ids,
 			forecast: f,
 			centroid: bg.centroid,
@@ -939,13 +952,14 @@ func (s *Simulation) rebuildGroups() error {
 	return nil
 }
 
-// groupRand derives a group's private feed-selection stream. Cluster
-// cells fold their salt in so no two shards ever share a stream.
-func (s *Simulation) groupRand(construction, gid uint64) *rand.Rand {
+// groupStream derives a group's private feed-selection stream.
+// Cluster cells fold their salt in so no two shards ever share a
+// stream.
+func (s *Simulation) groupStream(construction, gid uint64) *parallel.Stream {
 	if s.salt != 0 {
-		return parallel.NewRand(s.cfg.Seed, streamGroup, s.salt, construction, gid)
+		return parallel.NewStream(s.cfg.Seed, streamGroup, s.salt, construction, gid)
 	}
-	return parallel.NewRand(s.cfg.Seed, streamGroup, construction, gid)
+	return parallel.NewStream(s.cfg.Seed, streamGroup, construction, gid)
 }
 
 // userPos returns the slice position of a global user id, or -1.

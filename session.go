@@ -31,14 +31,23 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
+	"dtmsvs/internal/checkpoint"
 	"dtmsvs/internal/cluster"
 	"dtmsvs/internal/sim"
 	"dtmsvs/internal/stats"
 )
 
-// ErrSessionClosed is returned by Step after Close.
+// ErrSessionClosed is returned by Step, Checkpoint and a second Close
+// after the session has been closed.
 var ErrSessionClosed = errors.New("dtmsvs: session closed")
+
+// ErrSink wraps every sink failure a Step reports: a WriteRecord or
+// Flush error that survived the transient-retry budget. Match with
+// errors.Is(err, ErrSink); the sink's own error is wrapped alongside
+// and stays reachable through errors.As.
+var ErrSink = errors.New("dtmsvs: sink failure")
 
 // ErrSessionDone is returned by Step once every scheduling interval
 // has run.
@@ -139,8 +148,18 @@ type Session interface {
 	Interval() int
 	// Done reports whether every scheduling interval has run.
 	Done() bool
-	// Close flushes the sink and releases the session. It is
-	// idempotent; Step returns ErrSessionClosed afterwards.
+	// Checkpoint serializes the session's full deterministic state —
+	// engine, RNG positions, trained weights, twins, caches — at the
+	// current interval boundary, so Resume/ResumeCluster can continue
+	// the run bit-identically. It refuses failed or closed sessions
+	// (after a mid-interval failure the engine has advanced past the
+	// session's counters; resume from the last good checkpoint
+	// instead).
+	Checkpoint(w io.Writer) error
+	// Close flushes the sink and releases the session. A second Close
+	// returns an error wrapping ErrSessionClosed (the first Close
+	// already released everything); Step returns ErrSessionClosed
+	// afterwards too.
 	Close() error
 }
 
@@ -152,6 +171,11 @@ type sessionOptions struct {
 	sink      TraceSink
 	observers []func(IntervalReport)
 	progress  func(done, total int)
+	// sinkAttempts bounds how often one WriteRecord/Flush is tried
+	// when the sink reports transient errors; sinkBackoff is the
+	// delay before the first retry, doubling per attempt.
+	sinkAttempts int
+	sinkBackoff  time.Duration
 }
 
 // WithSink streams every interval's records into sink (flushed at
@@ -175,6 +199,23 @@ func WithProgress(fn func(done, total int)) SessionOption {
 	return func(o *sessionOptions) { o.progress = fn }
 }
 
+// WithSinkRetry bounds the session's handling of transient sink
+// errors (those whose error chain advertises `Transient() bool` true,
+// e.g. injected faults from internal/faultinject): each WriteRecord
+// or Flush is attempted up to attempts times, sleeping backoff before
+// the first retry and doubling it per attempt. Permanent errors are
+// never retried. The default is 3 attempts with a 2 ms initial
+// backoff; WithSinkRetry(1, 0) disables retries entirely.
+func WithSinkRetry(attempts int, backoff time.Duration) SessionOption {
+	return func(o *sessionOptions) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		o.sinkAttempts = attempts
+		o.sinkBackoff = backoff
+	}
+}
+
 // stepper is the engine-side contract a session drives: the prologue
 // split at every resumable boundary, one scheduling interval at a
 // time, and the final stamp.
@@ -189,8 +230,16 @@ type stepper interface {
 	churned() int
 	// close releases engine-held workers (the training GEMM crews);
 	// the engine stays readable and any later training GEMMs run
-	// sequentially with identical results.
+	// sequentially with identical results. Idempotent.
 	close()
+	// kind names the engine in checkpoint headers ("sim"/"cluster").
+	kind() string
+	// fingerprint hashes the defaulted configuration for the
+	// checkpoint header's compatibility check.
+	fingerprint() (uint64, error)
+	// writeState/readState serialize the engine's boundary state.
+	writeState(cw *checkpoint.Writer) error
+	readState(cr *checkpoint.Reader) error
 }
 
 // session is the engine-independent state machine shared by
@@ -275,9 +324,9 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 	}
 	if s.opts.sink != nil {
 		for _, r := range recs {
-			if werr := s.opts.sink.WriteRecord(r); werr != nil {
+			if werr := s.writeRecord(r); werr != nil {
 				s.sinkBroken = true
-				return zero, s.fail(fmt.Errorf("sink interval %d: %w", s.next, werr))
+				return zero, s.fail(fmt.Errorf("%w: interval %d: %w", ErrSink, s.next, werr))
 			}
 		}
 	}
@@ -298,10 +347,14 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 	return rep, nil
 }
 
-// Close implements Session.
+// Close implements Session. The first Close flushes and releases;
+// calling it again is an error (wrapping ErrSessionClosed) so a
+// double-Close in caller cleanup paths is loud instead of silently
+// re-flushing a sink whose ownership has moved on. Close after a
+// failed Step is safe: a broken sink is never flushed again.
 func (s *session) Close() error {
 	if s.closed {
-		return nil
+		return fmt.Errorf("close of closed session: %w", ErrSessionClosed)
 	}
 	s.closed = true
 	s.eng.close()
@@ -313,17 +366,62 @@ func (s *session) fail(err error) error {
 	return err
 }
 
+// isTransientSink reports whether err's chain advertises itself as a
+// transient (retry-safe) sink failure.
+func isTransientSink(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// backoff sleeps before retry attempt n (1-based), doubling the
+// configured initial backoff per attempt.
+func (s *session) backoff(attempt int) {
+	if s.opts.sinkBackoff > 0 {
+		time.Sleep(s.opts.sinkBackoff << (attempt - 1))
+	}
+}
+
+// writeRecord pushes one record to the sink, retrying transient
+// failures within the configured attempt budget. Errors are returned
+// unwrapped; Step adds the ErrSink envelope.
+func (s *session) writeRecord(r TraceRecord) error {
+	err := s.opts.sink.WriteRecord(r)
+	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
+		s.backoff(attempt)
+		err = s.opts.sink.WriteRecord(r)
+	}
+	return err
+}
+
 func (s *session) flush() error {
 	if s.opts.sink == nil || s.sinkBroken {
 		return nil
 	}
-	return s.opts.sink.Flush()
+	err := s.opts.sink.Flush()
+	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
+		s.backoff(attempt)
+		err = s.opts.sink.Flush()
+	}
+	if err != nil {
+		// A failed flush leaves an unknown prefix of the buffer on the
+		// backing store; pushing more bytes could tear a record, so
+		// the sink is dead to this session from here on.
+		s.sinkBroken = true
+		return fmt.Errorf("%w: flush: %w", ErrSink, err)
+	}
+	return nil
 }
 
 func buildOptions(opts []SessionOption) sessionOptions {
 	var o sessionOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.sinkAttempts == 0 {
+		// Defaults only when WithSinkRetry was never given (the option
+		// clamps attempts to >= 1, so 0 means unset).
+		o.sinkAttempts = 3
+		o.sinkBackoff = 2 * time.Millisecond
 	}
 	return o
 }
@@ -371,6 +469,14 @@ func (a *simStepper) stepInterval(ctx context.Context, interval int) ([]TraceRec
 
 func (a *simStepper) finish() { a.eng.FinishTrace(a.trace) }
 func (a *simStepper) close()  { a.eng.Close() }
+
+func (a *simStepper) kind() string { return "sim" }
+
+func (a *simStepper) fingerprint() (uint64, error) { return checkpoint.Fingerprint(a.cfg) }
+
+func (a *simStepper) writeState(cw *checkpoint.Writer) error { return a.eng.WriteState(cw) }
+
+func (a *simStepper) readState(cr *checkpoint.Reader) error { return a.eng.ReadState(cr) }
 
 // SimSession is the monolithic engine's Session. It satisfies the
 // Session interface and additionally exposes the accumulated Trace.
@@ -434,6 +540,14 @@ func (a *clusterStepper) stepInterval(ctx context.Context, interval int) ([]Trac
 
 func (a *clusterStepper) finish() { a.trace = a.eng.Finish() }
 func (a *clusterStepper) close()  { a.eng.Close() }
+
+func (a *clusterStepper) kind() string { return "cluster" }
+
+func (a *clusterStepper) fingerprint() (uint64, error) { return checkpoint.Fingerprint(a.cfg) }
+
+func (a *clusterStepper) writeState(cw *checkpoint.Writer) error { return a.eng.WriteState(cw) }
+
+func (a *clusterStepper) readState(cr *checkpoint.Reader) error { return a.eng.ReadState(cr) }
 
 // ClusterSession is the sharded cluster engine's Session. It
 // satisfies the Session interface and additionally exposes the merged

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -261,11 +262,14 @@ func TestSessionDoneAndClosed(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Close(); err != nil {
-		t.Fatalf("Close not idempotent: %v", err)
+	if err := s.Close(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("double Close: want ErrSessionClosed, got %v", err)
 	}
 	if _, serr := s.Step(context.Background()); !errors.Is(serr, ErrSessionClosed) {
 		t.Fatalf("want ErrSessionClosed, got %v", serr)
+	}
+	if cerr := s.Checkpoint(io.Discard); !errors.Is(cerr, ErrSessionClosed) {
+		t.Fatalf("Checkpoint after Close: want ErrSessionClosed, got %v", cerr)
 	}
 }
 

@@ -1,0 +1,183 @@
+package dtmsvs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dtmsvs/internal/faultinject"
+)
+
+// runWithSink steps a fresh monolithic session against sink until
+// done or the first error, returning that error.
+func runWithSink(t *testing.T, cfg Config, sink TraceSink, opts ...SessionOption) (Session, error) {
+	t.Helper()
+	s, err := Open(cfg, append([]SessionOption{WithSink(sink)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, serr := s.Step(context.Background()); serr != nil {
+			return s, serr
+		}
+	}
+	return s, nil
+}
+
+// completeLines reports whether every byte of an NDJSON stream
+// belongs to a newline-terminated record.
+func completeLines(s string) bool {
+	return s == "" || strings.HasSuffix(s, "\n")
+}
+
+// TestSessionSinkRecordFaults: a sink failing on WriteRecord — both
+// abruptly and via a short write — surfaces as ErrSink from Step,
+// never from Close, and the backing store never gains bytes after the
+// reported error.
+func TestSessionSinkRecordFaults(t *testing.T) {
+	cfg := sessionTestConfig(21, 2)
+	clean, perInterval := ndjsonRun(t, func(opts ...SessionOption) (Session, error) { return Open(cfg, opts...) })
+
+	for _, mode := range []faultinject.Mode{faultinject.FailWrite, faultinject.ShortWrite} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Fail midway through interval 1's records.
+			fault := faultinject.Fault{Mode: mode, N: perInterval[0] + 1 + perInterval[1]/2}
+			var buf bytes.Buffer
+			sink := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf), fault)
+			s, serr := runWithSink(t, cfg, sink)
+			if !errors.Is(serr, ErrSink) || !errors.Is(serr, faultinject.ErrInjected) {
+				t.Fatalf("want ErrSink wrapping injected fault, got %v", serr)
+			}
+			var ie *faultinject.Error
+			if !errors.As(serr, &ie) || ie.Op != "write" {
+				t.Fatalf("injected error unreachable through the chain: %v", serr)
+			}
+			frozen := buf.String()
+			if frozen != linePrefix(clean, perInterval[0]) {
+				t.Fatal("backing store holds more than the last whole-interval flush")
+			}
+			// The session is permanently failed; Close must not push the
+			// torn interval out.
+			if _, serr := s.Step(context.Background()); !errors.Is(serr, ErrSink) {
+				t.Fatalf("step after sink failure: want the latched ErrSink, got %v", serr)
+			}
+			if cerr := s.Close(); cerr != nil {
+				t.Fatalf("close after sink failure: %v", cerr)
+			}
+			if buf.String() != frozen {
+				t.Fatal("Close grew the backing store after a reported sink error")
+			}
+		})
+	}
+}
+
+// TestSessionSinkFlushFault: a sink whose Flush fails surfaces
+// ErrSink from the Step that hit the boundary, freezes the backing
+// store, and keeps Close quiet.
+func TestSessionSinkFlushFault(t *testing.T) {
+	cfg := sessionTestConfig(21, 2)
+	clean, perInterval := ndjsonRun(t, func(opts ...SessionOption) (Session, error) { return Open(cfg, opts...) })
+
+	// The session flushes once per completed interval; fail the second.
+	var buf bytes.Buffer
+	sink := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf), faultinject.Fault{Mode: faultinject.FailFlush, N: 2})
+	s, serr := runWithSink(t, cfg, sink)
+	if !errors.Is(serr, ErrSink) || !errors.Is(serr, faultinject.ErrInjected) {
+		t.Fatalf("want ErrSink wrapping injected flush fault, got %v", serr)
+	}
+	frozen := buf.String()
+	if frozen != linePrefix(clean, perInterval[0]) {
+		t.Fatal("backing store diverged from the last successful flush")
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatalf("close after flush failure: %v", cerr)
+	}
+	if buf.String() != frozen {
+		t.Fatal("Close re-flushed a sink that already reported failure")
+	}
+}
+
+// TestSessionSinkByteLevelFaults: NDJSON and CSV sinks over an
+// io.Writer that fails or short-writes keep the session contract —
+// the error comes out of Step as ErrSink, and whatever reached the
+// backing store before the failure is a whole-record (line) prefix
+// with nothing appended afterwards.
+func TestSessionSinkByteLevelFaults(t *testing.T) {
+	cfg := sessionTestConfig(23, 2)
+	for _, tc := range []struct {
+		name string
+		mk   func(w *faultinject.Writer) TraceSink
+	}{
+		{"ndjson", func(w *faultinject.Writer) TraceSink { return NewNDJSONSink(w) }},
+		{"csv", func(w *faultinject.Writer) TraceSink { return NewCSVSink(w) }},
+	} {
+		for _, mode := range []faultinject.Mode{faultinject.FailWrite, faultinject.ShortWrite} {
+			t.Run(tc.name+"/"+mode.String(), func(t *testing.T) {
+				// Both stream sinks buffer and hit the io.Writer on Flush;
+				// fail the second flush's write.
+				var buf bytes.Buffer
+				fw := faultinject.NewWriter(&buf, faultinject.Fault{Mode: mode, N: 2})
+				s, serr := runWithSink(t, cfg, tc.mk(fw))
+				if !errors.Is(serr, ErrSink) {
+					t.Fatalf("want ErrSink, got %v", serr)
+				}
+				frozen := buf.String()
+				if mode == faultinject.FailWrite && !completeLines(frozen) {
+					t.Fatalf("fail-write leaked a partial record: %q", frozen[max(0, len(frozen)-60):])
+				}
+				if cerr := s.Close(); cerr != nil {
+					t.Fatalf("close after byte-level fault: %v", cerr)
+				}
+				if buf.String() != frozen {
+					t.Fatal("Close pushed bytes after the reported error")
+				}
+			})
+		}
+	}
+}
+
+// TestSessionSinkTransientRetry: transient sink faults are retried
+// within the configured budget and the run completes with a stream
+// bit-identical to a fault-free run; with retries disabled the same
+// fault is fatal.
+func TestSessionSinkTransientRetry(t *testing.T) {
+	cfg := sessionTestConfig(25, 2)
+	clean, perInterval := ndjsonRun(t, func(opts ...SessionOption) (Session, error) { return Open(cfg, opts...) })
+
+	transientWrite := faultinject.Fault{Mode: faultinject.FailWrite, N: 2, Transient: true}
+	transientFlush := faultinject.Fault{Mode: faultinject.FailFlush, N: 1, Transient: true}
+
+	var buf bytes.Buffer
+	sink := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf), transientWrite, transientFlush)
+	s, serr := runWithSink(t, cfg, sink, WithSinkRetry(3, 0))
+	if serr != nil {
+		t.Fatalf("transient faults should be absorbed by retry: %v", serr)
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if buf.String() != clean {
+		t.Fatal("retried run diverged from fault-free run")
+	}
+	var total int
+	for _, n := range perInterval {
+		total += n
+	}
+	// One extra WriteRecord (the retry) and one extra Flush.
+	if got := sink.Writes(); got != total+1 {
+		t.Fatalf("sink saw %d writes, want %d", got, total+1)
+	}
+
+	// WithSinkRetry(1, 0) turns the same transient fault fatal.
+	var buf2 bytes.Buffer
+	sink2 := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf2), transientWrite)
+	s2, serr2 := runWithSink(t, cfg, sink2, WithSinkRetry(1, 0))
+	if !errors.Is(serr2, ErrSink) {
+		t.Fatalf("retries disabled: want ErrSink, got %v", serr2)
+	}
+	if cerr := s2.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
