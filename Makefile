@@ -20,12 +20,17 @@ bench:
 bench-baseline:
 	./scripts/bench.sh
 
+# The instrumented/bare Step pair is gated against each other within
+# the same run (hardware-independent): metrics may cost at most 2%
+# wall and no extra allocations.
+OVERHEAD_GATE = --overhead-gate 'BenchmarkStepInstrumented/on:BenchmarkStepInstrumented/off:1.02'
+
 # Regression gate: benchmark the working tree and diff against the
 # committed baseline; fails on >1.3x wall or >1.5x allocs. Tune the
 # sampling with BENCH_CHECK_COUNT (default 3).
 bench-check:
 	BENCH_OUT=/tmp/bench_current.json BENCH_COUNT=$${BENCH_CHECK_COUNT:-3} ./scripts/bench.sh
-	python3 scripts/bench_compare.py BENCH_baseline.json /tmp/bench_current.json
+	python3 scripts/bench_compare.py $(OVERHEAD_GATE) BENCH_baseline.json /tmp/bench_current.json
 
 # Hardware-safe regression gate for CI: allocation counts are
 # deterministic per binary, so this gates allocs only (wall time is
@@ -33,4 +38,4 @@ bench-check:
 # single iteration — fast enough for every push.
 bench-check-allocs:
 	BENCH_OUT=/tmp/bench_current.json BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
-	python3 scripts/bench_compare.py --allocs-only BENCH_baseline.json /tmp/bench_current.json
+	python3 scripts/bench_compare.py --allocs-only $(OVERHEAD_GATE) BENCH_baseline.json /tmp/bench_current.json

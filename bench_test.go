@@ -489,3 +489,44 @@ func BenchmarkTraceSink(b *testing.B) {
 		run(b, func() TraceSink { return NewNDJSONSink(io.Discard) })
 	})
 }
+
+// BenchmarkStepInstrumented measures the marginal cost of a mounted
+// metrics registry on the steady-state Step path: "off" runs a bare
+// session, "on" the same session with WithMetrics. The prologue
+// (warm-up, training, group build) happens outside the timer; each
+// iteration is one post-prologue interval. make bench-check holds the
+// on/off pair within 2% wall and equal allocations via the
+// bench_compare.py overhead gate.
+func BenchmarkStepInstrumented(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		metrics bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig(42)
+			cfg.NumIntervals = b.N + 3
+			opts := []SessionOption{WithSink(DiscardSink{})}
+			if bc.metrics {
+				opts = append(opts, WithMetrics(NewMetricsRegistry()))
+			}
+			s, err := Open(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// Prologue plus two settling intervals outside the timer.
+			for i := 0; i < 3; i++ {
+				if _, serr := s.Step(context.Background()); serr != nil {
+					b.Fatal(serr)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, serr := s.Step(context.Background()); serr != nil {
+					b.Fatal(serr)
+				}
+			}
+		})
+	}
+}

@@ -47,7 +47,9 @@ func (s *session) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cw := checkpoint.NewWriter(w, s.eng.kind(), fp)
+	t0 := s.met.ckptEncode.Start()
+	counted := &countingWriter{w: w}
+	cw := checkpoint.NewWriter(counted, s.eng.kind(), fp)
 	if err := cw.Section("session", func(e *checkpoint.Enc) {
 		e.Int(s.next)
 		e.Int(s.warmupDone)
@@ -59,7 +61,13 @@ func (s *session) Checkpoint(w io.Writer) error {
 	if err := s.eng.writeState(cw); err != nil {
 		return err
 	}
-	return cw.Finish()
+	if err := cw.Finish(); err != nil {
+		return err
+	}
+	s.met.ckptEncode.ObserveSince(t0)
+	s.met.ckptBytes.Set(float64(counted.n))
+	s.met.ckpts.Inc()
+	return nil
 }
 
 // resume restores the session from a checkpoint stream. The session

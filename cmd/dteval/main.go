@@ -14,7 +14,8 @@
 // Ctrl-C cancels at the next interval boundary. For the single-trace
 // experiments (compute, cluster, reserve, predictors) -out streams
 // the underlying trace as NDJSON (or CSV with -format csv), flushed
-// per interval.
+// per interval. "-out -" streams the trace to stdout and moves the
+// experiment tables to stderr, so stdout stays a clean trace stream.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -67,20 +69,30 @@ func run() error {
 	// an error rather than a silently empty file.
 	streamable := map[string]bool{"compute": true, "predictors": true, "reserve": true, "cluster": true}
 	var opts []dtmsvs.SessionOption
+	// Experiment tables print to stdout; with "-out -" the trace stream
+	// takes stdout instead and the tables move to stderr so the two
+	// never interleave.
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		if !streamable[*exp] {
 			return fmt.Errorf("-out is only supported for single-trace experiments (compute, predictors, reserve, cluster), not %q", *exp)
 		}
-		f, ferr := os.Create(*out)
-		if ferr != nil {
-			return ferr
+		sink := io.Writer(os.Stdout)
+		if *out == "-" {
+			w = os.Stderr
+		} else {
+			f, ferr := os.Create(*out)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			sink = f
 		}
-		defer f.Close()
 		switch *format {
 		case "ndjson":
-			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewNDJSONSink(f)))
+			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewNDJSONSink(sink)))
 		case "csv":
-			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewCSVSink(f)))
+			opts = append(opts, dtmsvs.WithSink(dtmsvs.NewCSVSink(sink)))
 		default:
 			return fmt.Errorf("unknown -format %q", *format)
 		}
@@ -89,23 +101,23 @@ func run() error {
 	err := func() error {
 		switch *exp {
 		case "compute":
-			return runCompute(ctx, cfg, opts)
+			return runCompute(ctx, w, cfg, opts)
 		case "grouping":
-			return runGrouping(ctx, cfg)
+			return runGrouping(ctx, w, cfg)
 		case "users":
-			return runUsers(ctx, cfg, *counts)
+			return runUsers(ctx, w, cfg, *counts)
 		case "predictors":
-			return runPredictors(ctx, cfg, opts)
+			return runPredictors(ctx, w, cfg, opts)
 		case "reserve":
-			return runReserve(ctx, cfg, opts)
+			return runReserve(ctx, w, cfg, opts)
 		case "waste":
-			return runWaste(ctx, cfg)
+			return runWaste(ctx, w, cfg)
 		case "qoe":
-			return runQoE(ctx, cfg)
+			return runQoE(ctx, w, cfg)
 		case "churn":
-			return runChurn(ctx, cfg)
+			return runChurn(ctx, w, cfg)
 		case "cluster":
-			return runCluster(ctx, cfg, *shards, opts)
+			return runCluster(ctx, w, cfg, *shards, opts)
 		default:
 			return fmt.Errorf("unknown experiment %q", *exp)
 		}
@@ -117,7 +129,7 @@ func run() error {
 	return err
 }
 
-func runCluster(ctx context.Context, cfg dtmsvs.Config, shards int, opts []dtmsvs.SessionOption) error {
+func runCluster(ctx context.Context, w io.Writer, cfg dtmsvs.Config, shards int, opts []dtmsvs.SessionOption) error {
 	// Accuracy folds online so -out streaming (which owns the records)
 	// does not break the summary.
 	var acc dtmsvs.AccuracyTracker
@@ -137,45 +149,45 @@ func runCluster(ctx context.Context, cfg dtmsvs.Config, shards int, opts []dtmsv
 	if err != nil {
 		return err
 	}
-	fmt.Println("E11 — sharded multi-BS cluster engine")
-	fmt.Printf("%-6s%8s%6s%14s%12s%10s%10s\n", "bs", "users", "K", "silhouette", "cache-hit", "churned", "migrated")
+	fmt.Fprintln(w, "E11 — sharded multi-BS cluster engine")
+	fmt.Fprintf(w, "%-6s%8s%6s%14s%12s%10s%10s\n", "bs", "users", "K", "silhouette", "cache-hit", "churned", "migrated")
 	for _, c := range trace.Cells {
-		fmt.Printf("%-6d%8d%6d%14.3f%11.2f%%%10d%10d\n",
+		fmt.Fprintf(w, "%-6d%8d%6d%14.3f%11.2f%%%10d%10d\n",
 			c.BS, c.Users, c.K, c.Silhouette, c.CacheHitRate*100, c.ChurnedUsers, c.AttachedTwins)
 	}
-	fmt.Printf("\nhandovers: %d   aggregate cache-hit: %.2f%%   radio-accuracy: %.2f%%\n",
+	fmt.Fprintf(w, "\nhandovers: %d   aggregate cache-hit: %.2f%%   radio-accuracy: %.2f%%\n",
 		trace.Handovers, trace.CacheHitRate*100, radioAcc*100)
 	return nil
 }
 
-func runCompute(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+func runCompute(ctx context.Context, w io.Writer, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
 	res, err := dtmsvs.RunComputeDemand(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E1 — computing resource demand prediction")
-	fmt.Printf("%-10s%16s%16s\n", "sample", "predicted", "actual")
+	fmt.Fprintln(w, "E1 — computing resource demand prediction")
+	fmt.Fprintf(w, "%-10s%16s%16s\n", "sample", "predicted", "actual")
 	for i := range res.Predicted {
-		fmt.Printf("%-10d%16.3e%16.3e\n", i, res.Predicted[i], res.Actual[i])
+		fmt.Fprintf(w, "%-10d%16.3e%16.3e\n", i, res.Predicted[i], res.Actual[i])
 	}
-	fmt.Printf("\nvolume accuracy: %.2f%%\n", res.VolumeAccuracy*100)
+	fmt.Fprintf(w, "\nvolume accuracy: %.2f%%\n", res.VolumeAccuracy*100)
 	return nil
 }
 
-func runGrouping(ctx context.Context, cfg dtmsvs.Config) error {
+func runGrouping(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
 	rows, err := dtmsvs.RunGroupingAblation(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E2 — grouping ablation (DDQN-K vs fixed-K vs raw features)")
-	fmt.Printf("%-12s%6s%14s%16s\n", "variant", "K", "silhouette", "radio-accuracy")
+	fmt.Fprintln(w, "E2 — grouping ablation (DDQN-K vs fixed-K vs raw features)")
+	fmt.Fprintf(w, "%-12s%6s%14s%16s\n", "variant", "K", "silhouette", "radio-accuracy")
 	for _, r := range rows {
-		fmt.Printf("%-12s%6d%14.3f%15.2f%%\n", r.Variant.Name, r.K, r.Silhouette, r.RadioAccuracy*100)
+		fmt.Fprintf(w, "%-12s%6d%14.3f%15.2f%%\n", r.Variant.Name, r.K, r.Silhouette, r.RadioAccuracy*100)
 	}
 	return nil
 }
 
-func runUsers(ctx context.Context, cfg dtmsvs.Config, countsCSV string) error {
+func runUsers(ctx context.Context, w io.Writer, cfg dtmsvs.Config, countsCSV string) error {
 	var counts []int
 	for _, f := range strings.Split(countsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -188,83 +200,83 @@ func runUsers(ctx context.Context, cfg dtmsvs.Config, countsCSV string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("E3 — prediction accuracy vs user count")
-	fmt.Printf("%-8s%6s%16s%18s\n", "users", "K", "radio-accuracy", "compute-accuracy")
+	fmt.Fprintln(w, "E3 — prediction accuracy vs user count")
+	fmt.Fprintf(w, "%-8s%6s%16s%18s\n", "users", "K", "radio-accuracy", "compute-accuracy")
 	for _, r := range rows {
-		fmt.Printf("%-8d%6d%15.2f%%%17.2f%%\n", r.Users, r.K, r.RadioAccuracy*100, r.ComputeAccuracy*100)
+		fmt.Fprintf(w, "%-8d%6d%15.2f%%%17.2f%%\n", r.Users, r.K, r.RadioAccuracy*100, r.ComputeAccuracy*100)
 	}
 	return nil
 }
 
-func runReserve(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+func runReserve(ctx context.Context, w io.Writer, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
 	rows, err := dtmsvs.RunReservation(ctx, cfg, 0.1, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E7 — radio resource reservation (10% headroom)")
-	fmt.Printf("%-22s%12s%12s%16s%14s\n", "policy", "waste", "deficit", "violation-rate", "utilization")
+	fmt.Fprintln(w, "E7 — radio resource reservation (10% headroom)")
+	fmt.Fprintf(w, "%-22s%12s%12s%16s%14s\n", "policy", "waste", "deficit", "violation-rate", "utilization")
 	for _, r := range rows {
-		fmt.Printf("%-22s%12.1f%12.1f%15.2f%%%13.2f%%\n",
+		fmt.Fprintf(w, "%-22s%12.1f%12.1f%15.2f%%%13.2f%%\n",
 			r.Policy, r.Waste, r.Deficit, r.ViolationRate*100, r.Utilization*100)
 	}
 	return nil
 }
 
-func runWaste(ctx context.Context, cfg dtmsvs.Config) error {
+func runWaste(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
 	rows, err := dtmsvs.RunWasteVsPrefetch(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E8 — wasted multicast traffic vs prefetch depth")
-	fmt.Printf("%-8s%14s%18s%16s\n", "depth", "waste-share", "pred/actual-waste", "radio-accuracy")
+	fmt.Fprintln(w, "E8 — wasted multicast traffic vs prefetch depth")
+	fmt.Fprintf(w, "%-8s%14s%18s%16s\n", "depth", "waste-share", "pred/actual-waste", "radio-accuracy")
 	for _, r := range rows {
-		fmt.Printf("%-8d%13.2f%%%18.3f%15.2f%%\n",
+		fmt.Fprintf(w, "%-8d%13.2f%%%18.3f%15.2f%%\n",
 			r.PrefetchDepth, r.WasteShare*100, r.AggregateRatio, r.RadioAccuracy*100)
 	}
 	return nil
 }
 
-func runQoE(ctx context.Context, cfg dtmsvs.Config) error {
+func runQoE(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
 	rows, err := dtmsvs.RunQoEVsBudget(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E9 — QoE vs shared radio budget")
-	fmt.Printf("%-10s%12s%16s%18s\n", "budget", "mean-qoe", "mean-bitrate", "under-grant-rate")
+	fmt.Fprintln(w, "E9 — QoE vs shared radio budget")
+	fmt.Fprintf(w, "%-10s%12s%16s%18s\n", "budget", "mean-qoe", "mean-bitrate", "under-grant-rate")
 	for _, r := range rows {
 		budget := "unlimited"
 		if r.RBBudget > 0 {
 			budget = strconv.Itoa(r.RBBudget)
 		}
-		fmt.Printf("%-10s%12.1f%13.0f kbps%17.2f%%\n",
+		fmt.Fprintf(w, "%-10s%12.1f%13.0f kbps%17.2f%%\n",
 			budget, r.MeanQoE, r.MeanBitrateBps/1e3, r.UnderGrantRate*100)
 	}
 	return nil
 }
 
-func runChurn(ctx context.Context, cfg dtmsvs.Config) error {
+func runChurn(ctx context.Context, w io.Writer, cfg dtmsvs.Config) error {
 	rows, err := dtmsvs.RunAccuracyVsChurn(ctx, cfg, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E10 — accuracy and grouping stability vs user churn")
-	fmt.Printf("%-10s%16s%16s%12s\n", "churn", "radio-accuracy", "mean-stability", "churned")
+	fmt.Fprintln(w, "E10 — accuracy and grouping stability vs user churn")
+	fmt.Fprintf(w, "%-10s%16s%16s%12s\n", "churn", "radio-accuracy", "mean-stability", "churned")
 	for _, r := range rows {
-		fmt.Printf("%-10.2f%15.2f%%%16.3f%12d\n",
+		fmt.Fprintf(w, "%-10.2f%15.2f%%%16.3f%12d\n",
 			r.ChurnPerInterval, r.RadioAccuracy*100, r.MeanStability, r.ChurnedUsers)
 	}
 	return nil
 }
 
-func runPredictors(ctx context.Context, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
+func runPredictors(ctx context.Context, w io.Writer, cfg dtmsvs.Config, opts []dtmsvs.SessionOption) error {
 	rows, err := dtmsvs.RunPredictorBaselines(ctx, cfg, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Println("E4 — predictor baselines on radio demand")
-	fmt.Printf("%-20s%16s\n", "predictor", "accuracy")
+	fmt.Fprintln(w, "E4 — predictor baselines on radio demand")
+	fmt.Fprintf(w, "%-20s%16s\n", "predictor", "accuracy")
 	for _, r := range rows {
-		fmt.Printf("%-20s%15.2f%%\n", r.Name, r.Accuracy*100)
+		fmt.Fprintf(w, "%-20s%15.2f%%\n", r.Name, r.Accuracy*100)
 	}
 	return nil
 }

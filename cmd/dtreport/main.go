@@ -8,6 +8,11 @@
 //
 // The default scenario is paper-scale and takes a few minutes; use
 // -users 60 -intervals 10 for a quick pass.
+//
+// With -timings FILE the evaluation suite is skipped entirely and the
+// tool instead renders a metrics snapshot (written by `dtsim
+// -metrics-out FILE`) as markdown: per-stage/per-cell wall-clock
+// timings, edge cache effectiveness, and the run's counters.
 package main
 
 import (
@@ -39,6 +44,7 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "random seed")
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
 		out       = flag.String("out", "", "output file (default stdout)")
+		timings   = flag.String("timings", "", "render this metrics snapshot (from dtsim -metrics-out) instead of running the evaluation suite")
 	)
 	flag.Parse()
 
@@ -52,13 +58,17 @@ func run() error {
 	defer stop()
 
 	w := io.Writer(os.Stdout)
-	if *out != "" {
+	if *out != "" && *out != "-" {
 		f, ferr := os.Create(*out)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
 		w = f
+	}
+
+	if *timings != "" {
+		return reportTimings(w, *timings)
 	}
 
 	fmt.Fprintf(w, "# dtmsvs evaluation report\n\nScenario: %d users, %d BSs, %d intervals, seed %d.\n\n",

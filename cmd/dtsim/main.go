@@ -29,6 +29,16 @@
 //
 //	dtsim -users 100 -intervals 24 -out part1.ndjson -format ndjson -checkpoint run.ckpt
 //	dtsim -users 100 -intervals 24 -out part2.ndjson -format ndjson -resume run.ckpt
+//
+// Observability: -metrics-addr :9090 serves live Prometheus metrics
+// on /metrics (per-stage duration histograms, per-cell cache
+// counters, sink retry counters, ...) plus net/http/pprof profiling
+// under /debug/pprof/ for the duration of the run. -metrics-out
+// FILE writes the final metrics snapshot as JSON; render it with
+// `dtreport -timings FILE`. Metrics never change the trace: output
+// is bit-identical with or without them. All progress and log
+// chatter goes to stderr, so stdout stays a clean trace stream when
+// -out is not set ("-out -" makes stdout explicit).
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 
 	"dtmsvs"
 	"dtmsvs/internal/checkpoint"
+	"dtmsvs/internal/obs"
 )
 
 func main() {
@@ -53,7 +64,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		users     = flag.Int("users", 100, "number of users")
 		bs        = flag.Int("bs", 4, "number of base stations")
@@ -70,6 +81,8 @@ func run() error {
 		ckptPath  = flag.String("checkpoint", "", "write the session state to this file at interval boundaries (atomic temp-file + rename)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "with -checkpoint, write every N intervals")
 		resume    = flag.String("resume", "", "resume from a checkpoint file written under identical flags (trace output holds the resumed suffix)")
+		metAddr   = flag.String("metrics-addr", "", `serve live Prometheus /metrics and /debug/pprof on this address (e.g. ":9090") for the duration of the run`)
+		metOut    = flag.String("metrics-out", "", "write the end-of-run metrics snapshot to this file as JSON (render with dtreport -timings)")
 	)
 	flag.Parse()
 	if *ckptEvery < 1 {
@@ -89,7 +102,7 @@ func run() error {
 	defer stop()
 
 	w := os.Stdout
-	if *out != "" {
+	if *out != "" && *out != "-" {
 		f, ferr := os.Create(*out)
 		if ferr != nil {
 			return ferr
@@ -99,6 +112,28 @@ func run() error {
 	}
 
 	var opts []dtmsvs.SessionOption
+	var reg *dtmsvs.MetricsRegistry
+	if *metAddr != "" || *metOut != "" {
+		reg = dtmsvs.NewMetricsRegistry()
+		opts = append(opts, dtmsvs.WithMetrics(reg))
+	}
+	if *metAddr != "" {
+		srv, addr, serr := obs.Serve(*metAddr, reg)
+		if serr != nil {
+			return fmt.Errorf("metrics listener: %w", serr)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dtsim: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+	if *metOut != "" {
+		// The snapshot is written on every exit path — interrupted runs
+		// included — so partial runs still leave their timings behind.
+		defer func() {
+			if werr := writeMetrics(*metOut, reg); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
 	var buffered *dtmsvs.BufferedSink
 	switch *format {
 	case "json":
@@ -233,6 +268,19 @@ func run() error {
 		return nil
 	}
 	return summary()
+}
+
+// writeMetrics dumps the registry's final snapshot as JSON.
+func writeMetrics(path string, reg *dtmsvs.MetricsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // writeCheckpoint persists the session state atomically: the bytes

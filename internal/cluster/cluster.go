@@ -27,10 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"dtmsvs/internal/channel"
 	"dtmsvs/internal/edge"
 	"dtmsvs/internal/mobility"
+	"dtmsvs/internal/obs"
 	"dtmsvs/internal/parallel"
 	"dtmsvs/internal/sim"
 	"dtmsvs/internal/stats"
@@ -168,6 +170,10 @@ type Engine struct {
 	// disables retention so the full trace never lives in heap.
 	records []Record
 	retain  bool
+
+	// Observability mounted by SetMetrics; nil-safe when absent.
+	metHandover  *obs.Stage
+	metHandovers *obs.Counter
 }
 
 // New constructs a cluster engine and places the initial population.
@@ -301,6 +307,8 @@ func (e *Engine) eachCell(ctx context.Context, fn func(*cellState) error) error 
 // constructs groups for cells that gained their first users after
 // training.
 func (e *Engine) migrate() error {
+	t0 := e.metHandover.Start()
+	defer e.metHandover.ObserveSince(t0)
 	for id := range e.owner {
 		from := e.owner[id]
 		bs := e.cells[from].eng.ServingBSOf(id)
@@ -320,6 +328,7 @@ func (e *Engine) migrate() error {
 		e.owner[id] = bs
 		e.cells[bs].migratedIn++
 		e.handovers++
+		e.metHandovers.Inc()
 	}
 	total := 0
 	for _, c := range e.cells {
@@ -354,6 +363,22 @@ func (e *Engine) migrate() error {
 func (e *Engine) Close() {
 	for _, c := range e.cells {
 		c.eng.Close()
+	}
+}
+
+// SetMetrics mounts reg on the cluster: the interval/handover stage
+// timer and handover counter on the engine itself, and every cell's
+// engine under a cell="<id>" label, so per-cell stage histograms and
+// cache counters identify the straggler shard directly. Call before
+// stepping; a nil reg is a no-op.
+func (e *Engine) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.metHandover = reg.Stage("interval/handover")
+	e.metHandovers = reg.Counter("dtmsvs_handovers_total", "Cross-cell twin migrations.")
+	for _, c := range e.cells {
+		c.eng.SetMetrics(reg, obs.Label{Name: "cell", Value: strconv.Itoa(c.id)})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dtmsvs/internal/video"
 )
@@ -23,13 +24,19 @@ type cacheKey struct {
 }
 
 // Cache is an LRU cache of video representations measured in bytes.
+//
+// The structural state (list, map) has a single writer — the engine
+// goroutine that owns the cell — but the accounting counters are
+// atomics so a live metrics exporter (obs.Registry func metrics read
+// from an HTTP handler goroutine) can sample hits/misses/evictions
+// and resident bytes mid-interval without a data race.
 type Cache struct {
 	capacityBytes int64
-	usedBytes     int64
+	usedBytes     atomic.Int64
 	ll            *list.List
 	items         map[cacheKey]*list.Element
 
-	hits, misses int
+	hits, misses, evictions atomic.Int64
 }
 
 type cacheEntry struct {
@@ -50,7 +57,7 @@ func NewCache(capacityBytes int64) (*Cache, error) {
 }
 
 // Used returns bytes currently cached.
-func (c *Cache) Used() int64 { return c.usedBytes }
+func (c *Cache) Used() int64 { return c.usedBytes.Load() }
 
 // Capacity returns the cache capacity in bytes.
 func (c *Cache) Capacity() int64 { return c.capacityBytes }
@@ -61,15 +68,21 @@ func (c *Cache) Len() int { return c.ll.Len() }
 // Counts returns the raw hit/miss counters, letting callers (the
 // cluster engine) aggregate hit rates across many caches weighted by
 // actual lookup volume.
-func (c *Cache) Counts() (hits, misses int) { return c.hits, c.misses }
+func (c *Cache) Counts() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
+
+// Evictions returns the number of LRU evictions so far.
+func (c *Cache) Evictions() int { return int(c.evictions.Load()) }
 
 // HitRate returns hits/(hits+misses), 0 before any lookups.
 func (c *Cache) HitRate() float64 {
-	total := c.hits + c.misses
+	hits, misses := c.Counts()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // Contains checks for an exact (video, level) entry and refreshes its
@@ -77,10 +90,10 @@ func (c *Cache) HitRate() float64 {
 func (c *Cache) Contains(videoID, level int) bool {
 	if el, ok := c.items[cacheKey{videoID, level}]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Add(1)
 		return true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return false
 }
 
@@ -98,7 +111,7 @@ func (c *Cache) Put(videoID, level int, sizeBytes int64) error {
 		c.ll.MoveToFront(el)
 		return nil
 	}
-	for c.usedBytes+sizeBytes > c.capacityBytes {
+	for c.usedBytes.Load()+sizeBytes > c.capacityBytes {
 		oldest := c.ll.Back()
 		if oldest == nil {
 			break
@@ -108,11 +121,12 @@ func (c *Cache) Put(videoID, level int, sizeBytes int64) error {
 			return fmt.Errorf("corrupt cache entry: %w", ErrParam)
 		}
 		delete(c.items, ent.key)
-		c.usedBytes -= ent.size
+		c.usedBytes.Add(-ent.size)
 		c.ll.Remove(oldest)
+		c.evictions.Add(1)
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, size: sizeBytes})
-	c.usedBytes += sizeBytes
+	c.usedBytes.Add(sizeBytes)
 	return nil
 }
 

@@ -45,7 +45,7 @@ func (c *Cache) Restore(entries []CacheEntry, hits, misses int) error {
 	}
 	c.ll.Init()
 	clear(c.items)
-	c.usedBytes = 0
+	c.usedBytes.Store(0)
 	// Insert back-to-front so list order matches the captured recency.
 	for i := len(entries) - 1; i >= 0; i-- {
 		ent := entries[i]
@@ -54,8 +54,9 @@ func (c *Cache) Restore(entries []CacheEntry, hits, misses int) error {
 			return fmt.Errorf("cache restore duplicate entry (%d,%d): %w", ent.VideoID, ent.Level, ErrParam)
 		}
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, size: ent.SizeBytes})
-		c.usedBytes += ent.SizeBytes
+		c.usedBytes.Add(ent.SizeBytes)
 	}
-	c.hits, c.misses = hits, misses
+	c.hits.Store(int64(hits))
+	c.misses.Store(int64(misses))
 	return nil
 }

@@ -1,0 +1,42 @@
+// Live export: an http.Handler serving /metrics (Prometheus text
+// exposition of the registry) and the net/http/pprof profiling
+// endpoints, mounted on a private mux so importing this package
+// never pollutes http.DefaultServeMux.
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns a mux serving /metrics for reg plus the standard
+// pprof endpoints under /debug/pprof/. reg may be nil (an empty
+// exposition is served).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":9090", "127.0.0.1:0", ...) and serves
+// Handler(reg) on it in a background goroutine. It returns the
+// server (Close it to stop) and the concrete listen address, which
+// matters when addr requested port 0.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

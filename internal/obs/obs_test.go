@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "Requests."); again != c {
+		t.Fatalf("re-registration returned a different counter handle")
+	}
+
+	g := r.Gauge("depth", "Depth.")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	labelled := r.Counter("requests_total", "Requests.", Label{Name: "cell", Value: "1"})
+	if labelled == c {
+		t.Fatalf("labelled series shares the unlabelled handle")
+	}
+	labelled.Inc()
+	if c.Value() != 5 || labelled.Value() != 1 {
+		t.Fatalf("series values crossed: base=%d labelled=%d", c.Value(), labelled.Value())
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "X.", Label{Name: "b", Value: "2"}, Label{Name: "a", Value: "1"})
+	b := r.Counter("x_total", "X.", Label{Name: "a", Value: "1"}, Label{Name: "b", Value: "2"})
+	if a != b {
+		t.Fatalf("label order created distinct series")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	var want float64
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+		want += v
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	snap := r.Snapshot()
+	ser := snap.Family("latency_seconds").Series[0]
+	wantBuckets := []uint64{2, 1, 1, 2} // le 0.01: {0.005, 0.01}; le 0.1: {0.05}; le 1: {0.5}; +Inf: {2, 3}
+	for i, b := range ser.Buckets {
+		if b != wantBuckets[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, b, wantBuckets[i], ser.Buckets)
+		}
+	}
+}
+
+func TestStageTimers(t *testing.T) {
+	r := New()
+	st := r.Stage("interval/schedule", Label{Name: "cell", Value: "0"})
+	t0 := st.Start()
+	if t0.IsZero() {
+		t.Fatalf("enabled stage returned zero start time")
+	}
+	st.ObserveSince(t0)
+	st.Observe(3 * time.Millisecond)
+	if got := st.Histogram().Count(); got != 2 {
+		t.Fatalf("stage count = %d, want 2", got)
+	}
+	ser := r.Snapshot().Family(StageFamily).Series[0]
+	if ser.Label("stage") != "interval/schedule" || ser.Label("cell") != "0" {
+		t.Fatalf("stage labels = %v", ser.Labels)
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "A.")
+	g := r.Gauge("b", "B.")
+	h := r.Histogram("c", "C.", DurationBuckets)
+	st := r.Stage("warmup")
+	if c != nil || g != nil || h != nil || st != nil {
+		t.Fatalf("nil registry handed out non-nil handles")
+	}
+	r.CounterFunc("d_total", "D.", func() uint64 { return 1 })
+	r.GaugeFunc("e", "E.", func() float64 { return 1 })
+
+	// All no-ops, no panics.
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	t0 := st.Start()
+	if !t0.IsZero() {
+		t.Fatalf("nil stage Start returned a real time")
+	}
+	st.ObserveSince(t0)
+	st.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil handles accumulated state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Families) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry exposition not empty: %q", sb.String())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := New()
+	var n uint64
+	r.CounterFunc("ext_total", "External.", func() uint64 { return n })
+	r.GaugeFunc("ext_bytes", "External bytes.", func() float64 { return float64(n) * 2 })
+	n = 21
+	snap := r.Snapshot()
+	if got := snap.Family("ext_total").Series[0].Value; got != 21 {
+		t.Fatalf("counter func value = %v, want 21", got)
+	}
+	if got := snap.Family("ext_bytes").Series[0].Value; got != 42 {
+		t.Fatalf("gauge func value = %v, want 42", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func() *Snapshot {
+		r := New()
+		r.Counter("z_total", "Z.")
+		r.Counter("a_total", "A.", Label{Name: "cell", Value: "2"})
+		r.Counter("a_total", "A.", Label{Name: "cell", Value: "0"})
+		r.Gauge("m", "M.")
+		r.Stage("s1")
+		r.Stage("s0")
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	if len(a.Families) != 4 {
+		t.Fatalf("families = %d, want 4", len(a.Families))
+	}
+	for i, f := range a.Families {
+		if f.Name != b.Families[i].Name {
+			t.Fatalf("family order differs at %d: %s vs %s", i, f.Name, b.Families[i].Name)
+		}
+		for j, s := range f.Series {
+			if labelKey(s.Labels) != labelKey(b.Families[i].Series[j].Labels) {
+				t.Fatalf("series order differs in %s at %d", f.Name, j)
+			}
+		}
+	}
+	names := []string{a.Families[0].Name, a.Families[1].Name, a.Families[2].Name, a.Families[3].Name}
+	want := []string{"a_total", StageFamily, "m", "z_total"}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("sorted family names = %v, want %v", names, want)
+		}
+	}
+	cells := a.Family("a_total")
+	if cells.Series[0].Label("cell") != "0" || cells.Series[1].Label("cell") != "2" {
+		t.Fatalf("series not sorted by labels: %+v", cells.Series)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("hits_total", "Hits.", Label{Name: "cell", Value: "0"}).Add(17)
+	r.Gauge("bytes", "Bytes.").Set(4096)
+	r.Stage("interval/stream").Observe(5 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	snap, err := ReadSnapshot(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got := snap.Family("hits_total").Series[0].Value; got != 17 {
+		t.Fatalf("round-tripped counter = %v, want 17", got)
+	}
+	st := snap.Family(StageFamily).Series[0]
+	if st.Count != 1 || st.Sum <= 0 || len(st.Buckets) != len(DurationBuckets)+1 {
+		t.Fatalf("round-tripped stage series = %+v", st)
+	}
+}
+
+// TestConcurrentUpdatesAndSnapshots drives all handle types from
+// several goroutines while snapshots and expositions are taken
+// concurrently — the race job runs this package, so this is the
+// race-safety gate for live HTTP export.
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", DurationBuckets)
+	st := r.Stage("s")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+				st.Observe(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+		r.WritePrometheus(&strings.Builder{})
+		// Late registration against live updates.
+		r.Counter("late_total", "Late.").Inc()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestHotPathAllocs is the zero-alloc gate for every hot-path
+// operation, enabled and disabled.
+func TestHotPathAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", DurationBuckets)
+	st := r.Stage("s")
+	var nilC *Counter
+	var nilSt *Stage
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter-inc", func() { c.Inc() }},
+		{"counter-add", func() { c.Add(3) }},
+		{"gauge-set", func() { g.Set(1.5) }},
+		{"gauge-add", func() { g.Add(0.5) }},
+		{"histogram-observe", func() { h.Observe(0.003) }},
+		{"stage-span", func() { st.ObserveSince(st.Start()) }},
+		{"stage-observe", func() { st.Observe(time.Millisecond) }},
+		{"nil-counter", func() { nilC.Inc() }},
+		{"nil-stage", func() { nilSt.ObserveSince(nilSt.Start()) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, avg)
+		}
+	}
+}

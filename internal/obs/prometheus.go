@@ -1,0 +1,126 @@
+// Prometheus text exposition (format version 0.0.4) over the sorted
+// snapshot. Hand-rolled on purpose: the format is a page of spec and
+// pulling in client_golang would drag a dependency tree into a
+// repository that is deliberately stdlib-only.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the registry's current snapshot in the
+// Prometheus text exposition format. Output is deterministic for a
+// given snapshot (families sorted by name, series by labels).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes an already-taken snapshot in the Prometheus
+// text exposition format.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range s.Families {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Kind)
+		bw.WriteByte('\n')
+		for _, ser := range f.Series {
+			if f.Kind == "histogram" {
+				writeHistogramSeries(bw, f.Name, &ser)
+				continue
+			}
+			bw.WriteString(f.Name)
+			writeLabels(bw, ser.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(ser.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries emits the cumulative _bucket lines plus _sum
+// and _count for one histogram series.
+func writeHistogramSeries(bw *bufio.Writer, name string, ser *Series) {
+	var cum uint64
+	for i, b := range ser.Buckets {
+		cum += b
+		le := "+Inf"
+		if i < len(ser.Bounds) {
+			le = formatValue(ser.Bounds[i])
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, ser.Labels, le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, ser.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(ser.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, ser.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(ser.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels writes the {a="b",...} label block; le, when non-empty,
+// is appended as the histogram bucket bound label.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Name)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// formatValue renders a sample value: integers print without a
+// decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

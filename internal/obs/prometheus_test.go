@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one series of every kind and
+// fully deterministic values (durations injected, never measured).
+func goldenRegistry() *Registry {
+	r := New()
+	hits := r.Counter("dtmsvs_edge_cache_hits_total", "Edge cache lookups served locally.", Label{Name: "cell", Value: "0"})
+	hits.Add(42)
+	r.Counter("dtmsvs_edge_cache_hits_total", "Edge cache lookups served locally.", Label{Name: "cell", Value: "1"}).Add(7)
+	r.Gauge("dtmsvs_checkpoint_bytes", "Size of the last checkpoint written.").Set(16384)
+	r.GaugeFunc("dtmsvs_edge_cache_used_bytes", "Bytes resident in the edge cache.", func() float64 { return 1.5e6 }, Label{Name: "cell", Value: "0"})
+	esc := r.Counter("dtmsvs_escapes_total", "Escapes.", Label{Name: "path", Value: "a\\b\"c\nd"})
+	esc.Inc()
+	st := r.Stage("interval/schedule", Label{Name: "cell", Value: "0"})
+	st.Observe(350 * time.Microsecond)
+	st.Observe(2 * time.Millisecond)
+	st.Observe(90 * time.Second)
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format against
+// testdata/exposition.golden. Regenerate with:
+//
+//	go test ./internal/obs -run Golden -update
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusFormatDetails(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dtmsvs_edge_cache_hits_total counter\n",
+		`dtmsvs_edge_cache_hits_total{cell="0"} 42` + "\n",
+		"# TYPE " + StageFamily + " histogram\n",
+		StageFamily + `_bucket{cell="0",stage="interval/schedule",le="+Inf"} 3` + "\n",
+		StageFamily + `_count{cell="0",stage="interval/schedule"} 3` + "\n",
+		`dtmsvs_escapes_total{path="a\\b\"c\nd"} 1` + "\n",
+		"dtmsvs_edge_cache_used_bytes{cell=\"0\"} 1.5e+06\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing and end at the
+	// count: 350µs ≤ 0.0005, 2ms ≤ 0.0025, 90s overflows into +Inf.
+	if !strings.Contains(out, `,le="0.0005"} 1`+"\n") {
+		t.Errorf("350µs observation not cumulative at le=0.0005:\n%s", out)
+	}
+	if !strings.Contains(out, `,le="0.0025"} 2`+"\n") {
+		t.Errorf("2ms observation not cumulative at le=0.0025:\n%s", out)
+	}
+	if !strings.Contains(out, `,le="60"} 2`+"\n") {
+		t.Errorf("90s observation leaked below +Inf:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Snapshot: the deterministic, sorted read side of the registry.
+// Snapshot() materializes every family and series into plain structs
+// — families ordered by name, series by label signature — which is
+// what the Prometheus writer, the JSON end-of-run dump and the
+// dtreport -timings table all consume.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of a registry's contents.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Family is one metric family in a snapshot.
+type Family struct {
+	Name   string   `json:"name"`
+	Help   string   `json:"help,omitempty"`
+	Kind   string   `json:"kind"`
+	Series []Series `json:"series"`
+}
+
+// Series is one labelled series in a snapshot. Counters and gauges
+// use Value; histograms use Count/Sum/Bounds/Buckets (Buckets holds
+// per-bucket, non-cumulative counts; its length is len(Bounds)+1,
+// the final entry being the implicit +Inf bucket).
+type Series struct {
+	Labels  []Label   `json:"labels,omitempty"`
+	Value   float64   `json:"value,omitempty"`
+	Count   uint64    `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s *Series) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family returns the named family of the snapshot, or nil.
+func (s *Snapshot) Family(name string) *Family {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot copies the registry into deterministic sorted order. Safe
+// to call concurrently with hot-path updates; each series is read
+// atomically (histogram bucket/count/sum triples are read without a
+// global lock, so a concurrent Observe may be visible in count but
+// not yet in sum — consistent enough for live export). A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := Family{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, k := range keys {
+			s := f.series[k]
+			ser := Series{Labels: append([]Label(nil), s.labels...)}
+			switch {
+			case s.counter != nil:
+				ser.Value = float64(s.counter.Value())
+			case s.counterFn != nil:
+				ser.Value = float64(s.counterFn())
+			case s.gauge != nil:
+				ser.Value = s.gauge.Value()
+			case s.gaugeFn != nil:
+				ser.Value = s.gaugeFn()
+			case s.hist != nil:
+				ser.Count = s.hist.Count()
+				ser.Sum = s.hist.Sum()
+				ser.Bounds = append([]float64(nil), s.hist.bounds...)
+				ser.Buckets = make([]uint64, len(s.hist.buckets))
+				for i := range s.hist.buckets {
+					ser.Buckets[i] = s.hist.buckets[i].Load()
+				}
+			}
+			out.Series = append(out.Series, ser)
+		}
+		snap.Families = append(snap.Families, out)
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// WriteJSON writes the registry's current snapshot as indented JSON
+// — the -metrics-out format consumed by dtreport -timings.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ReadSnapshot parses a snapshot previously written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -3,6 +3,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Crew is the persistent sibling of Pool: a fixed team of parked
@@ -27,6 +28,11 @@ type Crew struct {
 	wg      sync.WaitGroup
 	fn      func(w int)
 	closed  bool
+
+	// Utilization counters, atomic so a live metrics exporter can
+	// read them from another goroutine mid-run.
+	runs  atomic.Uint64
+	wakes atomic.Uint64
 }
 
 // NewCrew returns a crew with the given worker bound; workers <= 0
@@ -48,6 +54,7 @@ func (c *Crew) Workers() int { return c.workers }
 // the duration of the call; passing the same func value every time
 // keeps Run allocation-free.
 func (c *Crew) Run(n int, fn func(w int)) {
+	c.runs.Add(1)
 	if n > c.workers {
 		n = c.workers
 	}
@@ -56,6 +63,7 @@ func (c *Crew) Run(n int, fn func(w int)) {
 		return
 	}
 	c.once.Do(c.spawn)
+	c.wakes.Add(uint64(n - 1))
 	c.fn = fn
 	c.wg.Add(n - 1)
 	for w := 1; w < n; w++ {
@@ -80,6 +88,13 @@ func (c *Crew) spawn() {
 			}
 		}(w, ch)
 	}
+}
+
+// Stats reports the crew's lifetime utilization: fan-outs dispatched
+// (including those that degraded to sequential) and parked-worker
+// wake-ups. Safe to call concurrently with Run.
+func (c *Crew) Stats() (runs, wakes uint64) {
+	return c.runs.Load(), c.wakes.Load()
 }
 
 // Close releases the crew's workers; a Run after Close degrades to

@@ -488,6 +488,10 @@ type Simulation struct {
 	prevAssign []int
 	stability  []float64
 	churned    int
+
+	// met holds the stage timers and counters mounted by SetMetrics;
+	// the zero value records nothing.
+	met engineMetrics
 }
 
 // New constructs a simulation.
@@ -1246,6 +1250,7 @@ func (s *Simulation) WarmupInterval() error {
 // per-user state indeterminate — callers must stop the run (the
 // session layer marks itself failed).
 func (s *Simulation) WarmupIntervalContext(ctx context.Context) error {
+	t0 := s.met.warmup.Start()
 	if err := s.collectTicks(ctx); err != nil {
 		return err
 	}
@@ -1253,6 +1258,7 @@ func (s *Simulation) WarmupIntervalContext(ctx context.Context) error {
 		return err
 	}
 	s.closeInterval()
+	s.met.warmup.ObserveSince(t0)
 	return nil
 }
 
@@ -1280,6 +1286,7 @@ func (s *Simulation) Train() error {
 	if len(s.users) == 0 {
 		return nil
 	}
+	t0 := s.met.train.Start()
 	twins := make([]*udt.Twin, len(s.users))
 	for i, u := range s.users {
 		twins[i] = u.twin
@@ -1292,6 +1299,7 @@ func (s *Simulation) Train() error {
 			return fmt.Errorf("train agent: %w", err)
 		}
 	}
+	s.met.train.ObserveSince(t0)
 	return nil
 }
 
@@ -1303,10 +1311,16 @@ func (s *Simulation) BuildGroups() error {
 
 // BuildGroupsContext is BuildGroups under ctx.
 func (s *Simulation) BuildGroupsContext(ctx context.Context) error {
+	t0 := s.met.build.Start()
 	if err := s.rebuildGroups(); err != nil {
 		return err
 	}
-	return s.abstractGroups(ctx)
+	if err := s.abstractGroups(ctx); err != nil {
+		return err
+	}
+	s.met.build.ObserveSince(t0)
+	s.met.groups.Set(float64(len(s.groups)))
+	return nil
 }
 
 // NumGroups reports the current number of multicast groups.
@@ -1412,6 +1426,7 @@ func (s *Simulation) RunIntervalContext(ctx context.Context, interval int, trace
 		skip      bool
 	}
 	preds := make([]pendingPred, len(s.groups))
+	tSched := s.met.schedule.Start()
 	s.predictor.CacheHitRate = s.server.Cache().HitRate()
 	if err := s.pool.ForContext(ctx, len(s.groups), func(gi int) error {
 		g := s.groups[gi]
@@ -1480,12 +1495,16 @@ func (s *Simulation) RunIntervalContext(ctx context.Context, interval int, trace
 			preds[g.id] = p
 		}
 	}
+	s.met.schedule.ObserveSince(tSched)
 
 	// 2. Simulate the interval: channel/mobility collection, then
 	//    multicast streaming with real swipes.
+	tTicks := s.met.tickCollect.Start()
 	if err := s.collectTicks(ctx); err != nil {
 		return err
 	}
+	s.met.tickCollect.ObserveSince(tTicks)
+	tStream := s.met.stream.Start()
 	s.server.ResetInterval()
 	for _, g := range s.groups {
 		p := preds[g.id]
@@ -1530,27 +1549,37 @@ func (s *Simulation) RunIntervalContext(ctx context.Context, interval int, trace
 			BitrateBps:         p.rep.BitrateBps,
 		})
 	}
+	s.met.stream.ObserveSince(tStream)
 
 	// 3. Re-abstract group profiles from this interval's data.
+	tAbs := s.met.abstract.Start()
 	if err := s.abstractGroups(ctx); err != nil {
 		return err
 	}
+	s.met.abstract.ObserveSince(tAbs)
 
 	// 4. User churn, then periodic regrouping to track dynamics.
+	tChurn := s.met.churn.Start()
 	churned, cerr := s.churnUsers(ctx)
 	if cerr != nil {
 		return cerr
 	}
 	s.churned += churned
+	s.met.churn.ObserveSince(tChurn)
+	s.met.churned.Add(uint64(churned))
 	if s.cfg.RegroupEvery > 0 && (interval+1)%s.cfg.RegroupEvery == 0 && interval+1 < s.cfg.NumIntervals {
+		tRegroup := s.met.regroup.Start()
 		if err := s.rebuildGroups(); err != nil {
 			return err
 		}
 		if err := s.abstractGroups(ctx); err != nil {
 			return err
 		}
+		s.met.regroup.ObserveSince(tRegroup)
 	}
 
 	s.closeInterval()
+	s.met.intervals.Inc()
+	s.met.groups.Set(float64(len(s.groups)))
 	return nil
 }

@@ -1,0 +1,92 @@
+// Session-level observability. WithMetrics mounts an obs.Registry on
+// a session at Open time: the engine registers its stage timers and
+// component counters (per-cell in a cluster run), and the session
+// itself tracks the step span, sink write/flush spans and retries,
+// and checkpoint encode cost. The registry is read-side safe for
+// live HTTP export (obs.Serve / obs.Handler) while the session steps.
+//
+// Metrics never perturb the run: all instrumentation is out-of-band
+// wall-clock and counter state, so traces are bit-identical with a
+// registry mounted or not, and the steady-state Step path stays
+// allocation-free.
+package dtmsvs
+
+import (
+	"io"
+
+	"dtmsvs/internal/obs"
+)
+
+// MetricsRegistry is the registry type accepted by WithMetrics,
+// re-exported so callers outside the module tree can hold one
+// without importing internal packages.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry to mount with
+// WithMetrics. Export it live with obs.Serve (see cmd/dtsim
+// -metrics-addr) or snapshot it with its WriteJSON/WritePrometheus
+// methods.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// WithMetrics mounts reg on the session: engine stage timers
+// (prologue and per-interval phases, per-cell in cluster runs), edge
+// cache and GEMM/crew utilization counters, session step spans, sink
+// write/flush spans and retry counters, and checkpoint size and
+// encode duration. A nil reg leaves the session un-instrumented; the
+// hot path then pays only nil checks.
+func WithMetrics(reg *MetricsRegistry) SessionOption {
+	return func(o *sessionOptions) { o.metrics = reg }
+}
+
+// sessionMetrics holds the session layer's own handles. The zero
+// value (no registry) is fully inert.
+type sessionMetrics struct {
+	step       *obs.Stage
+	sinkWrite  *obs.Stage
+	sinkFlush  *obs.Stage
+	ckptEncode *obs.Stage
+
+	steps            *obs.Counter
+	sinkWriteRetries *obs.Counter
+	sinkFlushRetries *obs.Counter
+	sinkErrors       *obs.Counter
+	ckpts            *obs.Counter
+	ckptBytes        *obs.Gauge
+}
+
+func newSessionMetrics(reg *obs.Registry) sessionMetrics {
+	if reg == nil {
+		return sessionMetrics{}
+	}
+	return sessionMetrics{
+		step:       reg.Stage("step"),
+		sinkWrite:  reg.Stage("interval/sink_write"),
+		sinkFlush:  reg.Stage("interval/sink_flush"),
+		ckptEncode: reg.Stage("checkpoint/encode"),
+		steps: reg.Counter("dtmsvs_steps_total",
+			"Scheduling intervals completed by the session."),
+		sinkWriteRetries: reg.Counter("dtmsvs_sink_write_retries_total",
+			"Transient sink WriteRecord failures that were retried."),
+		sinkFlushRetries: reg.Counter("dtmsvs_sink_flush_retries_total",
+			"Transient sink Flush failures that were retried."),
+		sinkErrors: reg.Counter("dtmsvs_sink_errors_total",
+			"Sink failures that survived the retry budget and failed the step."),
+		ckpts: reg.Counter("dtmsvs_checkpoints_total",
+			"Checkpoints encoded by the session."),
+		ckptBytes: reg.Gauge("dtmsvs_checkpoint_bytes",
+			"Size of the most recent checkpoint in bytes."),
+	}
+}
+
+// countingWriter counts the bytes that pass through to w, so the
+// checkpoint path can report encoded size without buffering.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -4,7 +4,7 @@ committed baseline and fail on significant regressions.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--wall 1.3] [--allocs 1.5]
-                     [--allocs-only]
+                     [--allocs-only] [--overhead-gate ON:OFF:RATIO ...]
 
 Both inputs are the JSON documents produced by scripts/benchjson.py.
 A benchmark regresses when its wall time (ns_per_op) exceeds
@@ -16,6 +16,13 @@ ones get renamed — neither must fail the gate).
 --allocs-only disables the wall-time gate entirely: allocation counts
 are deterministic per binary, so this mode is safe on shared or
 heterogeneous CI hardware where wall-clock ratios are noise.
+
+--overhead-gate ON:OFF:RATIO compares two benchmarks *within the
+current run* — no baseline involved, so it is immune to hardware
+drift. The ON bench's wall time must stay within RATIO x the OFF
+bench's (skipped under --allocs-only) and its allocations within
+RATIO x in every mode. This pins instrumented-vs-bare pairs like
+BenchmarkStepInstrumented/{on,off}. Repeatable.
 
 Exit status: 0 clean, 1 regression found, 2 usage/IO error.
 """
@@ -45,6 +52,11 @@ def main():
     ap.add_argument("--allocs-only", action="store_true",
                     help="gate on allocations only (hardware-safe; "
                          "wall time is reported but never fails)")
+    ap.add_argument("--overhead-gate", action="append", default=[],
+                    metavar="ON:OFF:RATIO",
+                    help="pair-gate within the current run: bench ON must "
+                         "stay within RATIO x bench OFF (wall unless "
+                         "--allocs-only; allocations always)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -94,6 +106,49 @@ def main():
         print(f"\n{len(added)} added / {len(removed)} removed "
               "benchmark(s) skipped by the gate "
               "(regenerate the baseline to adopt them)")
+
+    for spec in args.overhead_gate:
+        parts = spec.rsplit(":", 1)
+        names = parts[0].split(":") if len(parts) == 2 else []
+        if len(parts) != 2 or len(names) != 2:
+            print(f"bench_compare: bad --overhead-gate spec {spec!r} "
+                  "(want ON:OFF:RATIO)", file=sys.stderr)
+            sys.exit(2)
+        on_name, off_name = names
+        try:
+            limit = float(parts[1])
+        except ValueError:
+            print(f"bench_compare: bad --overhead-gate ratio in {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        on, off = cur.get(on_name), cur.get(off_name)
+        if on is None or off is None:
+            # The pair lives in the current run by construction; a
+            # missing side means the bench was renamed or dropped, and
+            # silently passing would disable the gate forever.
+            print(f"bench_compare: --overhead-gate needs both {on_name} "
+                  f"and {off_name} in {args.current}", file=sys.stderr)
+            sys.exit(2)
+        keys = [("allocs_per_op", "allocs")]
+        if not args.allocs_only:
+            keys.insert(0, ("ns_per_op", "wall"))
+        for key, label in keys:
+            ov, fv = on.get(key), off.get(key)
+            if ov is None or fv is None:
+                continue
+            if fv == 0:
+                if ov > 0:
+                    regressions.append(
+                        f"{on_name}: {label} {ov:.0f} vs zero in "
+                        f"{off_name} (overhead gate)")
+                continue
+            ratio = ov / fv
+            print(f"overhead {label:<6} {on_name} / {off_name} = "
+                  f"{ratio:.3f}x (limit {limit:.2f}x)")
+            if ratio > limit:
+                regressions.append(
+                    f"{on_name}: {label} overhead {ratio:.3f}x over "
+                    f"{off_name} exceeds {limit:.2f}x")
 
     if regressions:
         print("\nREGRESSIONS:", file=sys.stderr)

@@ -53,6 +53,13 @@ var ErrSink = errors.New("dtmsvs: sink failure")
 // has run.
 var ErrSessionDone = errors.New("dtmsvs: session done")
 
+// ErrObserver wraps a panic raised by a WithObserver or WithProgress
+// callback. The interval it interrupted had already completed and
+// flushed, so the session is NOT failed: the panic is surfaced as an
+// error (with the interval's report) and the next Step continues the
+// run. Match with errors.Is(err, ErrObserver).
+var ErrObserver = errors.New("dtmsvs: observer panicked")
+
 // ErrEmptyScenario is returned by Open, OpenCluster and the Run shims
 // for degenerate scenarios (zero users or zero intervals) that would
 // otherwise produce an empty trace with undefined summary fields. It
@@ -131,6 +138,15 @@ type IntervalReport struct {
 	Handovers int
 	// ChurnedUsers is the cumulative count of users replaced by churn.
 	ChurnedUsers int
+	// StepDuration is the wall-clock time of the Step call that
+	// produced this report, including sink writes and flushes (and the
+	// prologue, on the first report). Always measured, so WithObserver
+	// users get timing without mounting a metrics registry.
+	StepDuration time.Duration
+	// PrologueDuration is the wall-clock time of the warm-up /
+	// training / group-construction prologue. Non-zero only on the
+	// report of the Step that ran prologue work (normally the first).
+	PrologueDuration time.Duration
 }
 
 // Session is the interval-stepped handle on a running scenario. Both
@@ -176,6 +192,9 @@ type sessionOptions struct {
 	// delay before the first retry, doubling per attempt.
 	sinkAttempts int
 	sinkBackoff  time.Duration
+	// metrics, when non-nil, is mounted on the engine and session at
+	// Open time (see WithMetrics in metrics.go).
+	metrics *MetricsRegistry
 }
 
 // WithSink streams every interval's records into sink (flushed at
@@ -232,6 +251,9 @@ type stepper interface {
 	// the engine stays readable and any later training GEMMs run
 	// sequentially with identical results. Idempotent.
 	close()
+	// mount attaches a metrics registry to the engine (stage timers,
+	// cache/GEMM counters; per-cell labels in the cluster engine).
+	mount(reg *MetricsRegistry)
 	// kind names the engine in checkpoint headers ("sim"/"cluster").
 	kind() string
 	// fingerprint hashes the defaulted configuration for the
@@ -247,6 +269,7 @@ type stepper interface {
 type session struct {
 	eng        stepper
 	opts       sessionOptions
+	met        sessionMetrics
 	next       int
 	warmupDone int
 	trained    bool
@@ -285,6 +308,12 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 		}
 		return zero, err
 	}
+	// Wall-clock timing is always on (IntervalReport carries it even
+	// without a registry); it is out-of-band, so the trace bytes are
+	// unaffected.
+	start := time.Now()
+	var prologue time.Duration
+	ranPrologue := s.warmupDone < s.eng.warmupIntervals() || !s.trained
 	// Prologue, resumable at every internal boundary.
 	for s.warmupDone < s.eng.warmupIntervals() {
 		if err := ctx.Err(); err != nil {
@@ -303,6 +332,9 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 			return zero, s.fail(err)
 		}
 		s.trained = true
+	}
+	if ranPrologue {
+		prologue = time.Since(start)
 	}
 	recs, err := s.eng.stepInterval(ctx, s.next)
 	if err != nil {
@@ -323,12 +355,15 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 		rep.ActualRBs += r.ActualRBs
 	}
 	if s.opts.sink != nil {
+		tWrite := s.met.sinkWrite.Start()
 		for _, r := range recs {
 			if werr := s.writeRecord(r); werr != nil {
 				s.sinkBroken = true
+				s.met.sinkErrors.Inc()
 				return zero, s.fail(fmt.Errorf("%w: interval %d: %w", ErrSink, s.next, werr))
 			}
 		}
+		s.met.sinkWrite.ObserveSince(tWrite)
 	}
 	if ferr := s.flush(); ferr != nil {
 		return zero, s.fail(ferr)
@@ -338,13 +373,33 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 		s.finished = true
 		s.eng.finish()
 	}
+	rep.StepDuration = time.Since(start)
+	rep.PrologueDuration = prologue
+	s.met.step.Observe(rep.StepDuration)
+	s.met.steps.Inc()
+	if nerr := s.notify(rep); nerr != nil {
+		return rep, nerr
+	}
+	return rep, nil
+}
+
+// notify runs the observers and the progress callback, converting a
+// callback panic into an ErrObserver-wrapped error. The interval had
+// already completed and flushed when the panic fired, so the caller
+// surfaces the error without failing the session.
+func (s *session) notify(rep IntervalReport) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: interval %d: %v", ErrObserver, rep.Interval, r)
+		}
+	}()
 	for _, ob := range s.opts.observers {
 		ob(rep)
 	}
 	if s.opts.progress != nil {
 		s.opts.progress(s.next, s.eng.intervals())
 	}
-	return rep, nil
+	return nil
 }
 
 // Close implements Session. The first Close flushes and releases;
@@ -387,6 +442,7 @@ func (s *session) backoff(attempt int) {
 func (s *session) writeRecord(r TraceRecord) error {
 	err := s.opts.sink.WriteRecord(r)
 	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
+		s.met.sinkWriteRetries.Inc()
 		s.backoff(attempt)
 		err = s.opts.sink.WriteRecord(r)
 	}
@@ -397,8 +453,10 @@ func (s *session) flush() error {
 	if s.opts.sink == nil || s.sinkBroken {
 		return nil
 	}
+	tFlush := s.met.sinkFlush.Start()
 	err := s.opts.sink.Flush()
 	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
+		s.met.sinkFlushRetries.Inc()
 		s.backoff(attempt)
 		err = s.opts.sink.Flush()
 	}
@@ -407,8 +465,10 @@ func (s *session) flush() error {
 		// backing store; pushing more bytes could tear a record, so
 		// the sink is dead to this session from here on.
 		s.sinkBroken = true
+		s.met.sinkErrors.Inc()
 		return fmt.Errorf("%w: flush: %w", ErrSink, err)
 	}
+	s.met.sinkFlush.ObserveSince(tFlush)
 	return nil
 }
 
@@ -470,6 +530,8 @@ func (a *simStepper) stepInterval(ctx context.Context, interval int) ([]TraceRec
 func (a *simStepper) finish() { a.eng.FinishTrace(a.trace) }
 func (a *simStepper) close()  { a.eng.Close() }
 
+func (a *simStepper) mount(reg *MetricsRegistry) { a.eng.SetMetrics(reg) }
+
 func (a *simStepper) kind() string { return "sim" }
 
 func (a *simStepper) fingerprint() (uint64, error) { return checkpoint.Fingerprint(a.cfg) }
@@ -506,7 +568,10 @@ func Open(cfg Config, opts ...SessionOption) (*SimSession, error) {
 		trace:  sim.NewTrace(),
 		retain: o.sink == nil,
 	}
-	return &SimSession{session: session{eng: st, opts: o}, st: st}, nil
+	if o.metrics != nil {
+		st.mount(o.metrics)
+	}
+	return &SimSession{session: session{eng: st, opts: o, met: newSessionMetrics(o.metrics)}, st: st}, nil
 }
 
 // clusterStepper adapts the sharded cluster engine to the session
@@ -540,6 +605,8 @@ func (a *clusterStepper) stepInterval(ctx context.Context, interval int) ([]Trac
 
 func (a *clusterStepper) finish() { a.trace = a.eng.Finish() }
 func (a *clusterStepper) close()  { a.eng.Close() }
+
+func (a *clusterStepper) mount(reg *MetricsRegistry) { a.eng.SetMetrics(reg) }
 
 func (a *clusterStepper) kind() string { return "cluster" }
 
@@ -579,7 +646,10 @@ func OpenCluster(cfg ClusterConfig, opts ...SessionOption) (*ClusterSession, err
 	o := buildOptions(opts)
 	eng.SetRetainRecords(o.sink == nil)
 	st := &clusterStepper{eng: eng, cfg: eng.Config()}
-	return &ClusterSession{session: session{eng: st, opts: o}, st: st}, nil
+	if o.metrics != nil {
+		st.mount(o.metrics)
+	}
+	return &ClusterSession{session: session{eng: st, opts: o, met: newSessionMetrics(o.metrics)}, st: st}, nil
 }
 
 // ReadTraceRecordsNDJSON decodes the newline-delimited JSON stream an
