@@ -36,7 +36,46 @@ func reportTimings(w io.Writer, path string) error {
 	if err := timingsCacheTable(w, snap); err != nil {
 		return err
 	}
+	if err := timingsFailureTable(w, snap); err != nil {
+		return err
+	}
 	return timingsCounterTable(w, snap)
+}
+
+// timingsFailureTable renders the cluster failure-model counters as
+// their own section when the run saw injected cell failures; healthy
+// snapshots skip it (the zero-valued families still appear in the
+// generic counter table).
+func timingsFailureTable(w io.Writer, snap *obs.Snapshot) error {
+	failures := snap.Family("dtmsvs_cell_failures_total")
+	if failures == nil || len(failures.Series) == 0 || failures.Series[0].Value == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "## Failure and degradation\n\n")
+	t, err := cli.NewTable("metric", "value")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{
+		"dtmsvs_cell_failures_total",
+		"dtmsvs_cell_revivals_total",
+		"dtmsvs_evacuated_twins_total",
+		"dtmsvs_degraded_intervals_total",
+		"dtmsvs_cells_down",
+	} {
+		fam := snap.Family(name)
+		if fam == nil || len(fam.Series) == 0 {
+			continue
+		}
+		if err := t.AddRow(name, strconv.FormatFloat(fam.Series[0].Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	if err := t.WriteMarkdown(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // timingsStageTable renders the stage-duration histogram family:

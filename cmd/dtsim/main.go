@@ -30,6 +30,18 @@
 //	dtsim -users 100 -intervals 24 -out part1.ndjson -format ndjson -checkpoint run.ckpt
 //	dtsim -users 100 -intervals 24 -out part2.ndjson -format ndjson -resume run.ckpt
 //
+// Failure injection (cluster engine only): -fail-cell N -fail-at K
+// quarantines cell N at the start of interval K — its twins are
+// evacuated to the surviving cells and the run continues in degraded
+// mode; -revive-at R brings the cell back empty and cold at interval
+// R. -fault-seed S derives the whole plan (cell, failure interval,
+// optional revival) deterministically from S instead. Degraded runs
+// are bit-reproducible: the same flags always fail the same cell at
+// the same boundary with the same evacuation.
+//
+//	dtsim -users 200 -bs 4 -shards -1 -intervals 12 -fail-cell 1 -fail-at 3 -revive-at 8
+//	dtsim -users 200 -bs 4 -shards -1 -intervals 12 -fault-seed 7
+//
 // Observability: -metrics-addr :9090 serves live Prometheus metrics
 // on /metrics (per-stage duration histograms, per-cell cache
 // counters, sink retry counters, ...) plus net/http/pprof profiling
@@ -83,6 +95,10 @@ func run() (err error) {
 		resume    = flag.String("resume", "", "resume from a checkpoint file written under identical flags (trace output holds the resumed suffix)")
 		metAddr   = flag.String("metrics-addr", "", `serve live Prometheus /metrics and /debug/pprof on this address (e.g. ":9090") for the duration of the run`)
 		metOut    = flag.String("metrics-out", "", "write the end-of-run metrics snapshot to this file as JSON (render with dtreport -timings)")
+		failCell  = flag.Int("fail-cell", -1, "cluster: quarantine this cell at -fail-at and evacuate its twins (-1 = no injected failure; requires -shards)")
+		failAt    = flag.Int("fail-at", 0, "with -fail-cell, the 0-based interval boundary at which the cell dies")
+		reviveAt  = flag.Int("revive-at", -1, "with -fail-cell, the interval boundary at which the cell returns (-1 = never)")
+		faultSeed = flag.Int64("fault-seed", 0, "derive a chaos plan (which cell fails when, and whether it revives) from this seed instead of -fail-cell/-fail-at/-revive-at (0 = none; requires -shards)")
 	)
 	flag.Parse()
 	if *ckptEvery < 1 {
@@ -148,14 +164,43 @@ func run() (err error) {
 	}
 	if *progress {
 		opts = append(opts, dtmsvs.WithObserver(func(rep dtmsvs.IntervalReport) {
-			fmt.Fprintf(os.Stderr, "dtsim: interval %d: %d groups, predicted %.1f RBs, actual %.1f RBs\n",
-				rep.Interval, rep.Groups, rep.PredictedRBs, rep.ActualRBs)
+			degraded := ""
+			if rep.CellsDown > 0 {
+				degraded = fmt.Sprintf(" [degraded: %d cell(s) down, %d twin(s) evacuated]",
+					rep.CellsDown, rep.EvacuatedTwins)
+			}
+			fmt.Fprintf(os.Stderr, "dtsim: interval %d: %d groups, predicted %.1f RBs, actual %.1f RBs%s\n",
+				rep.Interval, rep.Groups, rep.PredictedRBs, rep.ActualRBs, degraded)
 		}))
 	}
 	// Accuracy folds online from the interval reports, so the summary
 	// works even when a streaming sink owns the records.
 	var acc dtmsvs.AccuracyTracker
 	opts = append(opts, dtmsvs.WithObserver(acc.Observe))
+
+	// Failure injection: an explicit -fail-cell schedule or a
+	// seed-derived chaos plan. Either implies the degrade policy
+	// (with revival when the plan schedules one); without fault flags
+	// the default fail-fast policy leaves behavior unchanged.
+	var faults []dtmsvs.CellFault
+	switch {
+	case *faultSeed != 0:
+		faults = []dtmsvs.CellFault{dtmsvs.CellFaultPlan(*faultSeed, *bs, *intervals)}
+	case *failCell >= 0:
+		faults = []dtmsvs.CellFault{{Cell: *failCell, FailAt: *failAt, ReviveAt: *reviveAt}}
+	}
+	if len(faults) > 0 {
+		if *shards == 0 {
+			return fmt.Errorf("failure injection needs the cluster engine: set -shards")
+		}
+		policy := dtmsvs.CellDegrade
+		if faults[0].ReviveAt >= 0 {
+			policy = dtmsvs.CellDegradeWithRevival
+		}
+		opts = append(opts, dtmsvs.WithCellFailurePolicy(policy))
+		fmt.Fprintf(os.Stderr, "dtsim: chaos plan: cell %d fails at interval %d, revives at %d (policy %s)\n",
+			faults[0].Cell, faults[0].FailAt, faults[0].ReviveAt, policy)
+	}
 
 	var s dtmsvs.Session
 	var summary func() error
@@ -164,7 +209,7 @@ func run() (err error) {
 		if n < 0 {
 			n = cfg.NumBS
 		}
-		ccfg := dtmsvs.ClusterConfig{Sim: cfg, Shards: n}
+		ccfg := dtmsvs.ClusterConfig{Sim: cfg, Shards: n, Faults: faults}
 		var cs *dtmsvs.ClusterSession
 		var err error
 		if *resume != "" {
@@ -189,6 +234,12 @@ func run() (err error) {
 				"dtsim: %d users, %d BSs, %d shards, %d intervals → handovers=%d churned=%d radio-accuracy=%.2f%% cache-hit=%.2f%%\n",
 				*users, *bs, n, *intervals, trace.Handovers, trace.ChurnedUsers,
 				radioAcc*100, trace.CacheHitRate*100)
+			if trace.CellFailures > 0 {
+				fmt.Fprintf(os.Stderr,
+					"dtsim: degraded run: %d cell failure(s), %d revival(s), %d twin(s) evacuated, %d/%d intervals degraded\n",
+					trace.CellFailures, trace.Revivals, trace.EvacuatedTwins,
+					trace.DegradedIntervals, *intervals)
+			}
 			return nil
 		}
 	} else {

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/faultinject"
 	"dtmsvs/internal/grouping"
 	"dtmsvs/internal/predict"
 	"dtmsvs/internal/sim"
@@ -120,6 +121,20 @@ type ClusterRecord = cluster.Record
 
 // ClusterCellStats summarizes one coverage cell of a cluster run.
 type ClusterCellStats = cluster.CellStats
+
+// CellFault schedules the failure of one cluster coverage cell at a
+// scheduling-interval boundary, with an optional later revival. Put
+// faults in ClusterConfig.Faults and pick the session's response
+// with WithCellFailurePolicy.
+type CellFault = faultinject.CellFault
+
+// CellFaultPlan derives a deterministic chaos plan from its own seed:
+// which cell dies, at which of the scenario's intervals, and
+// whether/when it revives. The same arguments always produce the
+// same plan, so a chaotic run replays bit-identically.
+func CellFaultPlan(seed int64, cells, intervals int) CellFault {
+	return faultinject.CellPlan(seed, cells, intervals)
+}
 
 // RunCluster executes a sharded multi-BS scenario: the map is
 // partitioned into per-BS coverage cells, each with its own UDT

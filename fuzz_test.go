@@ -1,0 +1,76 @@
+package dtmsvs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// fuzzCheckpointConfig is the scenario every FuzzReadCheckpoint input
+// is resumed against. Tiny on purpose: the fuzzer calls Resume
+// thousands of times per second and only the reader is under test.
+func fuzzCheckpointConfig() Config {
+	return Config{
+		Seed:             41,
+		NumUsers:         8,
+		NumBS:            2,
+		NumIntervals:     2,
+		TicksPerInterval: 4,
+		WarmupIntervals:  1,
+		CompressorEpochs: 1,
+		AgentEpisodes:    4,
+		PrefetchDepth:    -1,
+	}
+}
+
+// fuzzSeedCheckpoint produces a real checkpoint of the fuzz scenario
+// at boundary 1, so the corpus starts from a valid stream and the
+// fuzzer mutates real section framing, payloads and CRCs instead of
+// rediscovering the container format from zero.
+func fuzzSeedCheckpoint(tb testing.TB) []byte {
+	tb.Helper()
+	s, err := Open(fuzzCheckpointConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer s.Close()
+	if _, serr := s.Step(context.Background()); serr != nil {
+		tb.Fatal(serr)
+	}
+	var ckpt bytes.Buffer
+	if cerr := s.Checkpoint(&ckpt); cerr != nil {
+		tb.Fatal(cerr)
+	}
+	return ckpt.Bytes()
+}
+
+// FuzzReadCheckpoint hammers the checkpoint container reader with
+// mutated streams: Resume must never panic, and every rejection must
+// be one of the three typed checkpoint errors — the contract the
+// damage-matrix test asserts at sampled offsets, here over arbitrary
+// corruption.
+func FuzzReadCheckpoint(f *testing.F) {
+	seed := fuzzSeedCheckpoint(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	cfg := fuzzCheckpointConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Resume(cfg, bytes.NewReader(data))
+		if err == nil {
+			// Only the pristine seed (or an equivalent reconstruction)
+			// should get here; the session must at least close cleanly.
+			if cerr := s.Close(); cerr != nil {
+				t.Fatalf("resumed session failed to close: %v", cerr)
+			}
+			return
+		}
+		if !errors.Is(err, ErrCheckpointCorrupt) &&
+			!errors.Is(err, ErrCheckpointVersion) &&
+			!errors.Is(err, ErrCheckpointConfig) {
+			t.Fatalf("untyped checkpoint rejection: %v", err)
+		}
+	})
+}

@@ -235,6 +235,31 @@ func NearestBS(stations []*BaseStation, pos mobility.Point) (*BaseStation, error
 	return best, nil
 }
 
+// NearestAliveBS returns the closest base station whose id is not
+// marked in down. A nil (or empty) mask degenerates to NearestBS
+// exactly — same iteration order, same tie-breaking — so healthy
+// deployments pay nothing for the capability. A mask that rules out
+// every station is an error: the map has no coverage left.
+func NearestAliveBS(stations []*BaseStation, down []bool, pos mobility.Point) (*BaseStation, error) {
+	if len(down) == 0 {
+		return NearestBS(stations, pos)
+	}
+	var best *BaseStation
+	var bestD float64
+	for _, bs := range stations {
+		if bs.ID >= 0 && bs.ID < len(down) && down[bs.ID] {
+			continue
+		}
+		if d := bs.Pos.Dist(pos); best == nil || d < bestD {
+			best, bestD = bs, d
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no surviving base stations: %w", ErrParam)
+	}
+	return best, nil
+}
+
 // GridDeploy places n base stations on a uniform grid over the map
 // with the given per-RB transmit power.
 func GridDeploy(m *mobility.Map, n int, txPowerDBm float64) ([]*BaseStation, error) {

@@ -25,7 +25,17 @@ func (e *Engine) WriteState(cw *checkpoint.Writer) error {
 		for _, c := range e.cells {
 			enc.Bool(c.built)
 			enc.Int(c.migratedIn)
+			enc.Bool(c.down)
+			enc.Int(c.evacuated)
 		}
+		// The failure policy rides along as a guard: it changes the
+		// degraded run's behavior but is a session option, outside the
+		// config fingerprint, so resume verifies it explicitly.
+		enc.U8(uint8(e.policy))
+		enc.Int(e.failures)
+		enc.Int(e.revivals)
+		enc.Int(e.evacuated)
+		enc.Int(e.degradedIntervals)
 	}); err != nil {
 		return err
 	}
@@ -66,20 +76,51 @@ func (e *Engine) ReadState(cr *checkpoint.Reader) error {
 	}
 	built := make([]bool, len(e.cells))
 	migrated := make([]int, len(e.cells))
+	down := make([]bool, len(e.cells))
+	cellEvac := make([]int, len(e.cells))
+	cellsDown := 0
 	for i := range e.cells {
 		built[i] = d.Bool()
 		migrated[i] = d.Int()
+		down[i] = d.Bool()
+		cellEvac[i] = d.Int()
+		if down[i] {
+			cellsDown++
+		}
 	}
+	policy := FailurePolicy(d.U8())
+	failures := d.Int()
+	revivals := d.Int()
+	evacuated := d.Int()
+	degraded := d.Int()
 	if derr := d.Close(); derr != nil {
 		return derr
+	}
+	if policy != e.policy {
+		return fmt.Errorf("checkpoint taken under cell-failure policy %s, session opened with %s: %w",
+			policy, e.policy, checkpoint.ErrConfigMismatch)
+	}
+	for id, c := range owner {
+		if down[c] {
+			return fmt.Errorf("user %d owned by quarantined cell %d: %w", id, c, checkpoint.ErrCorrupt)
+		}
 	}
 	copy(e.owner, owner)
 	e.handovers = handovers
 	e.trained = trained
 	e.records = e.records[:0]
+	e.cellsDown = cellsDown
+	e.failures = failures
+	e.revivals = revivals
+	e.evacuated = evacuated
+	e.degradedIntervals = degraded
+	e.metCellsDown.Set(float64(cellsDown))
 	for i, c := range e.cells {
 		c.built = built[i]
 		c.migratedIn = migrated[i]
+		c.down = down[i]
+		c.evacuated = cellEvac[i]
+		e.down[i] = down[i]
 		if err := c.eng.ReadState(cr); err != nil {
 			return fmt.Errorf("cell %d: %w", c.id, err)
 		}

@@ -27,10 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 
 	"dtmsvs/internal/channel"
 	"dtmsvs/internal/edge"
+	"dtmsvs/internal/faultinject"
 	"dtmsvs/internal/mobility"
 	"dtmsvs/internal/obs"
 	"dtmsvs/internal/parallel"
@@ -58,6 +60,12 @@ type Config struct {
 	// (0 = one shard per base station). The trace is bit-identical
 	// for every value in [1, NumBS].
 	Shards int
+	// Faults schedules deterministic cell failures (see
+	// faultinject.CellFault and CellPlan). Empty means no injection;
+	// with a schedule, the engine's FailurePolicy decides whether a
+	// firing fault aborts the run (FailFast, the default) or degrades
+	// it. At most one fault per cell.
+	Faults []faultinject.CellFault
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +89,21 @@ func (c Config) Validate() error {
 	if d.Shards < 1 || d.Shards > d.Sim.NumBS {
 		return fmt.Errorf("%d shards for %d base stations: %w", d.Shards, d.Sim.NumBS, ErrConfig)
 	}
+	seen := make(map[int]bool, len(d.Faults))
+	for _, f := range d.Faults {
+		switch {
+		case f.Cell < 0 || f.Cell >= d.Sim.NumBS:
+			return fmt.Errorf("fault cell %d of %d: %w", f.Cell, d.Sim.NumBS, ErrConfig)
+		case f.FailAt < 0 || f.FailAt >= d.Sim.NumIntervals:
+			return fmt.Errorf("fault at interval %d of %d: %w", f.FailAt, d.Sim.NumIntervals, ErrConfig)
+		case f.ReviveAt >= 0 && (f.ReviveAt <= f.FailAt || f.ReviveAt >= d.Sim.NumIntervals):
+			return fmt.Errorf("revival at interval %d for failure at %d of %d: %w",
+				f.ReviveAt, f.FailAt, d.Sim.NumIntervals, ErrConfig)
+		case seen[f.Cell]:
+			return fmt.Errorf("cell %d scheduled to fail twice: %w", f.Cell, ErrConfig)
+		}
+		seen[f.Cell] = true
+	}
 	return nil
 }
 
@@ -102,6 +125,12 @@ type CellStats struct {
 	// AttachedTwins counts twins migrated into the cell over the
 	// whole run (initial placement excluded).
 	AttachedTwins int `json:"attachedTwins"`
+	// Down reports whether the cell was still quarantined when the
+	// run ended.
+	Down bool `json:"down,omitempty"`
+	// EvacuatedTwins counts twins evacuated out of this cell by
+	// failure recovery.
+	EvacuatedTwins int `json:"evacuatedTwins,omitempty"`
 }
 
 // Trace is the merged output of a cluster run. Records are sorted by
@@ -116,6 +145,15 @@ type Trace struct {
 	// CacheHitRate is the lookup-weighted aggregate over all per-cell
 	// edge caches.
 	CacheHitRate float64
+	// CellFailures and Revivals count injected cell failures and the
+	// revivals that returned coverage; EvacuatedTwins counts twins
+	// moved off dying cells; DegradedIntervals counts scheduling
+	// intervals that ran with at least one cell quarantined. All zero
+	// in healthy runs.
+	CellFailures      int
+	Revivals          int
+	EvacuatedTwins    int
+	DegradedIntervals int
 }
 
 // RadioAccuracy returns the paper's prediction-accuracy metric over
@@ -149,6 +187,12 @@ type cellState struct {
 	// migratedIn counts twins handed over into this cell (initial
 	// placement excluded).
 	migratedIn int
+	// down marks the cell quarantined: its station takes no links,
+	// its pipeline runs no intervals, and the handover pass refuses
+	// to route twins to it.
+	down bool
+	// evacuated counts twins evacuated out of this cell over the run.
+	evacuated int
 }
 
 // Engine is a configured cluster instance.
@@ -165,6 +209,18 @@ type Engine struct {
 	owner     []int
 	handovers int
 	trained   bool
+	// Failure model (see failure.go): the fault schedule in firing
+	// order, the response policy, the quarantine mask shared with
+	// every cell's sim engine (written only between fan-outs), and
+	// the degradation counters.
+	faults            []faultinject.CellFault
+	policy            FailurePolicy
+	down              []bool
+	cellsDown         int
+	failures          int
+	revivals          int
+	evacuated         int
+	degradedIntervals int
 	// records accumulates the merged (interval, cell, group)-ordered
 	// trace rows when retain is set; a session streaming to a sink
 	// disables retention so the full trace never lives in heap.
@@ -172,8 +228,14 @@ type Engine struct {
 	retain  bool
 
 	// Observability mounted by SetMetrics; nil-safe when absent.
-	metHandover  *obs.Stage
-	metHandovers *obs.Counter
+	metHandover   *obs.Stage
+	metHandovers  *obs.Counter
+	metEvacuation *obs.Stage
+	metCellsDown  *obs.Gauge
+	metEvacuated  *obs.Counter
+	metDegraded   *obs.Counter
+	metFailures   *obs.Counter
+	metRevivals   *obs.Counter
 }
 
 // New constructs a cluster engine and places the initial population.
@@ -217,6 +279,10 @@ func New(cfg Config) (*Engine, error) {
 	if gemmWorkers < 1 {
 		gemmWorkers = 1
 	}
+	// One quarantine mask, aliased by every cell's sim engine, so a
+	// failure routes handovers and churn arrivals around the dark
+	// station in every sibling cell at once.
+	down := make([]bool, numCells)
 	cells := make([]*cellState, numCells)
 	for c := 0; c < numCells; c++ {
 		server, serr := edge.NewServer(cellBytes, edge.DefaultTranscodeModel(), catalog, d.Sim.CatalogSize/10)
@@ -231,6 +297,7 @@ func New(cfg Config) (*Engine, error) {
 			Pool:        pool,
 			Salt:        uint64(c) + 1,
 			GEMMWorkers: gemmWorkers,
+			DownBS:      down,
 		})
 		if cerr != nil {
 			return nil, fmt.Errorf("cell %d: %w", c, cerr)
@@ -244,6 +311,16 @@ func New(cfg Config) (*Engine, error) {
 		shards[s] = append(shards[s], c)
 	}
 
+	// Faults fire in deterministic (FailAt, Cell) order regardless of
+	// how the schedule was written down.
+	faults := append([]faultinject.CellFault(nil), d.Faults...)
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].FailAt != faults[j].FailAt {
+			return faults[i].FailAt < faults[j].FailAt
+		}
+		return faults[i].Cell < faults[j].Cell
+	})
+
 	e := &Engine{
 		cfg:      d,
 		pool:     pool,
@@ -253,6 +330,8 @@ func New(cfg Config) (*Engine, error) {
 		cells:    cells,
 		shards:   shards,
 		owner:    make([]int, d.Sim.NumUsers),
+		faults:   faults,
+		down:     down,
 		retain:   true,
 	}
 
@@ -318,6 +397,12 @@ func (e *Engine) migrate() error {
 		if bs == from {
 			continue
 		}
+		if e.cells[bs].down {
+			// Links route around quarantined stations at every tick, so
+			// a handover into a dark cell means the quarantine mask and
+			// the link layer disagree — stop before the twin is lost.
+			return fmt.Errorf("user %d handed over to quarantined cell %d: %w", id, bs, ErrCellFailure)
+		}
 		mu, ok := e.cells[from].eng.DetachUser(id)
 		if !ok {
 			return fmt.Errorf("user %d not detachable from cell %d: %w", id, from, ErrConfig)
@@ -330,28 +415,43 @@ func (e *Engine) migrate() error {
 		e.handovers++
 		e.metHandovers.Inc()
 	}
+	if err := e.checkConservation("handover"); err != nil {
+		return err
+	}
+	return e.lateTrain()
+}
+
+// checkConservation verifies the twin-conservation invariant — every
+// user lives in exactly one cell — after a handover or evacuation
+// pass.
+func (e *Engine) checkConservation(pass string) error {
 	total := 0
 	for _, c := range e.cells {
 		total += c.eng.NumUsers()
 	}
 	if total != len(e.owner) {
-		return fmt.Errorf("%d twins after handover, want %d (twin lost or duplicated): %w",
-			total, len(e.owner), ErrConfig)
+		return fmt.Errorf("%d twins after %s, want %d (twin lost or duplicated): %w",
+			total, pass, len(e.owner), ErrConfig)
 	}
-	if e.trained {
-		for _, c := range e.cells {
-			if !c.built && c.eng.NumUsers() > 0 {
-				// The cell was empty when the cluster trained, so its
-				// pipeline is still untrained: fit it on the twins that
-				// just migrated in before the first construction.
-				if err := c.eng.Train(); err != nil {
-					return fmt.Errorf("cell %d late train: %w", c.id, err)
-				}
-				if err := c.eng.BuildGroups(); err != nil {
-					return fmt.Errorf("cell %d late construction: %w", c.id, err)
-				}
-				c.built = true
+	return nil
+}
+
+// lateTrain fits cells that gained their first users after the
+// cluster trained: their pipelines are still untrained, so fit them
+// on the twins that just arrived before the first construction.
+func (e *Engine) lateTrain() error {
+	if !e.trained {
+		return nil
+	}
+	for _, c := range e.cells {
+		if !c.built && c.eng.NumUsers() > 0 {
+			if err := c.eng.Train(); err != nil {
+				return fmt.Errorf("cell %d late train: %w", c.id, err)
 			}
+			if err := c.eng.BuildGroups(); err != nil {
+				return fmt.Errorf("cell %d late construction: %w", c.id, err)
+			}
+			c.built = true
 		}
 	}
 	return nil
@@ -377,6 +477,12 @@ func (e *Engine) SetMetrics(reg *obs.Registry) {
 	}
 	e.metHandover = reg.Stage("interval/handover")
 	e.metHandovers = reg.Counter("dtmsvs_handovers_total", "Cross-cell twin migrations.")
+	e.metEvacuation = reg.Stage("interval/evacuation")
+	e.metCellsDown = reg.Gauge("dtmsvs_cells_down", "Coverage cells currently quarantined by failure injection.")
+	e.metEvacuated = reg.Counter("dtmsvs_evacuated_twins_total", "Twins evacuated from failed cells.")
+	e.metDegraded = reg.Counter("dtmsvs_degraded_intervals_total", "Scheduling intervals run with at least one cell down.")
+	e.metFailures = reg.Counter("dtmsvs_cell_failures_total", "Injected cell failures fired.")
+	e.metRevivals = reg.Counter("dtmsvs_cell_revivals_total", "Quarantined cells returned to service.")
 	for _, c := range e.cells {
 		c.eng.SetMetrics(reg, obs.Label{Name: "cell", Value: strconv.Itoa(c.id)})
 	}
@@ -410,7 +516,7 @@ func (e *Engine) SetRetainRecords(retain bool) { e.retain = retain }
 // TrainAndBuild.
 func (e *Engine) WarmupStep(ctx context.Context) error {
 	if err := e.eachCell(ctx, func(c *cellState) error {
-		if c.eng.NumUsers() == 0 {
+		if c.down || c.eng.NumUsers() == 0 {
 			return nil
 		}
 		if err := c.eng.WarmupIntervalContext(ctx); err != nil {
@@ -428,7 +534,7 @@ func (e *Engine) WarmupStep(ctx context.Context) error {
 // gain users later are trained lazily by the handover pass.
 func (e *Engine) TrainAndBuild(ctx context.Context) error {
 	if err := e.eachCell(ctx, func(c *cellState) error {
-		if c.eng.NumUsers() == 0 {
+		if c.down || c.eng.NumUsers() == 0 {
 			return nil
 		}
 		if err := c.eng.Train(); err != nil {
@@ -453,8 +559,18 @@ func (e *Engine) TrainAndBuild(ctx context.Context) error {
 // per-interval buffers, so the concatenation in cell-id order is the
 // same (interval, cell, group) ordering the whole-run trace carries.
 func (e *Engine) StepInterval(ctx context.Context, interval int) ([]Record, error) {
+	// Scheduled cell faults fire at the boundary, before the interval
+	// fans out: revivals restore coverage, failures quarantine the
+	// cell and evacuate its twins (or abort, under fail-fast).
+	if err := e.applyFaults(interval); err != nil {
+		return nil, err
+	}
+	if e.cellsDown > 0 {
+		e.degradedIntervals++
+		e.metDegraded.Inc()
+	}
 	if err := e.eachCell(ctx, func(c *cellState) error {
-		if c.eng.NumUsers() == 0 {
+		if c.down || c.eng.NumUsers() == 0 {
 			return nil
 		}
 		if err := c.eng.RunIntervalContext(ctx, interval, c.trace); err != nil {
@@ -486,7 +602,14 @@ func (e *Engine) StepInterval(ctx context.Context, interval int) ([]Record, erro
 // the accumulated records) into the cluster trace. Records are in
 // (interval, cell, group) order by construction.
 func (e *Engine) Finish() *Trace {
-	tr := &Trace{Handovers: e.handovers, Records: e.records}
+	tr := &Trace{
+		Handovers:         e.handovers,
+		Records:           e.records,
+		CellFailures:      e.failures,
+		Revivals:          e.revivals,
+		EvacuatedTwins:    e.evacuated,
+		DegradedIntervals: e.degradedIntervals,
+	}
 	var hits, misses int
 	for _, c := range e.cells {
 		c.eng.FinishTrace(c.trace)
@@ -494,13 +617,15 @@ func (e *Engine) Finish() *Trace {
 		hits += h
 		misses += m
 		tr.Cells = append(tr.Cells, CellStats{
-			BS:            c.id,
-			Users:         c.eng.NumUsers(),
-			K:             c.trace.K,
-			Silhouette:    c.trace.Silhouette,
-			CacheHitRate:  c.trace.CacheHitRate,
-			ChurnedUsers:  c.trace.ChurnedUsers,
-			AttachedTwins: c.migratedIn,
+			BS:             c.id,
+			Users:          c.eng.NumUsers(),
+			K:              c.trace.K,
+			Silhouette:     c.trace.Silhouette,
+			CacheHitRate:   c.trace.CacheHitRate,
+			ChurnedUsers:   c.trace.ChurnedUsers,
+			AttachedTwins:  c.migratedIn,
+			Down:           c.down,
+			EvacuatedTwins: c.evacuated,
 		})
 		tr.ChurnedUsers += c.trace.ChurnedUsers
 	}

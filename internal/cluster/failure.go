@@ -1,0 +1,177 @@
+// This file is the cluster engine's failure model: deterministic
+// cell-failure injection (a faultinject.CellFault schedule in the
+// config), quarantine, the twin evacuation pass that generalizes the
+// handover pass to a whole dying cell, and revival. Every transition
+// happens at a scheduling-interval boundary on the stepping
+// goroutine, so degraded runs are bit-identical for any Parallelism,
+// shard layout or kernel dispatch — failure handling is part of the
+// deterministic trace, not an asynchronous event.
+
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"dtmsvs/internal/channel"
+)
+
+// ErrCellFailure classifies every injected-failure outcome: the
+// abort under the fail-fast policy, an evacuation with nowhere left
+// to go (all cells down), and a broken quarantine invariant. Match
+// with errors.Is.
+var ErrCellFailure = errors.New("cluster: cell failure")
+
+// FailurePolicy selects how the engine responds when a scheduled
+// cell fault fires.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the run with an error wrapping ErrCellFailure —
+	// the pre-failure-model behavior, and the default.
+	FailFast FailurePolicy = iota
+	// Degrade quarantines the failed cell, drops its edge cache and
+	// evacuates its twins to the surviving cells; the run continues
+	// in degraded mode. Scheduled revivals are ignored — the cell
+	// stays dark for the rest of the run.
+	Degrade
+	// DegradeWithRevival is Degrade plus honoring CellFault.ReviveAt:
+	// the cell returns empty and cold at that boundary and reabsorbs
+	// users through the ordinary handover pass.
+	DegradeWithRevival
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case Degrade:
+		return "degrade"
+	case DegradeWithRevival:
+		return "degrade-with-revival"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// SetFailurePolicy selects the engine's response to scheduled cell
+// faults. Call before stepping; the default is FailFast. The policy
+// is part of the deterministic behavior, so resuming a checkpoint
+// under a different policy is rejected.
+func (e *Engine) SetFailurePolicy(p FailurePolicy) { e.policy = p }
+
+// CellsDown reports the number of currently quarantined cells.
+func (e *Engine) CellsDown() int { return e.cellsDown }
+
+// EvacuatedTwins reports the total twins evacuated from failed cells
+// so far.
+func (e *Engine) EvacuatedTwins() int { return e.evacuated }
+
+// DegradedIntervals reports how many scheduling intervals have run
+// with at least one cell quarantined.
+func (e *Engine) DegradedIntervals() int { return e.degradedIntervals }
+
+// applyFaults fires the configured cell faults scheduled for this
+// boundary: revivals first (a plan may hand coverage back before
+// another cell goes dark at the same boundary), then failures.
+// Under FailFast the first firing fault aborts the run.
+func (e *Engine) applyFaults(interval int) error {
+	if len(e.faults) == 0 {
+		return nil
+	}
+	if e.policy == DegradeWithRevival {
+		for _, f := range e.faults {
+			if f.ReviveAt == interval && e.cells[f.Cell].down {
+				e.reviveCell(f.Cell)
+			}
+		}
+	}
+	for _, f := range e.faults {
+		if f.FailAt != interval || e.cells[f.Cell].down {
+			continue
+		}
+		if e.policy == FailFast {
+			return fmt.Errorf("cell %d scheduled down at interval %d (policy %s): %w",
+				f.Cell, interval, e.policy, ErrCellFailure)
+		}
+		if err := e.failCell(f.Cell, interval); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failCell quarantines one cell: marks it (and its station) down,
+// drops its edge cache — the node's contents are gone, though its
+// hit/miss history still counts, those lookups were really served —
+// and evacuates its twins. Degrading the last surviving cell is an
+// error: the run has no coverage left.
+func (e *Engine) failCell(id, interval int) error {
+	c := e.cells[id]
+	c.down = true
+	e.down[id] = true
+	e.cellsDown++
+	e.failures++
+	e.metFailures.Inc()
+	e.metCellsDown.Set(float64(e.cellsDown))
+	c.server.Cache().Drop()
+	if e.cellsDown >= len(e.cells) {
+		return fmt.Errorf("all %d cells down at interval %d: %w", len(e.cells), interval, ErrCellFailure)
+	}
+	return e.evacuate(id)
+}
+
+// reviveCell returns a quarantined cell to service. It comes back
+// empty with a cold cache (its pipeline weights survived quarantine
+// untouched); users flow back through the ordinary handover pass as
+// their links rediscover the station.
+func (e *Engine) reviveCell(id int) {
+	c := e.cells[id]
+	c.down = false
+	e.down[id] = false
+	e.cellsDown--
+	e.revivals++
+	e.metRevivals.Inc()
+	e.metCellsDown.Set(float64(e.cellsDown))
+}
+
+// evacuate is the twin evacuation pass — the handover pass
+// generalized to a dying cell: sequentially in global user-id order,
+// every twin stranded on the failed cell is detached (UDT history,
+// calibration EWMAs and private random stream intact) and attached
+// to the cell of the nearest surviving base station, which hands it
+// to the multicast group with the nearest code-space centroid. The
+// pass ends with the same conservation and late-training checks the
+// handover pass runs, so an evacuation can never lose or duplicate a
+// twin.
+func (e *Engine) evacuate(failed int) error {
+	t0 := e.metEvacuation.Start()
+	defer e.metEvacuation.ObserveSince(t0)
+	moved := 0
+	for id := range e.owner {
+		if e.owner[id] != failed {
+			continue
+		}
+		mu, ok := e.cells[failed].eng.DetachUser(id)
+		if !ok {
+			return fmt.Errorf("user %d not evacuable from cell %d: %w", id, failed, ErrCellFailure)
+		}
+		bs, err := channel.NearestAliveBS(e.stations, e.down, mu.Position())
+		if err != nil {
+			return fmt.Errorf("evacuating user %d: %w", id, err)
+		}
+		if err := e.cells[bs.ID].eng.AttachUser(mu); err != nil {
+			return err
+		}
+		e.owner[id] = bs.ID
+		e.cells[bs.ID].migratedIn++
+		moved++
+	}
+	e.cells[failed].evacuated += moved
+	e.evacuated += moved
+	e.metEvacuated.Add(uint64(moved))
+	if err := e.checkConservation("evacuation"); err != nil {
+		return err
+	}
+	return e.lateTrain()
+}

@@ -299,3 +299,46 @@ func TestCacheCounts(t *testing.T) {
 		t.Fatalf("hit rate %v, want %v", c.HitRate(), want)
 	}
 }
+
+// TestCacheDrop: quarantining a cell empties its cache in one call —
+// entries and byte accounting go to zero while the hit/miss history
+// survives (dropped entries are losses, not evictions) — and the
+// cache accepts new content afterwards.
+func TestCacheDrop(t *testing.T) {
+	c, err := NewCache(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.Put(i, 0, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Contains(0, 0) { // 1 hit, and misses from the Put probes
+		t.Fatal("entry missing before drop")
+	}
+	hits, misses := c.Counts()
+	evictions := c.Evictions()
+
+	c.Drop()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("after drop: len %d used %d", c.Len(), c.Used())
+	}
+	if c.Contains(0, 0) || c.Contains(1, 0) {
+		t.Fatal("dropped entry still present")
+	}
+	// The Contains probes above count as misses; everything before the
+	// drop is preserved and no eviction was recorded.
+	if h, m := c.Counts(); h != hits || m != misses+2 {
+		t.Fatalf("counters rewritten: hits %d->%d misses %d->%d", hits, h, misses, m)
+	}
+	if c.Evictions() != evictions {
+		t.Fatalf("drop counted as eviction: %d -> %d", evictions, c.Evictions())
+	}
+	if err := c.Put(5, 1, 800); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(5, 1) || c.Used() != 800 {
+		t.Fatal("cache unusable after drop")
+	}
+}

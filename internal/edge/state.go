@@ -26,6 +26,16 @@ func (c *Cache) Entries() []CacheEntry {
 	return out
 }
 
+// Drop discards every cached entry — the cell's cache contents are
+// gone with the failed node — while keeping the hit/miss counters:
+// those lookups were really served and still belong in the run's
+// aggregate cache statistics. Dropped entries are not evictions.
+func (c *Cache) Drop() {
+	c.ll.Init()
+	clear(c.items)
+	c.usedBytes.Store(0)
+}
+
 // Restore replaces the cache contents with the given entries (in the
 // MRU-to-LRU order Entries produced) and counters. Entries must fit
 // the capacity — a restore never silently evicts.

@@ -195,3 +195,45 @@ func Plan(seed int64, calls int) Fault {
 	}
 	return f
 }
+
+// CellFault schedules the failure of one cluster coverage cell: the
+// cell goes dark at the FailAt scheduling-interval boundary (its
+// twins are evacuated to surviving cells and its edge cache is
+// dropped) and, if ReviveAt is set, returns — empty and cold — at
+// that later boundary. The zero ReviveAt sentinel is -1 (never).
+type CellFault struct {
+	// Cell is the coverage cell / base station id to kill.
+	Cell int `json:"cell"`
+	// FailAt is the 0-based scheduling interval at whose start the
+	// cell dies (faults never fire during warm-up).
+	FailAt int `json:"failAt"`
+	// ReviveAt is the 0-based interval at whose start the cell
+	// returns; < 0 means it stays dark. Honored only under the
+	// degrade-with-revival policy.
+	ReviveAt int `json:"reviveAt"`
+}
+
+// CellPlan derives a deterministic chaos plan from its own seed
+// stream (disjoint from Plan's): which of cells cells dies, at which
+// of intervals boundaries, and whether/when it comes back. Half of
+// all seeds schedule a revival, uniformly in the remaining intervals;
+// the same (seed, cells, intervals) always yields the same plan, so a
+// chaotic run replays bit-identically.
+func CellPlan(seed int64, cells, intervals int) CellFault {
+	if cells < 1 {
+		cells = 1
+	}
+	if intervals < 1 {
+		intervals = 1
+	}
+	rng := rand.New(parallel.NewStream(seed, 0xFA02))
+	f := CellFault{
+		Cell:     rng.Intn(cells),
+		FailAt:   rng.Intn(intervals),
+		ReviveAt: -1,
+	}
+	if rem := intervals - f.FailAt; rem > 1 && rng.Intn(2) == 0 {
+		f.ReviveAt = f.FailAt + 1 + rng.Intn(rem-1)
+	}
+	return f
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSnapshot hammers the -metrics-out snapshot reader with
+// mutated JSON: ReadSnapshot must never panic, and an accepted
+// snapshot must survive the accessors dtreport leans on (Family
+// lookup, label access, Prometheus re-encoding).
+func FuzzReadSnapshot(f *testing.F) {
+	reg := New()
+	reg.Counter("dtmsvs_fuzz_total", "Fuzz corpus counter.", Label{Name: "cell", Value: "0"}).Add(3)
+	reg.Gauge("dtmsvs_fuzz_gauge", "Fuzz corpus gauge.").Set(1.5)
+	reg.Stage("fuzz/stage").Observe(2)
+	var seed bytes.Buffer
+	if err := reg.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"families":[{"name":"x","kind":"counter","series":[{"value":1}]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		snap, err := ReadSnapshot(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, fam := range snap.Families {
+			if got := snap.Family(fam.Name); got == nil {
+				t.Fatalf("family %q not found by its own name", fam.Name)
+			}
+			for _, s := range fam.Series {
+				for _, l := range s.Labels {
+					_ = s.Label(l.Name)
+				}
+			}
+		}
+		var sink bytes.Buffer
+		if werr := snap.WritePrometheus(&sink); werr != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", werr)
+		}
+	})
+}

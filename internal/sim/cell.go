@@ -31,7 +31,7 @@ import (
 func (c Config) Defaulted() Config { return c.withDefaults() }
 
 // CellOptions injects cluster-owned substrate into a cell engine.
-// Every field is required.
+// Every field except DownBS is required.
 type CellOptions struct {
 	// Stations is the full deployment (cells hand users' links over
 	// to any station; ownership is decided at interval boundaries).
@@ -55,6 +55,12 @@ type CellOptions struct {
 	// never oversubscribe the host. Purely a wall-clock knob —
 	// results are bit-identical at any width.
 	GEMMWorkers int
+	// DownBS, when non-nil, is the cluster engine's shared quarantine
+	// mask over station ids (one slice aliased by every sibling cell):
+	// stations marked down take no handovers, churn arrivals or
+	// prediction anchors. Optional; the engine writes it only between
+	// interval fan-outs.
+	DownBS []bool
 }
 
 // NewCell constructs a cell engine: a Simulation with zero users that
@@ -130,6 +136,7 @@ func NewCell(cfg Config, opts CellOptions) (*Simulation, error) {
 		salt:          opts.Salt,
 		params:        params,
 		stations:      opts.Stations,
+		downBS:        opts.DownBS,
 		campus:        opts.Campus,
 		catalog:       opts.Catalog,
 		server:        opts.Server,
@@ -154,6 +161,10 @@ func (m *User) ID() int { return m.u.id }
 // ServingBS returns the id of the base station the user's link is
 // currently attached to.
 func (m *User) ServingBS() int { return m.u.link.BS().ID }
+
+// Position returns the user's current map position, so the cluster
+// engine can route an evacuated twin to the nearest surviving cell.
+func (m *User) Position() mobility.Point { return m.u.mob.Position() }
 
 // SpawnUser creates a fresh user with the given global id (churn
 // generation 0) without attaching it to this engine. The cluster

@@ -454,13 +454,20 @@ type Simulation struct {
 	constructions uint64
 	params        channel.Params
 	stations      []*channel.BaseStation
-	campus        *mobility.Map
-	users         []*user
-	catalog       *video.Catalog
-	server        *edge.Server
-	builder       *grouping.Builder
-	groups        []*groupState
-	meanDur       float64
+	// downBS, when non-nil, is the cluster engine's shared quarantine
+	// mask over station ids: stations marked down take no link
+	// handovers, churn arrivals or prediction anchors. The engine
+	// writes it only between interval fan-outs; nil in the monolithic
+	// engine and in healthy clusters, where nearest-BS resolution is
+	// bit-identical to channel.NearestBS.
+	downBS  []bool
+	campus  *mobility.Map
+	users   []*user
+	catalog *video.Catalog
+	server  *edge.Server
+	builder *grouping.Builder
+	groups  []*groupState
+	meanDur float64
 
 	// sched admits per-group RB reservations when RBBudget > 0.
 	sched *radio.Scheduler
@@ -649,7 +656,7 @@ func (s *Simulation) newUser(id int, src *parallel.Stream) (*user, error) {
 	if perr != nil {
 		return nil, perr
 	}
-	bs, berr := channel.NearestBS(s.stations, mob.Position())
+	bs, berr := s.nearestBS(mob.Position())
 	if berr != nil {
 		return nil, berr
 	}
@@ -722,6 +729,15 @@ func (s *Simulation) churnUsers(ctx context.Context) (int, error) {
 // Catalog exposes the generated catalog (for examples/benches).
 func (s *Simulation) Catalog() *video.Catalog { return s.catalog }
 
+// nearestBS resolves the nearest base station to pos, skipping
+// stations quarantined by the cluster engine's shared down mask
+// (handovers, churn arrivals and prediction anchors all route around
+// dark cells). With no mask — the monolithic engine and healthy
+// clusters — this is exactly channel.NearestBS.
+func (s *Simulation) nearestBS(pos mobility.Point) (*channel.BaseStation, error) {
+	return channel.NearestAliveBS(s.stations, s.downBS, pos)
+}
+
 // collectTicks runs one interval's worth of mobility + channel
 // collection into the UDTs, fanning users across the pool (each
 // user's tick sequence is self-contained: own mobility model, own
@@ -736,7 +752,7 @@ func (s *Simulation) collectTicks(ctx context.Context) error {
 			if err != nil {
 				return fmt.Errorf("user %d mobility: %w", u.id, err)
 			}
-			nearest, err := channel.NearestBS(s.stations, pos)
+			nearest, err := s.nearestBS(pos)
 			if err != nil {
 				return err
 			}
@@ -833,7 +849,7 @@ func (s *Simulation) predictUserSNR(u *user) float64 {
 		for k := 0; k < samples; k++ {
 			f := 0.5 + float64(k)/float64(samples-1) // 0.5 .. 1.5 intervals ahead
 			pt := s.campus.Clamp(mobility.Point{X: u.posPrev.X + f*dx, Y: u.posPrev.Y + f*dy})
-			bs, berr := channel.NearestBS(s.stations, pt)
+			bs, berr := s.nearestBS(pt)
 			if berr != nil {
 				bs = u.link.BS()
 			}
@@ -845,7 +861,7 @@ func (s *Simulation) predictUserSNR(u *user) float64 {
 		if u.havePos == 0 {
 			pos = u.mob.Position()
 		}
-		bs, berr := channel.NearestBS(s.stations, pos)
+		bs, berr := s.nearestBS(pos)
 		if berr != nil {
 			bs = u.link.BS()
 		}

@@ -32,8 +32,12 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 // (prologue and per-interval phases, per-cell in cluster runs), edge
 // cache and GEMM/crew utilization counters, session step spans, sink
 // write/flush spans and retry counters, and checkpoint size and
-// encode duration. A nil reg leaves the session un-instrumented; the
-// hot path then pays only nil checks.
+// encode duration. Cluster runs with failure injection additionally
+// expose the failure-model catalog: dtmsvs_cells_down,
+// dtmsvs_evacuated_twins_total, dtmsvs_degraded_intervals_total,
+// dtmsvs_cell_failures_total and dtmsvs_cell_revivals_total, plus the
+// interval/evacuation stage timer. A nil reg leaves the session
+// un-instrumented; the hot path then pays only nil checks.
 func WithMetrics(reg *MetricsRegistry) SessionOption {
 	return func(o *sessionOptions) { o.metrics = reg }
 }

@@ -66,6 +66,31 @@ var ErrObserver = errors.New("dtmsvs: observer panicked")
 // wraps the engines' config error class.
 var ErrEmptyScenario = sim.ErrEmptyScenario
 
+// ErrCellFailure classifies injected cell-failure outcomes in a
+// cluster session: the abort under the fail-fast policy, and a
+// degraded run losing its last surviving cell. Match with errors.Is.
+var ErrCellFailure = cluster.ErrCellFailure
+
+// CellFailurePolicy selects how a cluster session responds when a
+// scheduled cell fault (ClusterConfig.Faults) fires; see the
+// constants below and WithCellFailurePolicy. It has no effect on
+// monolithic sessions.
+type CellFailurePolicy = cluster.FailurePolicy
+
+const (
+	// CellFailFast aborts the run with an error wrapping
+	// ErrCellFailure when a scheduled fault fires — the default.
+	CellFailFast = cluster.FailFast
+	// CellDegrade quarantines the failed cell, drops its edge cache
+	// and evacuates its twins to the surviving cells; the run
+	// continues in degraded mode. Scheduled revivals are ignored.
+	CellDegrade = cluster.Degrade
+	// CellDegradeWithRevival is CellDegrade plus honoring a fault's
+	// ReviveAt boundary: the cell returns empty and cold, and
+	// reabsorbs users through the ordinary handover pass.
+	CellDegradeWithRevival = cluster.DegradeWithRevival
+)
+
 // TraceRecord is one streamed trace row: a group-interval record plus
 // the serving cell. BS is -1 for the monolithic engine, whose groups
 // are campus-wide; its JSON and CSV forms then match the monolithic
@@ -138,6 +163,13 @@ type IntervalReport struct {
 	Handovers int
 	// ChurnedUsers is the cumulative count of users replaced by churn.
 	ChurnedUsers int
+	// CellsDown is the number of quarantined coverage cells while
+	// this interval ran (always 0 for the monolithic engine and under
+	// the fail-fast policy).
+	CellsDown int
+	// EvacuatedTwins is the cumulative count of twins evacuated from
+	// failed cells so far.
+	EvacuatedTwins int
 	// StepDuration is the wall-clock time of the Step call that
 	// produced this report, including sink writes and flushes (and the
 	// prologue, on the first report). Always measured, so WithObserver
@@ -195,6 +227,9 @@ type sessionOptions struct {
 	// metrics, when non-nil, is mounted on the engine and session at
 	// Open time (see WithMetrics in metrics.go).
 	metrics *MetricsRegistry
+	// cellPolicy is the cluster engine's response to scheduled cell
+	// faults (zero value: CellFailFast).
+	cellPolicy CellFailurePolicy
 }
 
 // WithSink streams every interval's records into sink (flushed at
@@ -235,6 +270,18 @@ func WithSinkRetry(attempts int, backoff time.Duration) SessionOption {
 	}
 }
 
+// WithCellFailurePolicy selects how a cluster session responds when
+// a scheduled cell fault (ClusterConfig.Faults) fires: CellFailFast
+// (the default) aborts the run with an error wrapping ErrCellFailure;
+// CellDegrade and CellDegradeWithRevival quarantine the cell,
+// evacuate its twins to the surviving cells and continue in degraded
+// mode. The policy is part of the run's deterministic behavior:
+// resuming a checkpoint under a different policy is rejected with
+// ErrCheckpointConfig. Monolithic sessions ignore the option.
+func WithCellFailurePolicy(p CellFailurePolicy) SessionOption {
+	return func(o *sessionOptions) { o.cellPolicy = p }
+}
+
 // stepper is the engine-side contract a session drives: the prologue
 // split at every resumable boundary, one scheduling interval at a
 // time, and the final stamp.
@@ -247,6 +294,11 @@ type stepper interface {
 	finish()
 	handovers() int
 	churned() int
+	// cellsDown and evacuated report the degradation state of the
+	// cluster engine's failure model (both always 0 for the
+	// monolithic engine).
+	cellsDown() int
+	evacuated() int
 	// close releases engine-held workers (the training GEMM crews);
 	// the engine stays readable and any later training GEMMs run
 	// sequentially with identical results. Idempotent.
@@ -303,7 +355,7 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 	// Boundary cancellation: no engine state has been touched, so the
 	// session stays resumable with a fresh context.
 	if err := ctx.Err(); err != nil {
-		if ferr := s.flush(); ferr != nil {
+		if ferr := s.flush(ctx); ferr != nil {
 			return zero, s.fail(ferr)
 		}
 		return zero, err
@@ -340,15 +392,17 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 	if err != nil {
 		// Mid-interval failure: the completed intervals are already on
 		// the sink; flush so the partial trace survives, then fail.
-		_ = s.flush()
+		_ = s.flush(ctx)
 		return zero, s.fail(err)
 	}
 	rep := IntervalReport{
-		Interval:     s.next,
-		Records:      recs,
-		Groups:       len(recs),
-		Handovers:    s.eng.handovers(),
-		ChurnedUsers: s.eng.churned(),
+		Interval:       s.next,
+		Records:        recs,
+		Groups:         len(recs),
+		Handovers:      s.eng.handovers(),
+		ChurnedUsers:   s.eng.churned(),
+		CellsDown:      s.eng.cellsDown(),
+		EvacuatedTwins: s.eng.evacuated(),
 	}
 	for _, r := range recs {
 		rep.PredictedRBs += r.PredictedRBs
@@ -357,7 +411,7 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 	if s.opts.sink != nil {
 		tWrite := s.met.sinkWrite.Start()
 		for _, r := range recs {
-			if werr := s.writeRecord(r); werr != nil {
+			if werr := s.writeRecord(ctx, r); werr != nil {
 				s.sinkBroken = true
 				s.met.sinkErrors.Inc()
 				return zero, s.fail(fmt.Errorf("%w: interval %d: %w", ErrSink, s.next, werr))
@@ -365,7 +419,7 @@ func (s *session) Step(ctx context.Context) (IntervalReport, error) {
 		}
 		s.met.sinkWrite.ObserveSince(tWrite)
 	}
-	if ferr := s.flush(); ferr != nil {
+	if ferr := s.flush(ctx); ferr != nil {
 		return zero, s.fail(ferr)
 	}
 	s.next++
@@ -413,7 +467,9 @@ func (s *session) Close() error {
 	}
 	s.closed = true
 	s.eng.close()
-	return s.flush()
+	// Close has no caller context; the final flush retries on the
+	// ordinary schedule.
+	return s.flush(context.Background())
 }
 
 func (s *session) fail(err error) error {
@@ -428,28 +484,43 @@ func isTransientSink(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
-// backoff sleeps before retry attempt n (1-based), doubling the
-// configured initial backoff per attempt.
-func (s *session) backoff(attempt int) {
-	if s.opts.sinkBackoff > 0 {
-		time.Sleep(s.opts.sinkBackoff << (attempt - 1))
+// backoff waits before retry attempt n (1-based), doubling the
+// configured initial backoff per attempt. The wait is context-aware:
+// a cancellation mid-wait (or already pending) returns the context
+// error immediately instead of riding out the exponential schedule,
+// and the caller abandons its remaining retries.
+func (s *session) backoff(ctx context.Context, attempt int) error {
+	if s.opts.sinkBackoff <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(s.opts.sinkBackoff << (attempt - 1))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 // writeRecord pushes one record to the sink, retrying transient
 // failures within the configured attempt budget. Errors are returned
-// unwrapped; Step adds the ErrSink envelope.
-func (s *session) writeRecord(r TraceRecord) error {
+// unwrapped; Step adds the ErrSink envelope. A retry abandoned by
+// cancellation keeps the sink failure in the chain alongside the
+// context error.
+func (s *session) writeRecord(ctx context.Context, r TraceRecord) error {
 	err := s.opts.sink.WriteRecord(r)
 	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
 		s.met.sinkWriteRetries.Inc()
-		s.backoff(attempt)
+		if werr := s.backoff(ctx, attempt); werr != nil {
+			return fmt.Errorf("retry abandoned: %w (after %w)", werr, err)
+		}
 		err = s.opts.sink.WriteRecord(r)
 	}
 	return err
 }
 
-func (s *session) flush() error {
+func (s *session) flush(ctx context.Context) error {
 	if s.opts.sink == nil || s.sinkBroken {
 		return nil
 	}
@@ -457,7 +528,10 @@ func (s *session) flush() error {
 	err := s.opts.sink.Flush()
 	for attempt := 1; err != nil && attempt < s.opts.sinkAttempts && isTransientSink(err); attempt++ {
 		s.met.sinkFlushRetries.Inc()
-		s.backoff(attempt)
+		if werr := s.backoff(ctx, attempt); werr != nil {
+			err = fmt.Errorf("retry abandoned: %w (after %w)", werr, err)
+			break
+		}
 		err = s.opts.sink.Flush()
 	}
 	if err != nil {
@@ -500,6 +574,8 @@ func (a *simStepper) warmupIntervals() int { return a.cfg.WarmupIntervals }
 func (a *simStepper) intervals() int       { return a.cfg.NumIntervals }
 func (a *simStepper) handovers() int       { return 0 }
 func (a *simStepper) churned() int         { return a.eng.Churned() }
+func (a *simStepper) cellsDown() int       { return 0 }
+func (a *simStepper) evacuated() int       { return 0 }
 
 func (a *simStepper) warmupStep(ctx context.Context) error {
 	return a.eng.WarmupIntervalContext(ctx)
@@ -586,6 +662,8 @@ func (a *clusterStepper) warmupIntervals() int { return a.cfg.Sim.WarmupInterval
 func (a *clusterStepper) intervals() int       { return a.cfg.Sim.NumIntervals }
 func (a *clusterStepper) handovers() int       { return a.eng.Handovers() }
 func (a *clusterStepper) churned() int         { return a.eng.Churned() }
+func (a *clusterStepper) cellsDown() int       { return a.eng.CellsDown() }
+func (a *clusterStepper) evacuated() int       { return a.eng.EvacuatedTwins() }
 
 func (a *clusterStepper) warmupStep(ctx context.Context) error { return a.eng.WarmupStep(ctx) }
 
@@ -645,6 +723,7 @@ func OpenCluster(cfg ClusterConfig, opts ...SessionOption) (*ClusterSession, err
 	}
 	o := buildOptions(opts)
 	eng.SetRetainRecords(o.sink == nil)
+	eng.SetFailurePolicy(o.cellPolicy)
 	st := &clusterStepper{eng: eng, cfg: eng.Config()}
 	if o.metrics != nil {
 		st.mount(o.metrics)

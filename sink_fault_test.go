@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"dtmsvs/internal/faultinject"
 )
@@ -179,5 +181,130 @@ func TestSessionSinkTransientRetry(t *testing.T) {
 	}
 	if cerr := s2.Close(); cerr != nil {
 		t.Fatal(cerr)
+	}
+}
+
+// transientSinkErr is a retryable sink failure minted by the tests.
+type transientSinkErr struct{}
+
+func (transientSinkErr) Error() string   { return "transient sink outage" }
+func (transientSinkErr) Transient() bool { return true }
+
+// cancelingSink fails one scheduled call with a transient error after
+// cancelling the step's context — an operator Ctrl-C landing in the
+// middle of a sink outage, right before the retry backoff starts.
+type cancelingSink struct {
+	TraceSink
+	cancel  context.CancelFunc
+	onFlush bool
+	calls   int
+	at      int
+}
+
+func (s *cancelingSink) WriteRecord(r TraceRecord) error {
+	if s.onFlush {
+		return s.TraceSink.WriteRecord(r)
+	}
+	if s.calls++; s.calls == s.at {
+		s.cancel()
+		return transientSinkErr{}
+	}
+	return s.TraceSink.WriteRecord(r)
+}
+
+func (s *cancelingSink) Flush() error {
+	if !s.onFlush {
+		return s.TraceSink.Flush()
+	}
+	if s.calls++; s.calls == s.at {
+		s.cancel()
+		return transientSinkErr{}
+	}
+	return s.TraceSink.Flush()
+}
+
+// TestSessionSinkRetryBackoffCancellation: the retry backoff is
+// context-aware on both sink paths. With an hour-long backoff
+// schedule, a cancellation pending when the wait starts abandons the
+// remaining retries immediately, and the error chain carries both the
+// context error and the sink failure under the ErrSink envelope.
+func TestSessionSinkRetryBackoffCancellation(t *testing.T) {
+	cfg := sessionTestConfig(27, 2)
+	for _, tc := range []struct {
+		name    string
+		onFlush bool
+	}{
+		{"write", false},
+		{"flush", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var buf bytes.Buffer
+			sink := &cancelingSink{TraceSink: NewNDJSONSink(&buf), cancel: cancel, onFlush: tc.onFlush, at: 1}
+			s, err := Open(cfg, WithSink(sink), WithSinkRetry(5, time.Hour))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			start := time.Now()
+			_, serr := s.Step(ctx)
+			elapsed := time.Since(start)
+			if !errors.Is(serr, ErrSink) {
+				t.Fatalf("want ErrSink, got %v", serr)
+			}
+			if !errors.Is(serr, context.Canceled) {
+				t.Fatalf("context error missing from the chain: %v", serr)
+			}
+			if !errors.Is(serr, transientSinkErr{}) {
+				t.Fatalf("sink failure missing from the chain: %v", serr)
+			}
+			if elapsed > 10*time.Second {
+				t.Fatalf("backoff rode out the schedule despite cancellation: %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestSessionSinkFailureSequencing: after a permanent mid-interval
+// WriteRecord failure, the session's error surface stays typed and
+// stable — Step returns the latched ErrSink, Checkpoint refuses with
+// the same chain, the broken sink never sees another Flush (a second
+// scheduled flush fault never gets the chance to fire), and the
+// backing store stays a whole-interval prefix through Close.
+func TestSessionSinkFailureSequencing(t *testing.T) {
+	cfg := sessionTestConfig(21, 2)
+	clean, perInterval := ndjsonRun(t, func(opts ...SessionOption) (Session, error) { return Open(cfg, opts...) })
+
+	var buf bytes.Buffer
+	sink := faultinject.Wrap[TraceRecord](NewNDJSONSink(&buf),
+		faultinject.Fault{Mode: faultinject.FailWrite, N: perInterval[0] + 1 + perInterval[1]/2},
+		faultinject.Fault{Mode: faultinject.FailFlush, N: 2},
+	)
+	s, serr := runWithSink(t, cfg, sink)
+	if !errors.Is(serr, ErrSink) || !errors.Is(serr, faultinject.ErrInjected) {
+		t.Fatalf("want ErrSink wrapping the injected write fault, got %v", serr)
+	}
+	frozen := buf.String()
+	if frozen != linePrefix(clean, perInterval[0]) || !completeLines(frozen) {
+		t.Fatal("backing store is not the last whole-interval prefix")
+	}
+	flushes := sink.Flushes()
+
+	if _, again := s.Step(context.Background()); !errors.Is(again, ErrSink) {
+		t.Fatalf("step after failure: want the latched ErrSink, got %v", again)
+	}
+	cerr := s.Checkpoint(io.Discard)
+	if !errors.Is(cerr, ErrSink) || !errors.Is(cerr, faultinject.ErrInjected) {
+		t.Fatalf("checkpoint of sink-broken session: want the typed step failure, got %v", cerr)
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatalf("close after sink failure: %v", cerr)
+	}
+	if sink.Flushes() != flushes {
+		t.Fatalf("broken sink flushed again: %d -> %d", flushes, sink.Flushes())
+	}
+	if buf.String() != frozen {
+		t.Fatal("bytes appended to the backing store after the reported failure")
 	}
 }
