@@ -20,10 +20,13 @@ bench:
 bench-baseline:
 	./scripts/bench.sh
 
-# The instrumented/bare Step pair is gated against each other within
-# the same run (hardware-independent): metrics may cost at most 2%
-# wall and no extra allocations.
-OVERHEAD_GATE = --overhead-gate 'BenchmarkStepInstrumented/on:BenchmarkStepInstrumented/off:1.02'
+# Pairs gated against each other within the same run
+# (hardware-independent): metrics may cost at most 2% wall and no
+# extra allocations over the bare Step, and the binary trace sink must
+# stay at least 5x faster (and leaner in allocations) than the ndjson
+# sink on the same record stream.
+OVERHEAD_GATE = --overhead-gate 'BenchmarkStepInstrumented/on:BenchmarkStepInstrumented/off:1.02' \
+	--overhead-gate 'BenchmarkTraceSink/bin:BenchmarkTraceSink/ndjson:0.2'
 
 # Regression gate: benchmark the working tree and diff against the
 # committed baseline; fails on >1.3x wall or >1.5x allocs. Tune the

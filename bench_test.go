@@ -434,10 +434,15 @@ func BenchmarkCluster(b *testing.B) {
 // examples/city scale: the retained heap after delivering a
 // city-sized record stream (12 intervals × ~4k group-cells ≈ 50k
 // records, the shape a 50k-user cluster run emits) through the old
-// whole-trace buffering versus the NDJSON streaming sink. The
-// "retained-MB" metric is live heap attributable to the sink after a
-// forced GC — the buffered sink holds every record, the streaming
-// sink holds only its encoder buffer.
+// whole-trace buffering versus the streaming sinks (NDJSON, CSV, and
+// the binary columnar format). The "retained-MB" metric is live heap
+// attributable to the sink after a forced GC — the buffered sink
+// holds every record, the streaming sinks hold only their encoder
+// buffers. The streaming sub-benchmarks also report encode throughput
+// (records/s) and output density (bytes/record); the Makefile's
+// overhead gate holds bin at ≤0.2× ndjson's wall time (i.e. ≥5×
+// faster) and the baseline pins bin's bytes/record at well under 0.4×
+// of ndjson's.
 func BenchmarkTraceSink(b *testing.B) {
 	const records = 50_000
 	mkRecord := func(i int) TraceRecord {
@@ -459,11 +464,16 @@ func BenchmarkTraceSink(b *testing.B) {
 		runtime.ReadMemStats(&m)
 		return float64(m.HeapAlloc)
 	}
-	run := func(b *testing.B, mkSink func() TraceSink) {
+	// mkSink builds a fresh sink over the counting writer each
+	// iteration; closeSink (nil for sinks without Close) releases any
+	// resources before the retained-heap sample.
+	run := func(b *testing.B, mkSink func(*countingWriter) TraceSink, closeSink func(TraceSink) error) {
 		var retained float64
+		cw := countingWriter{w: io.Discard}
 		for i := 0; i < b.N; i++ {
+			cw.n = 0
 			before := heapAlloc()
-			sink := mkSink()
+			sink := mkSink(&cw)
 			for r := 0; r < records; r++ {
 				if err := sink.WriteRecord(mkRecord(r)); err != nil {
 					b.Fatal(err)
@@ -477,16 +487,37 @@ func BenchmarkTraceSink(b *testing.B) {
 			if err := sink.Flush(); err != nil {
 				b.Fatal(err)
 			}
+			if closeSink != nil {
+				if err := closeSink(sink); err != nil {
+					b.Fatal(err)
+				}
+			}
 			retained = heapAlloc() - before
 			runtime.KeepAlive(sink)
 		}
 		b.ReportMetric(retained/1e6, "retained-MB")
+		if cw.n > 0 {
+			b.ReportMetric(float64(cw.n)/records, "bytes/record")
+		}
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 	}
 	b.Run("buffered", func(b *testing.B) {
-		run(b, func() TraceSink { return &BufferedSink{} })
+		run(b, func(*countingWriter) TraceSink { return &BufferedSink{} }, nil)
 	})
 	b.Run("ndjson", func(b *testing.B) {
-		run(b, func() TraceSink { return NewNDJSONSink(io.Discard) })
+		run(b, func(cw *countingWriter) TraceSink { return NewNDJSONSink(cw) }, nil)
+	})
+	b.Run("csv", func(b *testing.B) {
+		run(b, func(cw *countingWriter) TraceSink { return NewCSVSink(cw) }, nil)
+	})
+	b.Run("bin", func(b *testing.B) {
+		run(b, func(cw *countingWriter) TraceSink {
+			s, err := NewBinarySink(cw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}, func(s TraceSink) error { return s.(*BinarySink).Close() })
 	})
 }
 

@@ -1,0 +1,138 @@
+// This file holds the binary columnar trace sink and its reader: the
+// compact streaming alternative to NDJSON/CSV when a run is
+// trace-IO-bound. The format itself lives in internal/tracebin.
+package dtmsvs
+
+import (
+	"io"
+
+	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/sim"
+	"dtmsvs/internal/tracebin"
+)
+
+// Typed binary-trace reader errors, re-exported so callers can
+// distinguish damage from a future format without importing the
+// internal package.
+var (
+	// ErrTraceCorrupt marks a binary trace whose framing, checksums or
+	// schema do not hold together.
+	ErrTraceCorrupt = tracebin.ErrCorrupt
+	// ErrTraceVersion marks a binary trace written by a format version
+	// this build does not understand.
+	ErrTraceVersion = tracebin.ErrVersion
+)
+
+// BinarySink streams records in the binary columnar trace format
+// (internal/tracebin): records buffer in memory until the session's
+// interval-boundary Flush, which encodes them as column blocks —
+// split per serving cell in cluster runs — in parallel on a worker
+// crew and hands the underlying writer a single Write. After any
+// Flush the backing store holds a well-formed whole-interval prefix,
+// the same crash contract as NDJSON and CSV; a run that ends before
+// its first interval leaves a valid header-only file.
+//
+// Call Close when the run is over to release the encode workers (and
+// write the header, if nothing ever flushed). Decode with
+// ReadTraceRecordsBin or the format-agnostic ReadTraceRecords.
+type BinarySink struct {
+	w    *tracebin.Writer
+	recs []tracebin.Record
+	err  error
+}
+
+// BinarySinkOption tunes a BinarySink.
+type BinarySinkOption func(*tracebin.WriterOptions)
+
+// WithBinaryWorkers sets the number of goroutines encoding column
+// blocks within one flush (default: GOMAXPROCS; 1 = sequential).
+func WithBinaryWorkers(n int) BinarySinkOption {
+	return func(o *tracebin.WriterOptions) { o.Workers = n }
+}
+
+// WithBinaryCompression enables per-block DEFLATE; each block keeps
+// whichever of raw/compressed is smaller.
+func WithBinaryCompression() BinarySinkOption {
+	return func(o *tracebin.WriterOptions) { o.Compress = true }
+}
+
+// NewBinarySink returns a binary columnar sink over w.
+func NewBinarySink(w io.Writer, opts ...BinarySinkOption) (*BinarySink, error) {
+	var o tracebin.WriterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	bw, err := tracebin.NewWriter(w, o)
+	if err != nil {
+		return nil, err
+	}
+	return &BinarySink{w: bw}, nil
+}
+
+// WriteRecord implements TraceSink, buffering the record until the
+// next Flush.
+func (s *BinarySink) WriteRecord(r TraceRecord) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.recs = append(s.recs, r.GroupIntervalRecord.BinRecord(r.BS))
+	return nil
+}
+
+// Flush implements TraceSink: the buffered interval is encoded and
+// written in one underlying Write. On failure the buffered records
+// are kept, so a retried Flush (after a transient error that consumed
+// nothing, per the WithSinkRetry contract) re-encodes the identical
+// bytes.
+func (s *BinarySink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.w.Flush(s.recs); err != nil {
+		return err
+	}
+	s.recs = s.recs[:0]
+	return nil
+}
+
+// Close releases the encode workers and, if nothing ever flushed,
+// writes the stream header so even an empty run leaves a valid file.
+// The underlying writer is not closed.
+func (s *BinarySink) Close() error { return s.w.Close() }
+
+// ReadTraceRecordsBin decodes the binary columnar stream a BinarySink
+// writes (either engine's schema; monolithic rows carry BS = -1).
+// Records decoded before an error are returned alongside it, so a
+// torn tail still yields its readable whole-interval prefix.
+func ReadTraceRecordsBin(r io.Reader) ([]TraceRecord, error) {
+	rows, err := tracebin.ReadAll(r)
+	out := make([]TraceRecord, len(rows))
+	for i, b := range rows {
+		out[i] = TraceRecord{BS: b.BS, GroupIntervalRecord: sim.RecordFromBin(b)}
+	}
+	return out, err
+}
+
+// WriteTraceBin writes monolithic trace records in the binary
+// columnar format (the batch analog of BinarySink).
+func WriteTraceBin(w io.Writer, records []GroupIntervalRecord) error {
+	return sim.WriteRecordsBin(w, records)
+}
+
+// ReadTraceBin decodes a binary columnar trace into monolithic
+// records, dropping cell tags.
+func ReadTraceBin(r io.Reader) ([]GroupIntervalRecord, error) {
+	return sim.ReadRecordsBin(r)
+}
+
+// WriteClusterTraceBin writes cluster trace records in the binary
+// columnar format.
+func WriteClusterTraceBin(w io.Writer, records []ClusterRecord) error {
+	return cluster.WriteRecordsBin(w, records)
+}
+
+// ReadClusterTraceBin decodes a binary columnar trace into cluster
+// records.
+func ReadClusterTraceBin(r io.Reader) ([]ClusterRecord, error) {
+	return cluster.ReadRecordsBin(r)
+}

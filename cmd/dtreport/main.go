@@ -13,6 +13,11 @@
 // tool instead renders a metrics snapshot (written by `dtsim
 // -metrics-out FILE`) as markdown: per-stage/per-cell wall-clock
 // timings, edge cache effectiveness, and the run's counters.
+//
+// With -trace FILE the tool renders a markdown summary of a stored
+// trace instead — per-interval demand and accuracy tables built from
+// the records. The trace format (json, ndjson, csv or the binary
+// columnar bin) is auto-detected from the file's first bytes.
 package main
 
 import (
@@ -45,6 +50,7 @@ func run() error {
 		par       = flag.Int("parallel", 0, "simulation worker goroutines (0 = all cores; results are identical for any value)")
 		out       = flag.String("out", "", "output file (default stdout)")
 		timings   = flag.String("timings", "", "render this metrics snapshot (from dtsim -metrics-out) instead of running the evaluation suite")
+		tracePath = flag.String("trace", "", "render a markdown summary of this trace file (any format: json, ndjson, csv, bin) instead of running the evaluation suite")
 	)
 	flag.Parse()
 
@@ -69,6 +75,9 @@ func run() error {
 
 	if *timings != "" {
 		return reportTimings(w, *timings)
+	}
+	if *tracePath != "" {
+		return reportTrace(w, *tracePath)
 	}
 
 	fmt.Fprintf(w, "# dtmsvs evaluation report\n\nScenario: %d users, %d BSs, %d intervals, seed %d.\n\n",

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dtmsvs"
+)
+
+// reportTrace renders a markdown summary of a stored trace file: one
+// row per scheduling interval with grouped demand and prediction
+// accuracy, plus run totals. The file may be in any trace format this
+// repo writes (json, ndjson, csv, bin) — detection is automatic.
+func reportTrace(w io.Writer, path string) error {
+	recs, err := dtmsvs.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s holds no records", path)
+	}
+	type row struct {
+		groups            int
+		predRBs, actRBs   float64
+		absRBs            float64
+		predBits, actBits float64
+		cells             map[int]bool
+	}
+	byInterval := map[int]*row{}
+	for _, r := range recs {
+		iv := byInterval[r.Interval]
+		if iv == nil {
+			iv = &row{cells: map[int]bool{}}
+			byInterval[r.Interval] = iv
+		}
+		iv.groups++
+		iv.predRBs += r.PredictedRBs
+		iv.actRBs += r.ActualRBs
+		d := r.PredictedRBs - r.ActualRBs
+		if d < 0 {
+			d = -d
+		}
+		iv.absRBs += d
+		iv.predBits += r.PredictedBits
+		iv.actBits += r.ActualBits
+		if r.BS >= 0 {
+			iv.cells[r.BS] = true
+		}
+	}
+	intervals := make([]int, 0, len(byInterval))
+	for k := range byInterval {
+		intervals = append(intervals, k)
+	}
+	sort.Ints(intervals)
+
+	fmt.Fprintf(w, "# Trace summary: %s\n\n%d records over %d intervals.\n\n", path, len(recs), len(intervals))
+	fmt.Fprintln(w, "| interval | groups | cells | predicted RBs | actual RBs | radio accuracy |")
+	fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|")
+	var totGroups int
+	var totPred, totAct, totAbs float64
+	for _, k := range intervals {
+		iv := byInterval[k]
+		acc := 1.0
+		if iv.actRBs > 0 {
+			acc = 1 - iv.absRBs/iv.actRBs
+			if acc < 0 {
+				acc = 0
+			}
+		}
+		fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.1f | %.2f%% |\n",
+			k, iv.groups, len(iv.cells), iv.predRBs, iv.actRBs, acc*100)
+		totGroups += iv.groups
+		totPred += iv.predRBs
+		totAct += iv.actRBs
+		totAbs += iv.absRBs
+	}
+	acc := 1.0
+	if totAct > 0 {
+		acc = 1 - totAbs/totAct
+		if acc < 0 {
+			acc = 0
+		}
+	}
+	fmt.Fprintf(w, "\nTotals: %d group-intervals, predicted %.1f RBs vs actual %.1f RBs, radio accuracy %.2f%%.\n",
+		totGroups, totPred, totAct, acc*100)
+	return nil
+}

@@ -12,12 +12,16 @@
 // caches, concurrent shards, and deterministic twin handover between
 // intervals.
 //
-// The "ndjson" and "csv" formats stream: records are flushed to -out
-// at every interval boundary, so the process never holds the full
-// trace in heap and an interrupt (Ctrl-C) leaves a well-formed
-// whole-interval prefix behind. "json" buffers the run and writes one
-// JSON array at the end (the partial array is still written on
-// interrupt). -progress prints per-interval stats to stderr.
+// The "ndjson", "csv" and "bin" formats stream: records are flushed
+// to -out at every interval boundary, so the process never holds the
+// full trace in heap and an interrupt (Ctrl-C) leaves a well-formed
+// whole-interval prefix behind. "bin" is the compact binary columnar
+// format (internal/tracebin), encoded in parallel; add -bin-compress
+// for per-block DEFLATE. "json" buffers the run and writes one JSON
+// array at the end (the partial array is still written on interrupt).
+// Any of the four decodes with dtreport/dteval or ReadTraceRecords,
+// which auto-detect the format. -progress prints per-interval stats
+// to stderr.
 //
 // Checkpointing: -checkpoint PATH writes the session's full
 // deterministic state to PATH (atomically, via temp file + rename)
@@ -87,7 +91,8 @@ func run() (err error) {
 		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
 		par       = flag.Int("parallel", 0, "worker goroutines for simulation fan-out and training GEMM row-blocks (0 = all cores; trace is identical for any value)")
 		shards    = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
-		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson" or "csv" (streamed per interval)`)
+		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson", "csv" or "bin" (streamed per interval; "bin" is the binary columnar format)`)
+		binGzip   = flag.Bool("bin-compress", false, `with -format bin, DEFLATE-compress each column block`)
 		out       = flag.String("out", "", "write the trace to this file (default stdout)")
 		progress  = flag.Bool("progress", false, "print per-interval stats to stderr")
 		ckptPath  = flag.String("checkpoint", "", "write the session state to this file at interval boundaries (atomic temp-file + rename)")
@@ -159,6 +164,19 @@ func run() (err error) {
 		opts = append(opts, dtmsvs.WithSink(dtmsvs.NewNDJSONSink(w)))
 	case "csv":
 		opts = append(opts, dtmsvs.WithSink(dtmsvs.NewCSVSink(w)))
+	case "bin":
+		var binOpts []dtmsvs.BinarySinkOption
+		if *binGzip {
+			binOpts = append(binOpts, dtmsvs.WithBinaryCompression())
+		}
+		sink, serr := dtmsvs.NewBinarySink(w, binOpts...)
+		if serr != nil {
+			return serr
+		}
+		// Releases the encode workers; a run that never flushed still
+		// gets its self-describing header.
+		defer sink.Close()
+		opts = append(opts, dtmsvs.WithSink(sink))
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}

@@ -3,13 +3,22 @@
 // challenge-style dataset (stand-in for a real trace in the same
 // schema), replays it into user digital twins, constructs multicast
 // groups and prints each group's abstracted swiping behavior.
+//
+// With -trace FILE the example instead replays a stored session
+// trace (written by dtsim/dteval in any format — json, ndjson, csv
+// or the binary columnar bin; detection is automatic) and prints each
+// group's demand history, showing how downstream tools consume traces
+// format-transparently.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
+	"dtmsvs"
 	"dtmsvs/internal/grouping"
 	"dtmsvs/internal/predict"
 	"dtmsvs/internal/udt"
@@ -17,12 +26,57 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	tracePath := flag.String("trace", "", "replay a stored session trace file (any format) instead of the synthetic dataset")
+	flag.Parse()
+	if err := run(*tracePath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// replayTrace reads a stored session trace — format auto-detected —
+// and prints each multicast group's per-interval radio demand.
+func replayTrace(path string) error {
+	recs, err := dtmsvs.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d group-interval records from %s\n", len(recs), path)
+	type agg struct {
+		intervals       int
+		size            int
+		predRBs, actRBs float64
+	}
+	groups := map[int]*agg{}
+	for _, r := range recs {
+		g := groups[r.GroupID]
+		if g == nil {
+			g = &agg{}
+			groups[r.GroupID] = g
+		}
+		g.intervals++
+		if r.Size > g.size {
+			g.size = r.Size
+		}
+		g.predRBs += r.PredictedRBs
+		g.actRBs += r.ActualRBs
+	}
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := groups[id]
+		fmt.Printf("group %d (peak %2d members, %d intervals): predicted %.1f RBs, actual %.1f RBs\n",
+			id, g.size, g.intervals, g.predRBs, g.actRBs)
+	}
+	return nil
+}
+
+func run(tracePath string) error {
+	if tracePath != "" {
+		return replayTrace(tracePath)
+	}
 	rng := rand.New(rand.NewSource(42))
 
 	// 1. A viewing trace (swap in a real one via video.ReadJSON).

@@ -45,6 +45,58 @@ func fuzzSeedCheckpoint(tb testing.TB) []byte {
 	return ckpt.Bytes()
 }
 
+// fuzzSeedTrace produces a real binary trace of the fuzz scenario —
+// one plain, one compressed — so the corpus starts from valid block
+// framing and the fuzzer mutates real frames, bodies and CRCs.
+func fuzzSeedTrace(tb testing.TB, opts ...BinarySinkOption) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	sink, err := NewBinarySink(&buf, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := Open(fuzzCheckpointConfig(), WithSink(sink))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer s.Close()
+	for !s.Done() {
+		if _, serr := s.Step(context.Background()); serr != nil {
+			tb.Fatal(serr)
+		}
+	}
+	if err := s.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTraceBin hammers the binary trace reader with mutated
+// streams: decoding must never panic, every rejection must be one of
+// the two typed trace errors, and any records returned alongside an
+// error must have decoded before the damage (the readable-prefix
+// contract).
+func FuzzReadTraceBin(f *testing.F) {
+	plain := fuzzSeedTrace(f)
+	comp := fuzzSeedTrace(f, WithBinaryCompression())
+	f.Add(plain)
+	f.Add(comp)
+	f.Add(plain[:len(plain)/2])
+	f.Add(plain[:11]) // header magic+version+flags only
+	f.Add([]byte{})
+	f.Add([]byte("not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := ReadTraceRecordsBin(bytes.NewReader(data)); err != nil {
+			if !errors.Is(err, ErrTraceCorrupt) && !errors.Is(err, ErrTraceVersion) {
+				t.Fatalf("untyped trace rejection: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzReadCheckpoint hammers the checkpoint container reader with
 // mutated streams: Resume must never panic, and every rejection must
 // be one of the three typed checkpoint errors — the contract the

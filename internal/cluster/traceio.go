@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"dtmsvs/internal/sim"
+	"dtmsvs/internal/tracebin"
 	"dtmsvs/internal/traceio"
 )
 
@@ -35,4 +36,45 @@ func ReadRecordsJSON(r io.Reader) ([]Record, error) {
 // row.
 func WriteRecordsCSV(w io.Writer, records []Record) error {
 	return traceio.WriteCSV(w, records)
+}
+
+// BinRecord flattens the record into the binary columnar trace row.
+func (r Record) BinRecord() tracebin.Record {
+	return r.GroupIntervalRecord.BinRecord(r.BS)
+}
+
+// RecordFromBin is the inverse of BinRecord, keeping the cell tag.
+func RecordFromBin(b tracebin.Record) Record {
+	return Record{BS: b.BS, GroupIntervalRecord: sim.RecordFromBin(b)}
+}
+
+// WriteRecordsBin writes cluster trace records in the binary columnar
+// format.
+func WriteRecordsBin(w io.Writer, records []Record) error {
+	bw, err := tracebin.NewWriter(w, tracebin.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	rows := make([]tracebin.Record, len(records))
+	for i, r := range records {
+		rows[i] = r.BinRecord()
+	}
+	if err := bw.Flush(rows); err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// ReadRecordsBin decodes a binary columnar trace into cluster
+// records, keeping cell tags.
+func ReadRecordsBin(r io.Reader) ([]Record, error) {
+	rows, err := tracebin.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]Record, len(rows))
+	for i, b := range rows {
+		records[i] = RecordFromBin(b)
+	}
+	return records, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 
+	"dtmsvs/internal/tracebin"
 	"dtmsvs/internal/traceio"
 )
 
@@ -51,6 +52,81 @@ func ReadRecordsJSON(r io.Reader) ([]GroupIntervalRecord, error) {
 // WriteRecordsCSV writes the trace records as CSV with a header row.
 func WriteRecordsCSV(w io.Writer, records []GroupIntervalRecord) error {
 	return traceio.WriteCSV(w, records)
+}
+
+// BinRecord flattens the record into the binary columnar trace row,
+// tagged with its serving cell (-1 for the monolithic engine's
+// campus-wide groups).
+func (r GroupIntervalRecord) BinRecord(bs int) tracebin.Record {
+	return tracebin.Record{
+		BS:                 bs,
+		Interval:           r.Interval,
+		GroupID:            r.GroupID,
+		Size:               r.Size,
+		PredictedRBs:       r.PredictedRBs,
+		ActualRBs:          r.ActualRBs,
+		AllocatedRBs:       r.AllocatedRBs,
+		PredictedCycles:    r.PredictedCycles,
+		ActualCycles:       r.ActualCycles,
+		PredictedBits:      r.PredictedBits,
+		ActualBits:         r.ActualBits,
+		PredictedWasteBits: r.PredictedWasteBits,
+		ActualWasteBits:    r.ActualWasteBits,
+		ActualEngagementS:  r.ActualEngagementS,
+		WorstSNRdB:         r.WorstSNRdB,
+		BitrateBps:         r.BitrateBps,
+	}
+}
+
+// RecordFromBin is the inverse of BinRecord, dropping the cell tag.
+func RecordFromBin(b tracebin.Record) GroupIntervalRecord {
+	return GroupIntervalRecord{
+		Interval:           b.Interval,
+		GroupID:            b.GroupID,
+		Size:               b.Size,
+		PredictedRBs:       b.PredictedRBs,
+		ActualRBs:          b.ActualRBs,
+		AllocatedRBs:       b.AllocatedRBs,
+		PredictedCycles:    b.PredictedCycles,
+		ActualCycles:       b.ActualCycles,
+		PredictedBits:      b.PredictedBits,
+		ActualBits:         b.ActualBits,
+		PredictedWasteBits: b.PredictedWasteBits,
+		ActualWasteBits:    b.ActualWasteBits,
+		ActualEngagementS:  b.ActualEngagementS,
+		WorstSNRdB:         b.WorstSNRdB,
+		BitrateBps:         b.BitrateBps,
+	}
+}
+
+// WriteRecordsBin writes the trace records in the binary columnar
+// format.
+func WriteRecordsBin(w io.Writer, records []GroupIntervalRecord) error {
+	bw, err := tracebin.NewWriter(w, tracebin.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	rows := make([]tracebin.Record, len(records))
+	for i, r := range records {
+		rows[i] = r.BinRecord(-1)
+	}
+	if err := bw.Flush(rows); err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// ReadRecordsBin decodes a binary columnar trace, dropping cell tags.
+func ReadRecordsBin(r io.Reader) ([]GroupIntervalRecord, error) {
+	rows, err := tracebin.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]GroupIntervalRecord, len(rows))
+	for i, b := range rows {
+		records[i] = RecordFromBin(b)
+	}
+	return records, nil
 }
 
 // Summary aggregates a trace into run-level statistics.

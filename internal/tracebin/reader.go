@@ -1,0 +1,246 @@
+package tracebin
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Reader streams records out of a binary columnar trace. NewReader
+// validates the header; Next then yields records one at a time,
+// decoding a block whenever the previous one is drained. A clean EOF
+// at a block boundary ends the stream with io.EOF — that is the valid
+// shape of a trace cut off mid-run. Anything else malformed surfaces
+// as ErrCorrupt (or ErrVersion for an unknown format version), never
+// a panic.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+
+	recs []Record // current decoded block
+	pos  int
+
+	frame []byte // reused frame buffer
+	body  []byte // reused decompressed-body buffer
+	fr    io.ReadCloser
+	lenb  [4]byte
+}
+
+// NewReader parses and validates the stream header of r. If r is
+// already a *bufio.Reader it is used directly, so callers may peek at
+// the magic bytes for format detection and hand over the same reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	tr := &Reader{r: br}
+	if err := tr.readHeader(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (tr *Reader) readHeader() error {
+	var head [11]byte // magic + version + flags
+	if _, err := io.ReadFull(tr.r, head[:]); err != nil {
+		return fmt.Errorf("stream header: %w", corruptEOF(err))
+	}
+	if !bytes.Equal(head[:8], magic[:]) {
+		return fmt.Errorf("bad magic: %w", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(head[8:10]); v != Version {
+		return fmt.Errorf("version %d (have %d): %w", v, Version, ErrVersion)
+	}
+	// head[10] is the reserved flags byte; nonzero values are from a
+	// future writer we do not understand.
+	if head[10] != 0 {
+		return fmt.Errorf("flags %#x: %w", head[10], ErrVersion)
+	}
+	names, err := tr.readStringTable()
+	if err != nil {
+		return err
+	}
+	return tr.readSchema(names)
+}
+
+func (tr *Reader) readStringTable() ([]string, error) {
+	n, err := tr.readU16()
+	if err != nil {
+		return nil, fmt.Errorf("string table: %w", err)
+	}
+	if int(n) != len(columns) {
+		return nil, fmt.Errorf("string table size %d (want %d): %w", n, len(columns), ErrCorrupt)
+	}
+	names := make([]string, n)
+	var buf [maxName]byte
+	for i := range names {
+		l, err := tr.readU16()
+		if err != nil {
+			return nil, fmt.Errorf("string table entry %d: %w", i, err)
+		}
+		if l == 0 || int(l) > maxName {
+			return nil, fmt.Errorf("string table entry %d length %d: %w", i, l, ErrCorrupt)
+		}
+		if _, err := io.ReadFull(tr.r, buf[:l]); err != nil {
+			return nil, fmt.Errorf("string table entry %d: %w", i, corruptEOF(err))
+		}
+		names[i] = string(buf[:l])
+	}
+	return names, nil
+}
+
+func (tr *Reader) readSchema(names []string) error {
+	n, err := tr.readU16()
+	if err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	if int(n) != len(columns) {
+		return fmt.Errorf("schema size %d (want %d): %w", n, len(columns), ErrCorrupt)
+	}
+	for i := range columns {
+		idx, err := tr.readU16()
+		if err != nil {
+			return fmt.Errorf("schema entry %d: %w", i, err)
+		}
+		kind, err := tr.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("schema entry %d: %w", i, corruptEOF(err))
+		}
+		if int(idx) >= len(names) || names[idx] != columns[i].name || kind != columns[i].kind {
+			return fmt.Errorf("schema entry %d is not column %q: %w", i, columns[i].name, ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+func (tr *Reader) readU16() (uint16, error) {
+	if _, err := io.ReadFull(tr.r, tr.lenb[:2]); err != nil {
+		return 0, corruptEOF(err)
+	}
+	return binary.LittleEndian.Uint16(tr.lenb[:2]), nil
+}
+
+// corruptEOF maps a short read to ErrCorrupt: inside any structure,
+// running out of bytes is damage, not a clean end of stream.
+func corruptEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("unexpected end of stream: %w", ErrCorrupt)
+	}
+	return err
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+// After any non-EOF error the Reader stays failed and keeps returning
+// the same error.
+func (tr *Reader) Next() (Record, error) {
+	if tr.err != nil {
+		return Record{}, tr.err
+	}
+	for tr.pos >= len(tr.recs) {
+		if err := tr.readBlock(); err != nil {
+			tr.err = err
+			return Record{}, err
+		}
+	}
+	rec := tr.recs[tr.pos]
+	tr.pos++
+	return rec, nil
+}
+
+// readBlock reads, verifies and decodes the next block into tr.recs.
+func (tr *Reader) readBlock() error {
+	if _, err := io.ReadFull(tr.r, tr.lenb[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF // clean boundary: a valid truncated trace
+		}
+		return fmt.Errorf("block frame length: %w", corruptEOF(err))
+	}
+	n := int(binary.LittleEndian.Uint32(tr.lenb[:]))
+	if n < 1 || n > maxFrame {
+		return fmt.Errorf("block frame length %d: %w", n, ErrCorrupt)
+	}
+	if cap(tr.frame) < n {
+		tr.frame = make([]byte, n)
+	}
+	tr.frame = tr.frame[:n]
+	if _, err := io.ReadFull(tr.r, tr.frame); err != nil {
+		return fmt.Errorf("block frame: %w", corruptEOF(err))
+	}
+	if _, err := io.ReadFull(tr.r, tr.lenb[:]); err != nil {
+		return fmt.Errorf("block checksum: %w", corruptEOF(err))
+	}
+	if got, want := crc32.ChecksumIEEE(tr.frame), binary.LittleEndian.Uint32(tr.lenb[:]); got != want {
+		return fmt.Errorf("block checksum %08x (want %08x): %w", got, want, ErrCorrupt)
+	}
+	body := tr.frame[1:]
+	switch tr.frame[0] {
+	case frameRaw:
+	case frameDeflate:
+		var err error
+		if body, err = tr.inflate(body); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("block frame flag %d: %w", tr.frame[0], ErrCorrupt)
+	}
+	recs, err := decodeBlockBody(tr.recs[:0], body)
+	tr.recs = recs
+	tr.pos = 0
+	if err != nil {
+		return fmt.Errorf("block body: %w", err)
+	}
+	return nil
+}
+
+// inflate decompresses a DEFLATE block body into the reused body
+// buffer, bounding the output so a hostile stream cannot balloon.
+func (tr *Reader) inflate(comp []byte) ([]byte, error) {
+	src := bytes.NewReader(comp)
+	if tr.fr == nil {
+		tr.fr = flate.NewReader(src)
+	} else if err := tr.fr.(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, fmt.Errorf("block inflate reset: %w", ErrCorrupt)
+	}
+	tr.body = tr.body[:0]
+	var chunk [4096]byte
+	for {
+		n, err := tr.fr.Read(chunk[:])
+		if len(tr.body)+n > maxBody {
+			return nil, fmt.Errorf("block body over %d bytes: %w", maxBody, ErrCorrupt)
+		}
+		tr.body = append(tr.body, chunk[:n]...)
+		if err == io.EOF {
+			return tr.body, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("block inflate: %w", ErrCorrupt)
+		}
+	}
+}
+
+// ReadAll drains r into a slice. Records decoded before an error are
+// returned alongside it, so a torn tail still yields its readable
+// prefix.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,312 @@
+// Package tracebin implements the binary columnar trace format: the
+// compact on-disk encoding of the per-(interval, cell, group) trace
+// records both engines stream through the session layer's sinks.
+//
+// A trace file is a header — magic, format version, a string table of
+// column labels, and the column schema — followed by blocks. Each
+// block holds a run of records laid out column-wise: every column is
+// either a fixed-width array (4-byte little-endian two's-complement
+// ints, 8-byte IEEE-754 float bits) or, when every record in the
+// block agrees, a single constant value — the columnar layout makes
+// that elision nearly free and it is what makes the format small,
+// since most trace columns (interval, cell, allocation, the idle
+// demand channels) are constant within a block. Blocks are framed
+// exactly like the checkpoint container's sections: a u32 length
+// prefix, the payload, and a CRC32 trailer, with an optional
+// per-block DEFLATE pass. There is no end marker: a trace truncated
+// at any block boundary is a valid trace, which is precisely the
+// whole-interval-prefix crash contract the streaming sinks guarantee
+// (the writer emits whole blocks per flush, one flush per interval).
+//
+// Readers are strict: framing damage, checksum mismatches, over-long
+// lengths and schema disagreements surface as ErrCorrupt (never a
+// panic or an unbounded allocation), and a format version this
+// package does not speak surfaces as ErrVersion.
+package tracebin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the format version this package writes and the only one
+// it reads.
+const Version uint16 = 1
+
+// magic opens every binary trace stream. Distinct from the checkpoint
+// container's magic so the two can never be confused.
+var magic = [8]byte{'D', 'T', 'T', 'R', 'A', 'C', 'E', 'B'}
+
+// Magic returns the 8 magic bytes that open every binary trace, for
+// format auto-detection by peeking a stream's head.
+func Magic() []byte { return append([]byte(nil), magic[:]...) }
+
+var (
+	// ErrCorrupt marks a binary trace whose framing, checksums or
+	// schema do not hold together.
+	ErrCorrupt = errors.New("binary trace corrupt")
+	// ErrVersion marks a binary trace written by a format version this
+	// reader does not understand.
+	ErrVersion = errors.New("binary trace version unsupported")
+)
+
+const (
+	// maxFrame bounds one block's on-wire payload; anything larger is
+	// treated as corruption rather than allocated.
+	maxFrame = 1 << 24
+	// maxBody bounds one block's decompressed payload.
+	maxBody = 1 << 24
+	// MaxBlockRecords bounds the records of one block, on both sides:
+	// the writer refuses larger block options, the reader treats a
+	// larger claimed count as corruption.
+	MaxBlockRecords = 1 << 16
+	// maxName bounds a string-table entry.
+	maxName = 64
+)
+
+// Block payload encodings, one byte ahead of each column's values.
+const (
+	encPlain    = 0 // count fixed-width values
+	encConstant = 1 // one value shared by every record in the block
+)
+
+// Block frame flags, the first payload byte.
+const (
+	frameRaw     = 0 // payload is the block body
+	frameDeflate = 1 // payload is the DEFLATE-compressed block body
+)
+
+// Record is one trace row in the binary columnar schema: the serving
+// cell (BS, -1 for the monolithic engine's campus-wide groups) plus
+// the group-interval fields shared by both engines. Int fields are
+// stored as 4-byte values on the wire — Flush rejects a value outside
+// int32 range rather than truncating — and floats keep their exact
+// IEEE-754 bits, so a decoded record is bit-identical to the encoded
+// one.
+type Record struct {
+	BS                 int
+	Interval           int
+	GroupID            int
+	Size               int
+	PredictedRBs       float64
+	ActualRBs          float64
+	AllocatedRBs       int
+	PredictedCycles    float64
+	ActualCycles       float64
+	PredictedBits      float64
+	ActualBits         float64
+	PredictedWasteBits float64
+	ActualWasteBits    float64
+	ActualEngagementS  float64
+	WorstSNRdB         float64
+	BitrateBps         float64
+}
+
+// Column kinds, as written in the schema.
+const (
+	colI32 = 0
+	colF64 = 1
+)
+
+// column binds one schema entry to its Record field. The same table
+// drives the encoder, the decoder and the header's schema, so the
+// three can never disagree.
+type column struct {
+	name string
+	kind uint8
+	i    func(*Record) *int
+	f    func(*Record) *float64
+}
+
+// columns is the format's schema, labels matching the CSV headers.
+var columns = []column{
+	{name: "bs", kind: colI32, i: func(r *Record) *int { return &r.BS }},
+	{name: "interval", kind: colI32, i: func(r *Record) *int { return &r.Interval }},
+	{name: "group_id", kind: colI32, i: func(r *Record) *int { return &r.GroupID }},
+	{name: "size", kind: colI32, i: func(r *Record) *int { return &r.Size }},
+	{name: "predicted_rbs", kind: colF64, f: func(r *Record) *float64 { return &r.PredictedRBs }},
+	{name: "actual_rbs", kind: colF64, f: func(r *Record) *float64 { return &r.ActualRBs }},
+	{name: "allocated_rbs", kind: colI32, i: func(r *Record) *int { return &r.AllocatedRBs }},
+	{name: "predicted_cycles", kind: colF64, f: func(r *Record) *float64 { return &r.PredictedCycles }},
+	{name: "actual_cycles", kind: colF64, f: func(r *Record) *float64 { return &r.ActualCycles }},
+	{name: "predicted_bits", kind: colF64, f: func(r *Record) *float64 { return &r.PredictedBits }},
+	{name: "actual_bits", kind: colF64, f: func(r *Record) *float64 { return &r.ActualBits }},
+	{name: "predicted_waste_bits", kind: colF64, f: func(r *Record) *float64 { return &r.PredictedWasteBits }},
+	{name: "actual_waste_bits", kind: colF64, f: func(r *Record) *float64 { return &r.ActualWasteBits }},
+	{name: "actual_engagement_s", kind: colF64, f: func(r *Record) *float64 { return &r.ActualEngagementS }},
+	{name: "worst_snr_db", kind: colF64, f: func(r *Record) *float64 { return &r.WorstSNRdB }},
+	{name: "bitrate_bps", kind: colF64, f: func(r *Record) *float64 { return &r.BitrateBps }},
+}
+
+func le16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func le32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func le64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+// appendHeader emits the stream header: magic, version, a reserved
+// flags byte, the string table of column labels, and the schema
+// referencing them by table index.
+func appendHeader(dst []byte) []byte {
+	dst = append(dst, magic[:]...)
+	dst = le16(dst, Version)
+	dst = append(dst, 0) // flags, reserved
+	dst = le16(dst, uint16(len(columns)))
+	for i := range columns {
+		dst = le16(dst, uint16(len(columns[i].name)))
+		dst = append(dst, columns[i].name...)
+	}
+	dst = le16(dst, uint16(len(columns)))
+	for i := range columns {
+		dst = le16(dst, uint16(i))
+		dst = append(dst, columns[i].kind)
+	}
+	return dst
+}
+
+// appendBlockBody encodes one block of records column-wise: the
+// record count, then per schema column an encoding byte and either
+// one constant value or count fixed-width values.
+func appendBlockBody(dst []byte, recs []Record) ([]byte, error) {
+	dst = le32(dst, uint32(len(recs)))
+	for ci := range columns {
+		c := &columns[ci]
+		if c.kind == colI32 {
+			v0 := *c.i(&recs[0])
+			constant := true
+			for i := 1; i < len(recs); i++ {
+				if *c.i(&recs[i]) != v0 {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				dst = append(dst, encConstant)
+				var err error
+				if dst, err = appendI32(dst, c.name, v0); err != nil {
+					return dst, err
+				}
+				continue
+			}
+			dst = append(dst, encPlain)
+			for i := range recs {
+				var err error
+				if dst, err = appendI32(dst, c.name, *c.i(&recs[i])); err != nil {
+					return dst, err
+				}
+			}
+			continue
+		}
+		v0 := *c.f(&recs[0])
+		b0 := math.Float64bits(v0)
+		constant := true
+		for i := 1; i < len(recs); i++ {
+			// Bitwise comparison: ±0 and NaN payloads must survive the
+			// round trip exactly.
+			if math.Float64bits(*c.f(&recs[i])) != b0 {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			dst = append(dst, encConstant)
+			dst = le64(dst, b0)
+			continue
+		}
+		dst = append(dst, encPlain)
+		for i := range recs {
+			dst = le64(dst, math.Float64bits(*c.f(&recs[i])))
+		}
+	}
+	return dst, nil
+}
+
+func appendI32(dst []byte, name string, v int) ([]byte, error) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return dst, fmt.Errorf("tracebin: %s value %d overflows the 32-bit wire field", name, v)
+	}
+	return le32(dst, uint32(int32(v))), nil
+}
+
+// cur is a bounds-checked cursor over one block's decoded body.
+type cur struct {
+	b   []byte
+	off int
+}
+
+func (c *cur) take(n int) ([]byte, error) {
+	if n < 0 || n > len(c.b)-c.off {
+		return nil, fmt.Errorf("block body short at offset %d: %w", c.off, ErrCorrupt)
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+// decodeBlockBody decodes one block body into dst, which is resized
+// (reusing capacity) to the block's record count.
+func decodeBlockBody(dst []Record, body []byte) ([]Record, error) {
+	c := cur{b: body}
+	nb, err := c.take(4)
+	if err != nil {
+		return dst, err
+	}
+	n := int(binary.LittleEndian.Uint32(nb))
+	if n < 1 || n > MaxBlockRecords {
+		return dst, fmt.Errorf("block record count %d: %w", n, ErrCorrupt)
+	}
+	if cap(dst) < n {
+		dst = make([]Record, n)
+	}
+	dst = dst[:n]
+	for ci := range columns {
+		col := &columns[ci]
+		eb, err := c.take(1)
+		if err != nil {
+			return dst, err
+		}
+		width := 4
+		if col.kind == colF64 {
+			width = 8
+		}
+		count := n
+		switch eb[0] {
+		case encConstant:
+			count = 1
+		case encPlain:
+		default:
+			return dst, fmt.Errorf("column %s encoding %d: %w", col.name, eb[0], ErrCorrupt)
+		}
+		vb, err := c.take(count * width)
+		if err != nil {
+			return dst, err
+		}
+		if col.kind == colI32 {
+			if count == 1 {
+				v := int(int32(binary.LittleEndian.Uint32(vb)))
+				for i := range dst {
+					*col.i(&dst[i]) = v
+				}
+			} else {
+				for i := range dst {
+					*col.i(&dst[i]) = int(int32(binary.LittleEndian.Uint32(vb[4*i:])))
+				}
+			}
+			continue
+		}
+		if count == 1 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(vb))
+			for i := range dst {
+				*col.f(&dst[i]) = v
+			}
+		} else {
+			for i := range dst {
+				*col.f(&dst[i]) = math.Float64frombits(binary.LittleEndian.Uint64(vb[8*i:]))
+			}
+		}
+	}
+	if c.off != len(body) {
+		return dst, fmt.Errorf("%d trailing block bytes: %w", len(body)-c.off, ErrCorrupt)
+	}
+	return dst, nil
+}

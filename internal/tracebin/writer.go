@@ -1,0 +1,262 @@
+package tracebin
+
+import (
+	"compress/flate"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync/atomic"
+
+	"dtmsvs/internal/parallel"
+)
+
+// WriterOptions tune a Writer. The zero value is ready to use.
+type WriterOptions struct {
+	// Workers is the number of goroutines encoding blocks in parallel
+	// within one Flush. 0 means GOMAXPROCS, 1 means sequential.
+	Workers int
+	// Compress runs each block body through DEFLATE (BestSpeed) and
+	// keeps whichever of raw/compressed is smaller.
+	Compress bool
+	// BlockRecords caps the records per block. 0 means 4096; values
+	// above MaxBlockRecords are rejected by NewWriter.
+	BlockRecords int
+	// MinBlockRecords is the smallest block a cell-run boundary may
+	// close: shorter runs are merged with the next so per-cell
+	// splitting cannot degenerate into per-record blocks. 0 means 256.
+	MinBlockRecords int
+}
+
+// Writer encodes records into the binary columnar trace format. One
+// Flush call encodes any number of records as whole blocks — split at
+// serving-cell run boundaries so cluster traces get per-cell blocks —
+// and hands the underlying writer a single Write, so every successful
+// Flush leaves a readable prefix and a failed one appends nothing
+// that a flush-per-interval caller would mistake for a torn interval.
+//
+// Blocks within a Flush are encoded concurrently on a parallel.Crew;
+// the assembled output order is deterministic and identical to
+// sequential encoding. Writer is not safe for concurrent use.
+type Writer struct {
+	w    io.Writer
+	opts WriterOptions
+	crew *parallel.Crew
+
+	headerDone bool
+	err        error
+
+	out    []byte      // assembled header+blocks for the current Flush
+	spans  []blockSpan // block boundaries of the current Flush
+	frames [][]byte    // per-block encoded frames, reused across Flushes
+	encs   []encState  // per-worker scratch, index-owned
+	errs   []error     // per-block encode errors
+	next   atomic.Int64
+	recs   []Record // records of the current Flush, shared with workers
+}
+
+type blockSpan struct{ lo, hi int }
+
+// encState is one worker's private encode scratch.
+type encState struct {
+	body []byte
+	fw   *flate.Writer
+}
+
+// NewWriter returns a Writer emitting to w. The header is written by
+// the first Flush (or by Close, so even an empty run yields a valid,
+// self-describing file).
+func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("tracebin: Workers %d out of range", opts.Workers)
+	}
+	if opts.BlockRecords == 0 {
+		opts.BlockRecords = 4096
+	}
+	if opts.BlockRecords < 1 || opts.BlockRecords > MaxBlockRecords {
+		return nil, fmt.Errorf("tracebin: BlockRecords %d out of range [1, %d]", opts.BlockRecords, MaxBlockRecords)
+	}
+	if opts.MinBlockRecords == 0 {
+		opts.MinBlockRecords = 256
+	}
+	if opts.MinBlockRecords < 1 || opts.MinBlockRecords > opts.BlockRecords {
+		return nil, fmt.Errorf("tracebin: MinBlockRecords %d out of range [1, BlockRecords]", opts.MinBlockRecords)
+	}
+	bw := &Writer{w: w, opts: opts}
+	if opts.Workers > 1 {
+		bw.crew = parallel.NewCrew(opts.Workers)
+	}
+	bw.encs = make([]encState, opts.Workers)
+	return bw, nil
+}
+
+// appendSpans splits recs into block spans: closed at the block-size
+// cap, and at serving-cell changes once the pending block has reached
+// the merge minimum (so cluster traces get per-cell blocks without
+// fine-grained cell interleavings degenerating into tiny blocks).
+func appendSpans(spans []blockSpan, recs []Record, maxN, minN int) []blockSpan {
+	lo := 0
+	for i := 1; i <= len(recs); i++ {
+		if i == len(recs) || i-lo >= maxN || (recs[i].BS != recs[i-1].BS && i-lo >= minN) {
+			spans = append(spans, blockSpan{lo, i})
+			lo = i
+		}
+	}
+	return spans
+}
+
+// Flush encodes recs as whole blocks and writes them — plus the
+// stream header, the first time — to the underlying writer in a
+// single Write call. recs may be empty (a no-op after the header
+// exists). Any error latches the Writer broken; an error from the
+// underlying writer is returned as-is so callers can inspect it.
+func (bw *Writer) Flush(recs []Record) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	bw.out = bw.out[:0]
+	if !bw.headerDone {
+		bw.out = appendHeader(bw.out)
+	}
+	if len(recs) > 0 {
+		bw.spans = appendSpans(bw.spans[:0], recs, bw.opts.BlockRecords, bw.opts.MinBlockRecords)
+		if err := bw.encodeSpans(recs); err != nil {
+			bw.err = err
+			return err
+		}
+		for i := range bw.spans {
+			frame := bw.frames[i]
+			bw.out = le32(bw.out, uint32(len(frame)))
+			bw.out = append(bw.out, frame...)
+			bw.out = le32(bw.out, crc32.ChecksumIEEE(frame))
+		}
+	}
+	if len(bw.out) == 0 {
+		return nil
+	}
+	if _, err := bw.w.Write(bw.out); err != nil {
+		// Keep headerDone false on a failed first write: a transient
+		// failure that consumed nothing must see the header again on
+		// retry.
+		bw.err = err
+		return err
+	}
+	bw.headerDone = true
+	return nil
+}
+
+// encodeSpans fills bw.frames[i] for every span, fanning blocks out
+// across the crew. Workers claim block indexes from an atomic counter;
+// each frame buffer is owned by its block index, so the only shared
+// mutable state is the counter.
+func (bw *Writer) encodeSpans(recs []Record) error {
+	n := len(bw.spans)
+	for len(bw.frames) < n {
+		bw.frames = append(bw.frames, nil)
+	}
+	for len(bw.errs) < n {
+		bw.errs = append(bw.errs, nil)
+	}
+	clear(bw.errs[:n])
+	bw.recs = recs
+	bw.next.Store(0)
+	if bw.crew != nil && n > 1 {
+		bw.crew.Run(min(n, bw.crew.Workers()), bw.encodeWorker)
+	} else {
+		bw.encodeWorker(0)
+	}
+	bw.recs = nil
+	for _, err := range bw.errs[:n] {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeWorker drains the block counter, encoding each claimed block
+// into its frame buffer with worker-private scratch.
+func (bw *Writer) encodeWorker(worker int) {
+	st := &bw.encs[worker]
+	n := int64(len(bw.spans))
+	for {
+		i := bw.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		sp := bw.spans[i]
+		frame, err := appendFrame(bw.frames[i][:0], bw.recs[sp.lo:sp.hi], bw.opts.Compress, st)
+		bw.frames[i] = frame
+		bw.errs[i] = err
+	}
+}
+
+// appendFrame encodes one block's frame: the frame flag byte, then
+// the raw or DEFLATE-compressed body — whichever is smaller.
+func appendFrame(dst []byte, recs []Record, compress bool, st *encState) ([]byte, error) {
+	if !compress {
+		dst = append(dst, frameRaw)
+		return appendBlockBody(dst, recs)
+	}
+	var err error
+	if st.body, err = appendBlockBody(st.body[:0], recs); err != nil {
+		return dst, err
+	}
+	dst = append(dst, frameDeflate)
+	sw := sliceWriter{buf: dst}
+	if st.fw == nil {
+		// BestSpeed: the block body is mostly low-entropy fixed-width
+		// numerics; deeper matching buys little and costs encode time.
+		st.fw, _ = flate.NewWriter(&sw, flate.BestSpeed)
+	} else {
+		st.fw.Reset(&sw)
+	}
+	if _, err := st.fw.Write(st.body); err != nil {
+		return dst, fmt.Errorf("tracebin: compress block: %w", err)
+	}
+	if err := st.fw.Close(); err != nil {
+		return dst, fmt.Errorf("tracebin: compress block: %w", err)
+	}
+	dst = sw.buf
+	if len(dst) >= 1+len(st.body) {
+		// Incompressible block: keep the raw body.
+		dst = append(dst[:0], frameRaw)
+		dst = append(dst, st.body...)
+	}
+	return dst, nil
+}
+
+// sliceWriter appends into a byte slice, letting flate stream into a
+// reusable buffer.
+type sliceWriter struct{ buf []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// Close writes the header if no Flush has (so an empty run still
+// yields a valid file) and releases the encode crew. A Writer already
+// broken by a Flush failure releases its resources and returns nil —
+// the error was reported when it happened, and Close must not touch
+// the torn stream again. The underlying writer is not closed.
+func (bw *Writer) Close() error {
+	if bw.crew != nil {
+		bw.crew.Close()
+		bw.crew = nil
+	}
+	if bw.err != nil {
+		return nil
+	}
+	if !bw.headerDone {
+		if _, err := bw.w.Write(appendHeader(nil)); err != nil {
+			bw.err = err
+			return err
+		}
+		bw.headerDone = true
+	}
+	return nil
+}

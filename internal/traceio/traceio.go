@@ -74,6 +74,7 @@ type CSVStream struct {
 	cw      *csv.Writer
 	scratch []string
 	started bool
+	def     Row
 }
 
 // NewCSVStream returns a CSV encoder over w.
@@ -102,8 +103,21 @@ func (s *CSVStream) Write(r Row) error {
 	return s.cw.Write(s.scratch)
 }
 
-// Flush drains the encoder's buffer to the underlying writer.
+// SetEmptyHeader arms the stream with a default row whose schema is
+// written on the first Flush if no record arrived first, so a run
+// that ends before producing any rows still leaves a header-only file
+// instead of an empty one. The default must share the schema of every
+// later row.
+func (s *CSVStream) SetEmptyHeader(r Row) { s.def = r }
+
+// Flush drains the encoder's buffer to the underlying writer, first
+// emitting the default row's header if nothing has been written yet.
 func (s *CSVStream) Flush() error {
+	if !s.started && s.def != nil {
+		if err := s.writeHeader(s.def); err != nil {
+			return err
+		}
+	}
 	s.cw.Flush()
 	return s.cw.Error()
 }

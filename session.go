@@ -638,6 +638,11 @@ func Open(cfg Config, opts ...SessionOption) (*SimSession, error) {
 		return nil, err
 	}
 	o := buildOptions(opts)
+	if cs, ok := o.sink.(*CSVSink); ok {
+		// The session knows the schema before any record exists, so an
+		// empty run still gets its CSV header.
+		cs.setSchema(TraceRecord{BS: -1})
+	}
 	st := &simStepper{
 		eng:    eng,
 		cfg:    cfg.Defaulted(),
@@ -722,6 +727,9 @@ func OpenCluster(cfg ClusterConfig, opts ...SessionOption) (*ClusterSession, err
 		return nil, err
 	}
 	o := buildOptions(opts)
+	if cs, ok := o.sink.(*CSVSink); ok {
+		cs.setSchema(TraceRecord{BS: 0})
+	}
 	eng.SetRetainRecords(o.sink == nil)
 	eng.SetFailurePolicy(o.cellPolicy)
 	st := &clusterStepper{eng: eng, cfg: eng.Config()}

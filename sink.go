@@ -60,12 +60,13 @@ func (s *NDJSONSink) Flush() error { return s.s.Flush() }
 
 // CSVSink streams records as CSV, writing the header before the first
 // record (the monolithic schema for BS < 0 records, the bs-prefixed
-// cluster schema otherwise — a session never mixes the two). Because
-// the schema is only known once a record arrives, a run that ends
-// before its first interval completes (e.g. cancelled during the
-// prologue) leaves the output empty rather than header-only; the
-// batch WriteTraceCSV helpers, whose record type is fixed, still
-// write a header for empty traces.
+// cluster schema otherwise — a session never mixes the two). Open and
+// OpenCluster tell the sink which schema to expect, so a run that
+// ends before its first interval completes (e.g. cancelled during the
+// prologue) leaves a header-only file, matching the batch
+// WriteTraceCSV helpers. The one remaining gap: a CSVSink used
+// outside a session has no record to learn the schema from, so
+// flushing it before the first Write still emits nothing.
 type CSVSink struct {
 	s *traceio.CSVStream
 }
@@ -80,6 +81,10 @@ func (s *CSVSink) WriteRecord(r TraceRecord) error { return s.s.Write(r) }
 
 // Flush implements TraceSink.
 func (s *CSVSink) Flush() error { return s.s.Flush() }
+
+// setSchema arms the stream with the session's record schema so an
+// empty run still gets its header. Called by Open/OpenCluster.
+func (s *CSVSink) setSchema(r TraceRecord) { s.s.SetEmptyHeader(r) }
 
 // DiscardSink drops every record: attach it when only the run-level
 // statistics and interval reports matter, so neither the session nor

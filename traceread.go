@@ -1,0 +1,199 @@
+// This file holds the format-transparent trace reader: one entry
+// point that accepts any trace a dtmsvs writer produces — JSON array,
+// NDJSON, CSV (either engine's schema) or the binary columnar format
+// — detecting the format from the stream's first bytes.
+package dtmsvs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"dtmsvs/internal/tracebin"
+	"dtmsvs/internal/traceio"
+)
+
+// TraceFormat names one of the trace encodings this package writes.
+type TraceFormat string
+
+// The trace encodings DetectTraceFormat can report.
+const (
+	FormatJSON   TraceFormat = "json"   // indented JSON array (batch helpers)
+	FormatNDJSON TraceFormat = "ndjson" // one JSON object per line (NDJSONSink)
+	FormatCSV    TraceFormat = "csv"    // header + rows (CSVSink, batch helpers)
+	FormatBin    TraceFormat = "bin"    // binary columnar (BinarySink)
+)
+
+// DetectTraceFormat sniffs the trace encoding from the stream's head
+// without consuming it: the binary magic bytes, else the first
+// non-whitespace byte ('[' a JSON array, '{' NDJSON, anything else
+// CSV — every CSV header starts with a letter). An empty stream
+// reports CSV, whose reader treats it as an empty trace.
+func DetectTraceFormat(br *bufio.Reader) TraceFormat {
+	if head, err := br.Peek(len(tracebin.Magic())); err == nil && bytes.Equal(head, tracebin.Magic()) {
+		return FormatBin
+	}
+	// Peek far enough to skip leading whitespace in text formats.
+	head, _ := br.Peek(512)
+	for _, b := range head {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '[':
+			return FormatJSON
+		case '{':
+			return FormatNDJSON
+		}
+		break
+	}
+	return FormatCSV
+}
+
+// ReadTraceRecords decodes a trace in any format this package writes
+// — JSON array, NDJSON, CSV (monolithic or cluster schema) or binary
+// columnar — auto-detected from the stream's first bytes. Rows
+// without a serving cell decode with BS = -1. An empty stream is an
+// empty trace.
+func ReadTraceRecords(r io.Reader) ([]TraceRecord, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	if _, err := br.Peek(1); err == io.EOF {
+		return nil, nil
+	}
+	switch f := DetectTraceFormat(br); f {
+	case FormatBin:
+		recs, err := ReadTraceRecordsBin(br)
+		if err != nil {
+			return recs, err
+		}
+		return recs, nil
+	case FormatJSON:
+		return readJSONArrayRecords(br)
+	case FormatNDJSON:
+		return readNDJSONRecords(br)
+	default:
+		return readCSVRecords(br)
+	}
+}
+
+// ReadTraceFile opens and decodes a trace file in any supported
+// format.
+func ReadTraceFile(path string) ([]TraceRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadTraceRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("read trace %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// readJSONArrayRecords decodes a JSON array of records; TraceRecord's
+// UnmarshalJSON accepts both engine schemas per element.
+func readJSONArrayRecords(r io.Reader) ([]TraceRecord, error) {
+	return traceio.ReadJSONArray[TraceRecord](r, "trace")
+}
+
+// readCSVRecords decodes a CSV trace in either engine's schema,
+// validating the header against the schema the writers emit.
+func readCSVRecords(r io.Reader) ([]TraceRecord, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read trace CSV header: %w", err)
+	}
+	hasBS := len(header) > 0 && header[0] == "bs"
+	want := TraceRecord{BS: -1}.CSVHeader()
+	if hasBS {
+		want = TraceRecord{BS: 0}.CSVHeader()
+	}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("trace CSV header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("trace CSV column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	var out []TraceRecord
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("read trace CSV: %w", err)
+		}
+		rec, err := parseCSVRecord(row, hasBS)
+		if err != nil {
+			return out, fmt.Errorf("trace CSV line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// parseCSVRecord decodes one row in field order — the bs prefix when
+// present, then the monolithic schema.
+func parseCSVRecord(row []string, hasBS bool) (TraceRecord, error) {
+	rec := TraceRecord{BS: -1}
+	i := 0
+	nextInt := func(dst *int) error {
+		v, err := strconv.Atoi(row[i])
+		if err != nil {
+			return fmt.Errorf("column %d: %w", i, err)
+		}
+		*dst = v
+		i++
+		return nil
+	}
+	nextFloat := func(dst *float64) error {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			return fmt.Errorf("column %d: %w", i, err)
+		}
+		*dst = v
+		i++
+		return nil
+	}
+	if hasBS {
+		if err := nextInt(&rec.BS); err != nil {
+			return rec, err
+		}
+	}
+	g := &rec.GroupIntervalRecord
+	for _, step := range []func() error{
+		func() error { return nextInt(&g.Interval) },
+		func() error { return nextInt(&g.GroupID) },
+		func() error { return nextInt(&g.Size) },
+		func() error { return nextFloat(&g.PredictedRBs) },
+		func() error { return nextFloat(&g.ActualRBs) },
+		func() error { return nextInt(&g.AllocatedRBs) },
+		func() error { return nextFloat(&g.PredictedCycles) },
+		func() error { return nextFloat(&g.ActualCycles) },
+		func() error { return nextFloat(&g.PredictedBits) },
+		func() error { return nextFloat(&g.ActualBits) },
+		func() error { return nextFloat(&g.PredictedWasteBits) },
+		func() error { return nextFloat(&g.ActualWasteBits) },
+		func() error { return nextFloat(&g.ActualEngagementS) },
+		func() error { return nextFloat(&g.WorstSNRdB) },
+		func() error { return nextFloat(&g.BitrateBps) },
+	} {
+		if err := step(); err != nil {
+			return rec, err
+		}
+	}
+	return rec, nil
+}
