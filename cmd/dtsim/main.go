@@ -12,6 +12,17 @@
 // caches, concurrent shards, and deterministic twin handover between
 // intervals.
 //
+// With -workers N the cluster runs under the multi-worker supervisor:
+// cells are partitioned across N workers that exchange handover twins
+// at every boundary and checkpoint every interval, so a crashed
+// worker is restarted and replayed without perturbing the trace. By
+// default workers are goroutines; -worker-procs re-execs this binary
+// as real child processes (SIGKILL-recoverable), and -worker-bin
+// points at a dedicated worker binary (cmd/dtworker) instead. The
+// merged trace is bit-identical to the same run without -workers.
+//
+//	dtsim -users 50000 -bs 16 -intervals 12 -workers 4 -worker-procs -out city.ndjson -format ndjson
+//
 // The "ndjson", "csv" and "bin" formats stream: records are flushed
 // to -out at every interval boundary, so the process never holds the
 // full trace in heap and an interrupt (Ctrl-C) leaves a well-formed
@@ -74,6 +85,10 @@ import (
 )
 
 func main() {
+	// A re-exec'ed child (dtsim -workers N -worker-procs without
+	// -worker-bin) becomes a frame worker here and never reaches the
+	// flag parser.
+	dtmsvs.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "dtsim:", err)
 		os.Exit(1)
@@ -82,28 +97,31 @@ func main() {
 
 func run() (err error) {
 	var (
-		users     = flag.Int("users", 100, "number of users")
-		bs        = flag.Int("bs", 4, "number of base stations")
-		intervals = flag.Int("intervals", 24, "reservation intervals to simulate")
-		seed      = flag.Int64("seed", 42, "random seed")
-		fixedK    = flag.Int("fixed-k", 0, "bypass the DDQN with a fixed grouping number (0 = use DDQN)")
-		noCNN     = flag.Bool("no-cnn", false, "disable the 1D-CNN compressor (raw-feature baseline)")
-		budget    = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
-		par       = flag.Int("parallel", 0, "worker goroutines for simulation fan-out and training GEMM row-blocks (0 = all cores; trace is identical for any value)")
-		shards    = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
-		format    = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson", "csv" or "bin" (streamed per interval; "bin" is the binary columnar format)`)
-		binGzip   = flag.Bool("bin-compress", false, `with -format bin, DEFLATE-compress each column block`)
-		out       = flag.String("out", "", "write the trace to this file (default stdout)")
-		progress  = flag.Bool("progress", false, "print per-interval stats to stderr")
-		ckptPath  = flag.String("checkpoint", "", "write the session state to this file at interval boundaries (atomic temp-file + rename)")
-		ckptEvery = flag.Int("checkpoint-every", 1, "with -checkpoint, write every N intervals")
-		resume    = flag.String("resume", "", "resume from a checkpoint file written under identical flags (trace output holds the resumed suffix)")
-		metAddr   = flag.String("metrics-addr", "", `serve live Prometheus /metrics and /debug/pprof on this address (e.g. ":9090") for the duration of the run`)
-		metOut    = flag.String("metrics-out", "", "write the end-of-run metrics snapshot to this file as JSON (render with dtreport -timings)")
-		failCell  = flag.Int("fail-cell", -1, "cluster: quarantine this cell at -fail-at and evacuate its twins (-1 = no injected failure; requires -shards)")
-		failAt    = flag.Int("fail-at", 0, "with -fail-cell, the 0-based interval boundary at which the cell dies")
-		reviveAt  = flag.Int("revive-at", -1, "with -fail-cell, the interval boundary at which the cell returns (-1 = never)")
-		faultSeed = flag.Int64("fault-seed", 0, "derive a chaos plan (which cell fails when, and whether it revives) from this seed instead of -fail-cell/-fail-at/-revive-at (0 = none; requires -shards)")
+		users      = flag.Int("users", 100, "number of users")
+		bs         = flag.Int("bs", 4, "number of base stations")
+		intervals  = flag.Int("intervals", 24, "reservation intervals to simulate")
+		seed       = flag.Int64("seed", 42, "random seed")
+		fixedK     = flag.Int("fixed-k", 0, "bypass the DDQN with a fixed grouping number (0 = use DDQN)")
+		noCNN      = flag.Bool("no-cnn", false, "disable the 1D-CNN compressor (raw-feature baseline)")
+		budget     = flag.Int("rb-budget", 0, "shared RB budget for reservation-with-admission (0 = unlimited)")
+		par        = flag.Int("parallel", 0, "worker goroutines for simulation fan-out and training GEMM row-blocks (0 = all cores; trace is identical for any value)")
+		shards     = flag.Int("shards", 0, "run the sharded multi-BS cluster engine with this many shards (-1 = one per BS, 0 = monolithic engine)")
+		format     = flag.String("format", "json", `trace format: "json" (buffered array), "ndjson", "csv" or "bin" (streamed per interval; "bin" is the binary columnar format)`)
+		binGzip    = flag.Bool("bin-compress", false, `with -format bin, DEFLATE-compress each column block`)
+		out        = flag.String("out", "", "write the trace to this file (default stdout)")
+		progress   = flag.Bool("progress", false, "print per-interval stats to stderr")
+		ckptPath   = flag.String("checkpoint", "", "write the session state to this file at interval boundaries (atomic temp-file + rename)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "with -checkpoint, write every N intervals")
+		resume     = flag.String("resume", "", "resume from a checkpoint file written under identical flags (trace output holds the resumed suffix)")
+		metAddr    = flag.String("metrics-addr", "", `serve live Prometheus /metrics and /debug/pprof on this address (e.g. ":9090") for the duration of the run`)
+		metOut     = flag.String("metrics-out", "", "write the end-of-run metrics snapshot to this file as JSON (render with dtreport -timings)")
+		workersN   = flag.Int("workers", 0, "run the supervised distributed engine with this many shard workers (0 = no supervisor; implies the cluster engine)")
+		workerProc = flag.Bool("worker-procs", false, "with -workers, run each worker as a child process (re-execs this binary) instead of an in-process goroutine")
+		workerBin  = flag.String("worker-bin", "", "with -workers, spawn this worker binary (e.g. a dtworker build) instead of re-execing dtsim; implies -worker-procs")
+		failCell   = flag.Int("fail-cell", -1, "cluster: quarantine this cell at -fail-at and evacuate its twins (-1 = no injected failure; requires -shards)")
+		failAt     = flag.Int("fail-at", 0, "with -fail-cell, the 0-based interval boundary at which the cell dies")
+		reviveAt   = flag.Int("revive-at", -1, "with -fail-cell, the interval boundary at which the cell returns (-1 = never)")
+		faultSeed  = flag.Int64("fault-seed", 0, "derive a chaos plan (which cell fails when, and whether it revives) from this seed instead of -fail-cell/-fail-at/-revive-at (0 = none; requires -shards)")
 	)
 	flag.Parse()
 	if *ckptEvery < 1 {
@@ -222,7 +240,52 @@ func run() (err error) {
 
 	var s dtmsvs.Session
 	var summary func() error
-	if *shards != 0 {
+	if *workersN > 0 {
+		if len(faults) > 0 {
+			return fmt.Errorf("cell failure injection is not supported under the distributed supervisor; drop -workers or the fault flags")
+		}
+		n := *shards
+		if n < 0 {
+			n = cfg.NumBS
+		}
+		if *workerBin != "" {
+			opts = append(opts, dtmsvs.WithWorkerProcesses(*workerBin))
+		} else if *workerProc {
+			opts = append(opts, dtmsvs.WithWorkerProcesses())
+		}
+		ccfg := dtmsvs.ClusterConfig{Sim: cfg, Shards: n}
+		var ds *dtmsvs.DistSession
+		var err error
+		if *resume != "" {
+			err = readCheckpoint(*resume, func(r io.Reader) error {
+				ds, err = dtmsvs.ResumeDistributed(ccfg, *workersN, r, opts...)
+				return err
+			})
+		} else {
+			ds, err = dtmsvs.OpenDistributed(ccfg, *workersN, opts...)
+		}
+		if err != nil {
+			return err
+		}
+		s = ds
+		summary = func() error {
+			trace := ds.Trace()
+			radioAcc, err := acc.RadioAccuracy()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr,
+				"dtsim: %d users, %d BSs, %d workers, %d intervals → handovers=%d churned=%d radio-accuracy=%.2f%% cache-hit=%.2f%%\n",
+				*users, *bs, *workersN, *intervals, trace.Handovers, trace.ChurnedUsers,
+				radioAcc*100, trace.CacheHitRate*100)
+			if ds.WorkerRestarts() > 0 || ds.WorkerAdoptions() > 0 {
+				fmt.Fprintf(os.Stderr,
+					"dtsim: recovered: %d worker restart(s), %d heartbeat miss(es), %d adoption(s)\n",
+					ds.WorkerRestarts(), ds.HeartbeatMisses(), ds.WorkerAdoptions())
+			}
+			return nil
+		}
+	} else if *shards != 0 {
 		n := *shards
 		if n < 0 {
 			n = cfg.NumBS

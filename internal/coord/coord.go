@@ -1,0 +1,956 @@
+// This file is the supervisor: it drives N workers through the
+// scenario one boundary at a time, routes twin batches between them,
+// merges their record streams, and — the point of the package —
+// survives worker loss. Every boundary acks a checkpoint; a worker
+// that dies (process exit, torn frame, missed heartbeat) is killed,
+// restarted with exponential backoff from its last acked checkpoint,
+// and the in-flight boundary is replayed. Exports and records the
+// first incarnation already delivered are deduplicated, so replay is
+// idempotent and the merged trace stays bit-identical.
+
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dtmsvs/internal/checkpoint"
+	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/faultinject"
+	"dtmsvs/internal/obs"
+	"dtmsvs/internal/tracebin"
+)
+
+// Config parameterizes a supervised distributed run.
+type Config struct {
+	// Cluster is the scenario, exactly as a single-process
+	// cluster.Run would take it. Faults here are cell faults and are
+	// rejected (they live below the worker partition); process faults
+	// go in Faults.
+	Cluster cluster.Config
+	// Workers is the number of worker processes, each owning a
+	// contiguous block of cells. Must be in [1, NumBS].
+	Workers int
+	// Transport builds each worker's byte channel. nil = InProcess().
+	Transport TransportFactory
+	// Heartbeat is the worker beat period (default 100ms).
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many consecutive missed beats declare a
+	// worker dead (default 10).
+	HeartbeatMiss int
+	// StepTimeout is the hard deadline for one boundary across all
+	// workers, recoveries included (default 10 minutes).
+	StepTimeout time.Duration
+	// MaxRestarts is the per-worker restart budget (default 3).
+	// Negative forbids restarts entirely, so the first loss exhausts
+	// the budget.
+	MaxRestarts int
+	// Backoff is the first restart delay; it doubles per consecutive
+	// restart of the same worker, capped at 1s (default 25ms).
+	Backoff time.Duration
+	// Adopt degrades gracefully instead of failing: a worker that
+	// exhausts its restart budget is adopted — its cells run
+	// in-process inside the supervisor from the last acked
+	// checkpoint. Without Adopt, budget exhaustion is ErrWorkerFailed.
+	Adopt bool
+	// Faults schedules deterministic process-fault injection
+	// (kill/hang/garbage) on workers, for tests and chaos runs.
+	Faults []faultinject.ProcFault
+	// HangDuration is how long a ProcHang fault stalls a worker
+	// (default 30s; tests shrink it).
+	HangDuration time.Duration
+	// Metrics receives restart/heartbeat/byte counters and per-worker
+	// boundary timings. nil disables.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	c.Cluster = c.Cluster.Defaulted()
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Transport == nil {
+		c.Transport = InProcess()
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 100 * time.Millisecond
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 10
+	}
+	if c.StepTimeout <= 0 {
+		c.StepTimeout = 10 * time.Minute
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.HangDuration <= 0 {
+		c.HangDuration = 30 * time.Second
+	}
+	return c
+}
+
+// workerEvent is one frame (or read failure) from one worker
+// incarnation, pumped into the supervisor's event channel.
+type workerEvent struct {
+	idx     int
+	inc     int
+	typ     frameType
+	payload []byte
+	err     error
+}
+
+// workerHandle is the supervisor's view of one worker slot across
+// incarnations.
+type workerHandle struct {
+	idx      int
+	inc      int // incarnation; events from older incarnations are stale
+	restarts int
+	// stripBelow drops scheduled faults with Interval < stripBelow
+	// from restart hellos, so the fault that killed an incarnation
+	// cannot re-fire on replay and crash-loop the worker.
+	stripBelow int
+	t          Transport
+	conn       *conn
+	sendq      chan sendReq // ordered async sends of the live incarnation
+	lastCkpt   []byte       // last acked boundary checkpoint (resume blob before any)
+	lastBeat   time.Time    // last frame of the live incarnation
+	wk         *cluster.Worker
+	plan       []cluster.Handover // adopted: full handover plan awaiting imports
+
+	// Per-step state. got* flags survive recovery: a replayed worker
+	// re-sends exports and records, and the duplicates are dropped.
+	gotRecords  bool
+	gotExports  bool
+	gotBoundary bool
+	records     []byte
+	exports     []cluster.Handover
+	imports     []cluster.Handover
+	numUsers    int
+	handovers   int
+	churned     int
+	stats       []byte
+	stepStart   time.Time
+
+	stage     *obs.Stage
+	restartsC *obs.Counter
+}
+
+// stepState is the boundary currently in flight.
+type stepState struct {
+	ph            phase
+	n             int
+	seq           int64
+	importsRouted bool
+}
+
+// Supervisor drives a distributed cluster run. It is not safe for
+// concurrent use; the session layer calls it from one goroutine.
+type Supervisor struct {
+	cfg     Config
+	handles []*workerHandle
+	events  chan workerEvent
+	step    *stepState
+	seq     int64
+	started bool
+	closed  bool
+	err     error
+
+	restartsTotal   int
+	adoptionsTotal  int
+	heartbeatMisses int
+
+	tx, rx  *obs.Counter
+	hbMissC *obs.Counter
+	adoptC  *obs.Counter
+}
+
+// New validates cfg and builds a supervisor. Workers are spawned
+// lazily at the first step (so SetResume can run first).
+func New(cfg Config) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Cluster.Faults) > 0 {
+		return nil, fmt.Errorf("%w: cell faults are not supported under a coordinator (workers own the cells)", ErrProtocol)
+	}
+	if cfg.Workers < 1 || cfg.Workers > cfg.Cluster.Sim.NumBS {
+		return nil, fmt.Errorf("%w: %d workers for %d cells", ErrProtocol, cfg.Workers, cfg.Cluster.Sim.NumBS)
+	}
+	for _, f := range cfg.Faults {
+		if f.Worker < 0 || f.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("%w: fault for worker %d of %d", ErrProtocol, f.Worker, cfg.Workers)
+		}
+	}
+	s := &Supervisor{
+		cfg:    cfg,
+		events: make(chan workerEvent, 64+16*cfg.Workers),
+	}
+	reg := cfg.Metrics
+	s.tx = reg.Counter("dtmsvs_coord_tx_bytes_total", "Frame bytes written to workers.")
+	s.rx = reg.Counter("dtmsvs_coord_rx_bytes_total", "Frame bytes read from workers.")
+	s.hbMissC = reg.Counter("dtmsvs_heartbeat_miss_total", "Workers declared dead by heartbeat deadline.")
+	s.adoptC = reg.Counter("dtmsvs_worker_adoptions_total", "Workers adopted in-process after exhausting restarts.")
+	for i := 0; i < cfg.Workers; i++ {
+		lbl := obs.Label{Name: "worker", Value: strconv.Itoa(i)}
+		s.handles = append(s.handles, &workerHandle{
+			idx:       i,
+			stage:     reg.Stage("coord_boundary", lbl),
+			restartsC: reg.Counter("dtmsvs_worker_restarts_total", "Worker restarts after crash, torn frame or missed heartbeat.", lbl),
+		})
+	}
+	return s, nil
+}
+
+// SetResume seeds each worker with a boundary checkpoint blob (one
+// per worker, from a previous run's CheckpointBlobs). Must be called
+// before the first step.
+func (s *Supervisor) SetResume(blobs [][]byte) error {
+	if s.started {
+		return fmt.Errorf("%w: resume after start", ErrProtocol)
+	}
+	if len(blobs) != len(s.handles) {
+		return fmt.Errorf("%w: %d resume blobs for %d workers", ErrProtocol, len(blobs), len(s.handles))
+	}
+	for i, b := range blobs {
+		s.handles[i].lastCkpt = append([]byte(nil), b...)
+	}
+	return nil
+}
+
+// Restarts reports total worker restarts so far.
+func (s *Supervisor) Restarts() int { return s.restartsTotal }
+
+// Adoptions reports how many workers the supervisor has adopted
+// in-process.
+func (s *Supervisor) Adoptions() int { return s.adoptionsTotal }
+
+// HeartbeatMisses reports how many worker losses were declared by
+// heartbeat deadline (as opposed to observed directly).
+func (s *Supervisor) HeartbeatMisses() int { return s.heartbeatMisses }
+
+// fail latches a fatal supervisor error.
+func (s *Supervisor) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// sendReq is one queued frame for a worker.
+type sendReq struct {
+	typ     frameType
+	payload []byte
+}
+
+// startSender serializes frames to one worker incarnation through an
+// ordered queue, so the supervisor's event loop never blocks on a
+// synchronous pipe (a restarted worker reads its next frame only
+// after reconstructing the engine) and frames cannot reorder. Send
+// failures latch the conn and surface through the pump's read error.
+func startSender(c *conn) chan sendReq {
+	ch := make(chan sendReq, 16)
+	go func() {
+		for r := range ch {
+			_ = c.send(r.typ, r.payload)
+		}
+	}()
+	return ch
+}
+
+// pump reads frames from one worker incarnation into the event
+// channel until the transport dies. The final event carries the read
+// error.
+func (s *Supervisor) pump(idx, inc int, t Transport) {
+	br := bufio.NewReaderSize(t.Reader(), 1<<16)
+	var buf []byte
+	for {
+		typ, payload, nbuf, err := ReadFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			s.events <- workerEvent{idx: idx, inc: inc, err: err}
+			return
+		}
+		s.rx.Add(uint64(9 + len(payload)))
+		var p []byte
+		if len(payload) > 0 {
+			p = append([]byte(nil), payload...)
+		}
+		s.events <- workerEvent{idx: idx, inc: inc, typ: typ, payload: p}
+	}
+}
+
+// helloPayload builds the hello frame for a worker: config +
+// partition + its remaining faults, plus its resume checkpoint.
+func (s *Supervisor) helloPayload(h *workerHandle) ([]byte, error) {
+	var faults []faultinject.ProcFault
+	for _, f := range s.cfg.Faults {
+		if f.Worker == h.idx && f.Interval >= h.stripBelow {
+			faults = append(faults, f)
+		}
+	}
+	hm := helloMsg{
+		Proto:       protoVersion,
+		Cluster:     s.cfg.Cluster,
+		Index:       h.idx,
+		Count:       len(s.handles),
+		HeartbeatMS: int(s.cfg.Heartbeat / time.Millisecond),
+		HangMS:      int(s.cfg.HangDuration / time.Millisecond),
+		Faults:      faults,
+	}
+	jb, err := json.Marshal(hm)
+	if err != nil {
+		return nil, err
+	}
+	var e checkpoint.Enc
+	e.Blob(jb)
+	e.Blob(h.lastCkpt)
+	return append([]byte(nil), e.Bytes()...), nil
+}
+
+// spawn starts a fresh incarnation of h and queues its hello. resend
+// additionally replays the in-flight step (and routed imports) — the
+// recovery path.
+func (s *Supervisor) spawn(h *workerHandle, resend bool) error {
+	hello, err := s.helloPayload(h)
+	if err != nil {
+		return err
+	}
+	t, err := s.cfg.Transport(h.idx)
+	if err != nil {
+		return err
+	}
+	h.inc++
+	h.t = t
+	h.conn = newConn(t.Writer(), s.tx)
+	if h.sendq != nil {
+		close(h.sendq)
+	}
+	h.sendq = startSender(h.conn)
+	h.lastBeat = time.Now()
+	go s.pump(h.idx, h.inc, t)
+
+	h.sendq <- sendReq{fHello, hello}
+	if resend && s.step != nil {
+		h.sendq <- sendReq{fStep, stepPayload(s.step.ph, s.step.n, s.step.seq)}
+		if s.step.importsRouted {
+			h.sendq <- sendReq{fImports, importsPayload(s.step.seq, h.imports)}
+		}
+	}
+	return nil
+}
+
+func stepPayload(ph phase, n int, seq int64) []byte {
+	var e checkpoint.Enc
+	e.U8(uint8(ph))
+	e.I64(int64(n))
+	e.I64(seq)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func importsPayload(seq int64, hs []cluster.Handover) []byte {
+	var e checkpoint.Enc
+	e.I64(seq)
+	appendHandovers(&e, hs)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// ensureStarted spawns every worker on first use.
+func (s *Supervisor) ensureStarted() error {
+	if s.started {
+		return nil
+	}
+	for _, h := range s.handles {
+		if err := s.spawn(h, false); err != nil {
+			return s.fail(fmt.Errorf("spawn worker %d: %w", h.idx, err))
+		}
+	}
+	s.started = true
+	return nil
+}
+
+// recover handles the loss of worker h for any cause: kill whatever
+// is left, and either restart it (replaying the in-flight boundary)
+// or — budget exhausted — adopt it in-process / fail the run.
+func (s *Supervisor) recover(h *workerHandle, cause error) error {
+	if h.t != nil {
+		h.t.Kill()
+	}
+	h.inc++ // orphan any event still in flight from the dead incarnation
+	h.restarts++
+	s.restartsTotal++
+	h.restartsC.Inc()
+	if s.step != nil && s.step.ph == phaseInterval && s.step.n >= h.stripBelow {
+		h.stripBelow = s.step.n + 1
+	}
+	budget := s.cfg.MaxRestarts
+	if budget < 0 {
+		budget = 0
+	}
+	if h.restarts > budget {
+		if s.cfg.Adopt {
+			return s.adopt(h, cause)
+		}
+		return s.fail(fmt.Errorf("worker %d lost %d times (budget %d), last cause: %v: %w",
+			h.idx, h.restarts, budget, cause, ErrWorkerFailed))
+	}
+	backoff := s.cfg.Backoff
+	for i := 1; i < h.restarts && backoff < time.Second; i++ {
+		backoff *= 2
+	}
+	if backoff > time.Second {
+		backoff = time.Second
+	}
+	time.Sleep(backoff)
+	if err := s.spawn(h, true); err != nil {
+		return s.fail(fmt.Errorf("respawn worker %d: %v: %w", h.idx, err, ErrWorkerFailed))
+	}
+	return nil
+}
+
+// adopt runs h's cells in-process from its last acked checkpoint —
+// graceful degradation once the restart budget is gone. The in-flight
+// boundary is replayed locally.
+func (s *Supervisor) adopt(h *workerHandle, cause error) error {
+	wk, err := cluster.NewWorker(s.cfg.Cluster, h.idx, len(s.handles))
+	if err != nil {
+		return s.fail(fmt.Errorf("adopt worker %d: %v: %w", h.idx, err, ErrWorkerFailed))
+	}
+	if len(h.lastCkpt) > 0 {
+		if err := restoreWorker(wk, s.cfg.Cluster, h.idx, len(s.handles), h.lastCkpt); err != nil {
+			wk.Close()
+			return s.fail(fmt.Errorf("adopt worker %d: %v: %w", h.idx, err, ErrWorkerFailed))
+		}
+	}
+	h.wk = wk
+	h.t = nil
+	h.conn = nil
+	if h.sendq != nil {
+		close(h.sendq)
+		h.sendq = nil
+	}
+	s.adoptionsTotal++
+	s.adoptC.Inc()
+	_ = cause
+	if s.step != nil {
+		return s.runLocal(h)
+	}
+	return nil
+}
+
+// restoreWorker restores wk from a boundary checkpoint blob.
+func restoreWorker(wk *cluster.Worker, cfg cluster.Config, index, count int, blob []byte) error {
+	fp, err := WorkerFingerprint(cfg, index, count)
+	if err != nil {
+		return err
+	}
+	cr, err := checkpoint.NewReader(bytes.NewReader(blob), WorkerKind, fp)
+	if err != nil {
+		return err
+	}
+	if err := wk.ReadState(cr); err != nil {
+		return err
+	}
+	return cr.Finish()
+}
+
+// runLocal replays the in-flight boundary on an adopted worker: the
+// phase's engine work, records, exports — deduplicated against what
+// the dead incarnation already delivered — and, if imports are
+// already routed, the apply and boundary.
+func (s *Supervisor) runLocal(h *workerHandle) error {
+	st := s.step
+	ctx := context.Background()
+	var err error
+	switch st.ph {
+	case phaseWarmup:
+		err = h.wk.WarmupStep(ctx)
+	case phaseTrain:
+		err = h.wk.TrainAndBuild(ctx)
+	case phaseInterval:
+		var recs []cluster.Record
+		if recs, err = h.wk.StepInterval(ctx, st.n); err == nil {
+			var blob []byte
+			if blob, err = encodeRecordsStream(recs); err == nil && !h.gotRecords {
+				h.records = blob
+				h.gotRecords = true
+			}
+		}
+	case phaseCkpt:
+		// Checkpoint-only boundary: no engine work.
+	}
+	if err != nil {
+		return s.fail(fmt.Errorf("adopted worker %d %s %d: %w", h.idx, st.ph, st.n, err))
+	}
+	h.plan = nil
+	if st.ph == phaseWarmup || st.ph == phaseInterval {
+		if h.plan, err = h.wk.PlanHandovers(); err != nil {
+			return s.fail(fmt.Errorf("adopted worker %d plan: %w", h.idx, err))
+		}
+	}
+	if !h.gotExports {
+		for _, x := range h.plan {
+			if x.Twin != nil {
+				h.exports = append(h.exports, x)
+			}
+		}
+		h.gotExports = true
+	}
+	if st.importsRouted {
+		return s.finishLocal(h)
+	}
+	return nil
+}
+
+// finishLocal applies the routed imports on an adopted worker and
+// produces its boundary: counters, a fresh checkpoint, and final
+// stats on the last interval — exactly what a wire worker's boundary
+// frame carries.
+func (s *Supervisor) finishLocal(h *workerHandle) error {
+	st := s.step
+	if st.ph == phaseWarmup || st.ph == phaseInterval {
+		if err := h.wk.ApplyHandovers(append(h.plan, h.imports...)); err != nil {
+			return s.fail(fmt.Errorf("adopted worker %d apply: %w", h.idx, err))
+		}
+	}
+	ckpt, err := encodeWorkerCheckpoint(h.wk, s.cfg.Cluster, h.idx, len(s.handles))
+	if err != nil {
+		return s.fail(fmt.Errorf("adopted worker %d checkpoint: %w", h.idx, err))
+	}
+	h.lastCkpt = ckpt
+	h.numUsers = h.wk.NumUsers()
+	h.handovers = h.wk.Handovers()
+	h.churned = h.wk.Churned()
+	if st.ph == phaseCkpt || (st.ph == phaseInterval && st.n == s.cfg.Cluster.Sim.NumIntervals-1) {
+		cells, hits, misses := h.wk.FinishStats()
+		jb, jerr := json.Marshal(workerStats{Cells: cells, Hits: hits, Misses: misses})
+		if jerr != nil {
+			return s.fail(jerr)
+		}
+		h.stats = jb
+	}
+	h.gotBoundary = true
+	h.stage.ObserveSince(h.stepStart)
+	return nil
+}
+
+// encodeWorkerCheckpoint captures wk as a self-contained blob, same
+// container a wire worker ships at every boundary.
+func encodeWorkerCheckpoint(wk *cluster.Worker, cfg cluster.Config, index, count int) ([]byte, error) {
+	fp, err := WorkerFingerprint(cfg, index, count)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	cw := checkpoint.NewWriter(&buf, WorkerKind, fp)
+	if err := wk.WriteState(cw); err != nil {
+		return nil, err
+	}
+	if err := cw.Finish(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runStep drives one boundary across all workers: step out, exports
+// in, imports routed, boundaries in — recovering workers as they
+// fall.
+func (s *Supervisor) runStep(ctx context.Context, ph phase, n int) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return fmt.Errorf("%w: supervisor closed", ErrProtocol)
+	}
+	if err := s.ensureStarted(); err != nil {
+		return err
+	}
+	s.seq++
+	s.step = &stepState{ph: ph, n: n, seq: s.seq}
+	defer func() { s.step = nil }()
+	now := time.Now()
+	for _, h := range s.handles {
+		h.gotExports = false
+		h.gotBoundary = false
+		h.gotRecords = ph != phaseInterval
+		h.records = nil
+		h.exports = nil
+		h.imports = nil
+		h.plan = nil
+		h.lastBeat = now
+		h.stepStart = h.stage.Start()
+	}
+	step := stepPayload(ph, n, s.seq)
+	for _, h := range s.handles {
+		if h.wk != nil {
+			if err := s.runLocal(h); err != nil {
+				return err
+			}
+			continue
+		}
+		h.sendq <- sendReq{fStep, step}
+	}
+	return s.gather(ctx)
+}
+
+// gather runs the event loop for the in-flight boundary until every
+// worker has delivered it.
+func (s *Supervisor) gather(ctx context.Context) error {
+	deadline := time.Now().Add(s.cfg.StepTimeout)
+	missAfter := s.cfg.Heartbeat * time.Duration(s.cfg.HeartbeatMiss)
+	tick := s.cfg.Heartbeat / 2
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	for {
+		if !s.step.importsRouted && s.allExports() {
+			if err := s.routeImports(); err != nil {
+				return err
+			}
+		}
+		if s.allBoundaries() {
+			return s.checkConservation()
+		}
+		select {
+		case ev := <-s.events:
+			if err := s.handleEvent(ev); err != nil {
+				return err
+			}
+		case <-time.After(tick):
+		}
+		if err := ctx.Err(); err != nil {
+			return s.fail(err)
+		}
+		if time.Now().After(deadline) {
+			return s.fail(fmt.Errorf("%s %d: step deadline %v exceeded: %w",
+				s.step.ph, s.step.n, s.cfg.StepTimeout, ErrWorkerFailed))
+		}
+		for _, h := range s.handles {
+			if h.wk == nil && !h.gotBoundary && time.Since(h.lastBeat) > missAfter {
+				s.heartbeatMisses++
+				s.hbMissC.Inc()
+				if err := s.recover(h, fmt.Errorf("missed %d heartbeats", s.cfg.HeartbeatMiss)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+func (s *Supervisor) allExports() bool {
+	for _, h := range s.handles {
+		if !h.gotExports {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Supervisor) allBoundaries() bool {
+	for _, h := range s.handles {
+		if !h.gotBoundary || !h.gotRecords {
+			return false
+		}
+	}
+	return true
+}
+
+// routeImports fans every worker's exports out to their destination
+// workers, then releases everyone: imports frames to wire workers,
+// local apply for adopted ones.
+func (s *Supervisor) routeImports() error {
+	numCells := s.cfg.Cluster.Sim.NumBS
+	workers := len(s.handles)
+	for _, h := range s.handles {
+		for _, x := range h.exports {
+			dst := cluster.WorkerForCell(x.To, numCells, workers)
+			if dst == h.idx || dst < 0 || dst >= workers {
+				return s.fail(fmt.Errorf("worker %d exported user %d to its own cell %d: %w",
+					h.idx, x.ID, x.To, ErrProtocol))
+			}
+			s.handles[dst].imports = append(s.handles[dst].imports, x)
+		}
+	}
+	s.step.importsRouted = true
+	for _, h := range s.handles {
+		if h.wk != nil {
+			if err := s.finishLocal(h); err != nil {
+				return err
+			}
+			continue
+		}
+		h.sendq <- sendReq{fImports, importsPayload(s.step.seq, h.imports)}
+	}
+	return nil
+}
+
+// handleEvent processes one frame (or loss) from a worker.
+func (s *Supervisor) handleEvent(ev workerEvent) error {
+	h := s.handles[ev.idx]
+	if ev.inc != h.inc || h.wk != nil {
+		return nil // stale incarnation
+	}
+	if ev.err != nil {
+		return s.recover(h, fmt.Errorf("read: %w", ev.err))
+	}
+	h.lastBeat = time.Now()
+	switch ev.typ {
+	case fHeartbeat, fReady:
+		return nil
+	case fError:
+		// Worker-side engine errors are deterministic: a restart would
+		// re-fail, so they are terminal.
+		d := checkpoint.NewDec(ev.payload)
+		msg := d.Blob()
+		return s.fail(fmt.Errorf("worker %d: %s", ev.idx, msg))
+	case fRecords:
+		d := checkpoint.NewDec(ev.payload)
+		seq := d.I64()
+		blob := d.Blob()
+		if err := d.Close(); err != nil || seq != s.step.seq {
+			return s.recover(h, fmt.Errorf("records frame (seq %d, want %d): %w", seq, s.step.seq, ErrProtocol))
+		}
+		if !h.gotRecords {
+			h.records = blob // aliases the event's private payload copy
+			h.gotRecords = true
+		}
+		return nil
+	case fExports:
+		d := checkpoint.NewDec(ev.payload)
+		seq := d.I64()
+		hs, err := decodeHandovers(d)
+		if err == nil {
+			err = d.Close()
+		}
+		if err != nil || seq != s.step.seq {
+			return s.recover(h, fmt.Errorf("exports frame (seq %d, want %d): %w", seq, s.step.seq, ErrProtocol))
+		}
+		if !h.gotExports {
+			h.exports = hs
+			h.gotExports = true
+		}
+		return nil
+	case fBoundary:
+		d := checkpoint.NewDec(ev.payload)
+		seq := d.I64()
+		numUsers := int(d.I64())
+		handovers := int(d.I64())
+		churned := int(d.I64())
+		ckpt := d.Blob()
+		stats := d.Blob()
+		if err := d.Close(); err != nil || seq != s.step.seq {
+			return s.recover(h, fmt.Errorf("boundary frame (seq %d, want %d): %w", seq, s.step.seq, ErrProtocol))
+		}
+		h.numUsers = numUsers
+		h.handovers = handovers
+		h.churned = churned
+		h.lastCkpt = append([]byte(nil), ckpt...)
+		if len(stats) > 0 {
+			h.stats = append([]byte(nil), stats...)
+		}
+		h.gotBoundary = true
+		h.stage.ObserveSince(h.stepStart)
+		return nil
+	default:
+		return s.recover(h, fmt.Errorf("frame %d from worker: %w", ev.typ, ErrProtocol))
+	}
+}
+
+// checkConservation asserts no user was lost or duplicated across the
+// partition at this boundary.
+func (s *Supervisor) checkConservation() error {
+	total := 0
+	for _, h := range s.handles {
+		total += h.numUsers
+	}
+	if want := s.cfg.Cluster.Sim.NumUsers; total != want {
+		return s.fail(fmt.Errorf("%s %d: %d users across workers, want %d: %w",
+			s.step.ph, s.step.n, total, want, ErrProtocol))
+	}
+	return nil
+}
+
+// WarmupStep runs one warmup boundary across all workers.
+func (s *Supervisor) WarmupStep(ctx context.Context) error {
+	return s.runStep(ctx, phaseWarmup, 0)
+}
+
+// TrainAndBuild runs the training boundary.
+func (s *Supervisor) TrainAndBuild(ctx context.Context) error {
+	return s.runStep(ctx, phaseTrain, 0)
+}
+
+// StepInterval runs interval n and returns the merged records, in
+// the same order the single-process cluster engine emits them
+// (workers own contiguous cell blocks, so index order is cell order).
+func (s *Supervisor) StepInterval(ctx context.Context, n int) ([]cluster.Record, error) {
+	if err := s.runStep(ctx, phaseInterval, n); err != nil {
+		return nil, err
+	}
+	var merged bytes.Buffer
+	aw := tracebin.NewAppendWriter(&merged)
+	for _, h := range s.handles {
+		if _, err := aw.AppendStream(bytes.NewReader(h.records)); err != nil {
+			return nil, s.fail(fmt.Errorf("merge worker %d records: %w", h.idx, err))
+		}
+	}
+	if err := aw.Close(); err != nil {
+		return nil, s.fail(err)
+	}
+	rows, err := tracebin.ReadAll(bytes.NewReader(merged.Bytes()))
+	if err != nil {
+		return nil, s.fail(fmt.Errorf("decode merged records: %w", err))
+	}
+	recs := make([]cluster.Record, len(rows))
+	for i, b := range rows {
+		recs[i] = cluster.RecordFromBin(b)
+	}
+	return recs, nil
+}
+
+// CheckpointBlobs runs a checkpoint-only boundary and returns one
+// fresh state blob per worker — the resume payload for SetResume.
+func (s *Supervisor) CheckpointBlobs(ctx context.Context) ([][]byte, error) {
+	if err := s.runStep(ctx, phaseCkpt, -1); err != nil {
+		return nil, err
+	}
+	blobs := make([][]byte, len(s.handles))
+	for i, h := range s.handles {
+		blobs[i] = append([]byte(nil), h.lastCkpt...)
+	}
+	return blobs, nil
+}
+
+// Handovers reports total cross-cell handovers so far (each counted
+// once, at the source worker).
+func (s *Supervisor) Handovers() int {
+	total := 0
+	for _, h := range s.handles {
+		total += h.handovers
+	}
+	return total
+}
+
+// Churned reports total churned users so far.
+func (s *Supervisor) Churned() int {
+	total := 0
+	for _, h := range s.handles {
+		total += h.churned
+	}
+	return total
+}
+
+// Stats assembles the end-of-run per-cell stats the workers attached
+// to their final boundary, in cell-id order, plus global cache
+// hit/miss totals. Only valid after the last interval.
+func (s *Supervisor) Stats() ([]cluster.CellStats, int, int, error) {
+	var cells []cluster.CellStats
+	hits, misses := 0, 0
+	for _, h := range s.handles {
+		if len(h.stats) == 0 {
+			return nil, 0, 0, fmt.Errorf("%w: worker %d sent no final stats", ErrProtocol, h.idx)
+		}
+		var ws workerStats
+		if err := json.Unmarshal(h.stats, &ws); err != nil {
+			return nil, 0, 0, fmt.Errorf("worker %d stats: %v: %w", h.idx, err, ErrProtocol)
+		}
+		cells = append(cells, ws.Cells...)
+		hits += ws.Hits
+		misses += ws.Misses
+	}
+	return cells, hits, misses, nil
+}
+
+// FinalStats is Stats, fetching missing stats with a checkpoint-only
+// boundary first — a supervisor that restored into an
+// already-finished run never saw the final interval's boundary, but
+// its workers can still report.
+func (s *Supervisor) FinalStats(ctx context.Context) ([]cluster.CellStats, int, int, error) {
+	for _, h := range s.handles {
+		if len(h.stats) == 0 {
+			if _, err := s.CheckpointBlobs(ctx); err != nil {
+				return nil, 0, 0, err
+			}
+			break
+		}
+	}
+	return s.Stats()
+}
+
+// Close shuts every worker down: a shutdown frame for the live ones,
+// then the transports are killed and reaped. Adopted workers are
+// closed in-process. Safe to call more than once.
+func (s *Supervisor) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, h := range s.handles {
+		if h.wk != nil {
+			h.wk.Close()
+			h.wk = nil
+			continue
+		}
+		if h.sendq != nil {
+			h.sendq <- sendReq{fShutdown, nil}
+			close(h.sendq)
+			h.sendq = nil
+		}
+	}
+	// Give workers a moment to exit cleanly, then kill what is left.
+	// The event channel keeps draining so pump goroutines can deliver
+	// their final error and unwind.
+	patience := time.After(2 * time.Second)
+	done := make([]bool, len(s.handles))
+	for {
+		live := false
+		for i, h := range s.handles {
+			if h.t == nil || done[i] {
+				continue
+			}
+			select {
+			case <-h.t.Done():
+				done[i] = true
+			default:
+				live = true
+			}
+		}
+		if !live {
+			return nil
+		}
+		select {
+		case <-s.events:
+		case <-patience:
+			for i, h := range s.handles {
+				if h.t != nil && !done[i] {
+					h.t.Kill()
+				}
+			}
+			// One bounded reap pass after the kill.
+			reap := time.After(2 * time.Second)
+			for i, h := range s.handles {
+				if h.t == nil || done[i] {
+					continue
+				}
+				select {
+				case <-h.t.Done():
+					done[i] = true
+				case <-s.events:
+				case <-reap:
+					return nil
+				}
+			}
+			return nil
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package coord is the distributed cluster coordinator: a supervisor
+// drives N worker processes, each owning a contiguous block of
+// coverage cells (cluster.Worker), through the scenario in lockstep
+// boundaries — exchanging handover-twin batches, per-interval record
+// streams and per-boundary checkpoints as length-prefixed
+// CRC32-guarded binary frames over pipes.
+//
+// The robustness layer is the point: workers heartbeat between
+// frames, every boundary ships a checkpoint, and on worker loss —
+// process exit, SIGKILL, torn frame, missed heartbeat, stalled step —
+// the supervisor restarts the worker with exponential backoff from
+// the last checkpoint it acked and replays the in-flight boundary.
+// Because workers are deterministic and boundaries are idempotent to
+// replay, the merged trace stays bit-identical to the single-process
+// cluster run at the same seed, faults or none.
+package coord
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"dtmsvs/internal/obs"
+)
+
+// Typed wire errors.
+var (
+	// ErrFrame marks a torn or corrupt frame: bad length prefix, bad
+	// CRC, or a stream that ends mid-frame.
+	ErrFrame = errors.New("coord: corrupt frame")
+	// ErrProtocol marks a well-formed frame that violates the
+	// supervisor/worker protocol (wrong type, wrong sequence, bad
+	// payload shape).
+	ErrProtocol = errors.New("coord: protocol violation")
+	// ErrWorkerFailed marks a worker that died more times than the
+	// restart budget allows (and, absent adoption, fails the run).
+	ErrWorkerFailed = errors.New("coord: worker failed")
+)
+
+// protoVersion gates the hello exchange so a supervisor never drives
+// a worker speaking a different frame dialect.
+const protoVersion = 1
+
+// maxFramePayload bounds one frame's payload: worker checkpoints
+// carry whole cell populations, so the ceiling is generous, but a
+// corrupt length prefix must never cause an unbounded allocation.
+const maxFramePayload = 1 << 26
+
+// frameType tags a frame's payload shape.
+type frameType uint8
+
+const (
+	// Supervisor → worker.
+	fHello    frameType = 1 // config, partition, faults, optional resume checkpoint
+	fStep     frameType = 2 // run one phase
+	fImports  frameType = 3 // twin batch routed into this worker
+	fShutdown frameType = 4 // clean exit
+	// Worker → supervisor.
+	fReady     frameType = 5  // hello processed, engine constructed/restored
+	fRecords   frameType = 6  // one interval's records as a tracebin stream
+	fExports   frameType = 7  // twin batch leaving this worker
+	fBoundary  frameType = 8  // step done: counters + boundary checkpoint
+	fHeartbeat frameType = 9  // liveness beat
+	fError     frameType = 10 // terminal worker-side failure, as text
+)
+
+// phase selects what a step frame runs.
+type phase uint8
+
+const (
+	phaseWarmup phase = iota
+	phaseTrain
+	phaseInterval
+	phaseCkpt // checkpoint-only boundary: no engine work, fresh state blob
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseWarmup:
+		return "warmup"
+	case phaseTrain:
+		return "train"
+	case phaseInterval:
+		return "interval"
+	case phaseCkpt:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// appendFrame appends one encoded frame — [u32 len][type+payload]
+// [u32 crc] — to dst. The CRC covers the type byte and payload.
+func appendFrame(dst []byte, typ frameType, payload []byte) []byte {
+	n := 1 + len(payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	body := len(dst)
+	dst = append(dst, byte(typ))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[body:]))
+}
+
+// ReadFrame reads one frame from br, reusing buf for the payload. It
+// returns the frame type, the payload (aliasing the possibly-grown
+// buffer, valid until the next call), and the buffer for reuse. A
+// clean EOF at a frame start returns io.EOF; a stream ending inside a
+// frame, an out-of-range length or a checksum mismatch return
+// ErrFrame. Allocation is bounded by the frame length cap regardless
+// of input.
+func ReadFrame(br *bufio.Reader, buf []byte) (frameType, []byte, []byte, error) {
+	buf = buf[:cap(buf)]
+	var lenb [4]byte
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, fmt.Errorf("frame length: %w", ErrFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(lenb[:]))
+	if n < 1 || n > maxFramePayload {
+		return 0, nil, buf, fmt.Errorf("frame length %d: %w", n, ErrFrame)
+	}
+	// Read the body in bounded chunks, growing the buffer only as
+	// bytes actually arrive: a torn stream whose length prefix claims
+	// a huge frame must not allocate the claim up front.
+	const chunk = 1 << 16
+	for read := 0; read < n; {
+		end := read + chunk
+		if end > n {
+			end = n
+		}
+		if cap(buf) < end {
+			grow := 2 * cap(buf)
+			if grow < end {
+				grow = end
+			}
+			if grow > n {
+				grow = n
+			}
+			nb := make([]byte, grow)
+			copy(nb, buf[:read])
+			buf = nb
+		}
+		if _, err := io.ReadFull(br, buf[read:end]); err != nil {
+			return 0, nil, buf, fmt.Errorf("frame body: %w", ErrFrame)
+		}
+		read = end
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(br, lenb[:]); err != nil {
+		return 0, nil, buf, fmt.Errorf("frame checksum: %w", ErrFrame)
+	}
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(lenb[:]); got != want {
+		return 0, nil, buf, fmt.Errorf("frame checksum %08x (want %08x): %w", got, want, ErrFrame)
+	}
+	return frameType(body[0]), body[1:], buf, nil
+}
+
+// conn serializes frame writes to one pipe. Both worker (main loop +
+// heartbeat goroutine) and supervisor (step loop) funnel through it;
+// each frame reaches the pipe as a single Write.
+type conn struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	tx  *obs.Counter // frame bytes written; nil-safe
+	err error
+}
+
+func newConn(w io.Writer, tx *obs.Counter) *conn { return &conn{w: w, tx: tx} }
+
+// send writes one frame. A failed write latches the conn so the
+// heartbeat goroutine stops hammering a torn pipe.
+func (c *conn) send(typ frameType, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.buf = appendFrame(c.buf[:0], typ, payload)
+	if _, err := c.w.Write(c.buf); err != nil {
+		c.err = err
+		return err
+	}
+	c.tx.Add(uint64(len(c.buf)))
+	return nil
+}
+
+// sendGarbage writes a deliberately corrupt frame (valid length, bad
+// CRC) — the ProcGarbage fault. The conn is NOT latched: the fault
+// model is a worker emitting damage, not a dead pipe.
+func (c *conn) sendGarbage() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.buf = appendFrame(c.buf[:0], fHeartbeat, []byte("garbage"))
+	c.buf[len(c.buf)-1] ^= 0xFF // break the checksum
+	if _, err := c.w.Write(c.buf); err != nil {
+		c.err = err
+		return err
+	}
+	c.tx.Add(uint64(len(c.buf)))
+	return nil
+}
+
+// hold grabs the write mutex for d — the ProcHang fault. Heartbeats
+// and step responses stall together, so the supervisor's liveness
+// deadline (not the pipe) must detect the loss.
+func (c *conn) hold(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(d)
+}

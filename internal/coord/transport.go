@@ -1,0 +1,174 @@
+// This file carries the supervisor↔worker byte channels. Two
+// transports speak the same frame protocol: an in-process one (the
+// worker loop on a goroutine over io.Pipes — the default, no exec
+// needed) and a process one (a child process over stdin/stdout, so
+// worker death is real SIGKILL death). The supervisor never knows
+// which it drives.
+
+package coord
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+)
+
+// Transport is one worker's byte channel as the supervisor sees it.
+type Transport interface {
+	// Reader carries frames from the worker.
+	Reader() io.Reader
+	// Writer carries frames to the worker.
+	Writer() io.Writer
+	// Kill tears the worker down abruptly: SIGKILL for processes,
+	// poisoned pipes for in-process workers. Idempotent.
+	Kill()
+	// Done is closed when the worker has fully stopped.
+	Done() <-chan struct{}
+}
+
+// TransportFactory builds the transport for one worker index. The
+// supervisor calls it again for every restart incarnation.
+type TransportFactory func(index int) (Transport, error)
+
+// errKilled poisons the pipes of an in-process worker the supervisor
+// tore down.
+var errKilled = fmt.Errorf("coord: worker killed")
+
+type inprocTransport struct {
+	fromWorker *io.PipeReader // supervisor reads
+	toWorker   *io.PipeWriter // supervisor writes
+	workerIn   *io.PipeReader // worker reads
+	workerOut  *io.PipeWriter // worker writes
+	done       chan struct{}
+}
+
+func (t *inprocTransport) Reader() io.Reader     { return t.fromWorker }
+func (t *inprocTransport) Writer() io.Writer     { return t.toWorker }
+func (t *inprocTransport) Done() <-chan struct{} { return t.done }
+func (t *inprocTransport) Kill() {
+	// Poison every end: the worker's next read or write fails, its
+	// heartbeat stops, and the goroutine unwinds.
+	t.fromWorker.CloseWithError(errKilled)
+	t.toWorker.CloseWithError(errKilled)
+	t.workerIn.CloseWithError(errKilled)
+	t.workerOut.CloseWithError(errKilled)
+}
+
+// InProcess runs each worker as a goroutine in the supervisor's own
+// process, joined by synchronous pipes. This is the default
+// transport: no child processes, full protocol — a ProcKill fault
+// tears the pipes instead of delivering a signal.
+func InProcess() TransportFactory {
+	return func(index int) (Transport, error) {
+		workerIn, toWorker := io.Pipe()
+		fromWorker, workerOut := io.Pipe()
+		t := &inprocTransport{
+			fromWorker: fromWorker,
+			toWorker:   toWorker,
+			workerIn:   workerIn,
+			workerOut:  workerOut,
+			done:       make(chan struct{}),
+		}
+		go func() {
+			defer close(t.done)
+			kill := func() {
+				// Abrupt in-process death: poison the pipes mid-protocol
+				// and abandon the worker goroutine without cleanup, the
+				// closest analog of SIGKILL that shares an address space.
+				workerIn.CloseWithError(errKilled)
+				workerOut.CloseWithError(errKilled)
+				runtime.Goexit()
+			}
+			_ = RunWorkerOpts(workerIn, workerOut, WorkerOptions{Kill: kill})
+			workerOut.Close()
+			workerIn.Close()
+		}()
+		return t, nil
+	}
+}
+
+type procTransport struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+	done   chan struct{}
+}
+
+func (t *procTransport) Reader() io.Reader     { return t.stdout }
+func (t *procTransport) Writer() io.Writer     { return t.stdin }
+func (t *procTransport) Done() <-chan struct{} { return t.done }
+func (t *procTransport) Kill() {
+	if t.cmd.Process != nil {
+		_ = t.cmd.Process.Kill() // SIGKILL; the wait goroutine reaps
+	}
+	t.stdin.Close()
+}
+
+// Process runs each worker as a child process speaking frames over
+// stdin/stdout, with stderr passed through. argv is the worker
+// command; extraEnv entries (KEY=VALUE) are appended to the current
+// environment — pass WorkerEnv+"=1" to re-exec a binary that calls
+// MaybeWorker early in main.
+func Process(argv []string, extraEnv ...string) TransportFactory {
+	return func(index int) (Transport, error) {
+		if len(argv) == 0 {
+			return nil, fmt.Errorf("empty worker command: %w", ErrProtocol)
+		}
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("start worker %d: %w", index, err)
+		}
+		t := &procTransport{cmd: cmd, stdin: stdin, stdout: stdout, done: make(chan struct{})}
+		go func() {
+			defer close(t.done)
+			_ = cmd.Wait()
+		}()
+		return t, nil
+	}
+}
+
+// WorkerEnv marks a process as a re-exec'ed frame worker: a binary
+// whose main calls MaybeWorker turns into a worker when it sees this
+// variable set.
+const WorkerEnv = "DTMSVS_COORD_WORKER"
+
+// MaybeWorker turns the current process into a frame worker over
+// stdin/stdout if WorkerEnv is set, never returning. Call it first
+// thing in main (before flag parsing) of any binary used with
+// SelfTransport.
+func MaybeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := RunWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dtmsvs worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// SelfTransport re-execs the current binary as the worker process
+// (its main must call MaybeWorker). This is how dtsim and the test
+// suite get real processes — and real SIGKILLs — without shipping a
+// second binary.
+func SelfTransport() TransportFactory {
+	exe, err := os.Executable()
+	return func(index int) (Transport, error) {
+		if err != nil {
+			return nil, fmt.Errorf("resolve own executable: %w", err)
+		}
+		return Process([]string{exe}, WorkerEnv+"=1")(index)
+	}
+}

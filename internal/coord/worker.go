@@ -1,0 +1,446 @@
+// This file is the worker side of the frame protocol: parse hello,
+// construct (or restore) the owned cell block, then serve step frames
+// until shutdown — heartbeating the whole time, checkpointing at
+// every boundary, and injecting scheduled process faults on itself.
+
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"time"
+
+	"dtmsvs/internal/checkpoint"
+	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/faultinject"
+	"dtmsvs/internal/tracebin"
+)
+
+// WorkerKind is the checkpoint-container kind of a worker's boundary
+// state blob.
+const WorkerKind = "dtworker"
+
+// WorkerFingerprint is the config fingerprint a worker checkpoint is
+// stamped with: the fully defaulted cluster configuration plus the
+// worker's slot in the partition, so a blob can never restore into
+// the wrong worker.
+func WorkerFingerprint(cfg cluster.Config, index, count int) (uint64, error) {
+	return checkpoint.Fingerprint(struct {
+		Cluster cluster.Config `json:"cluster"`
+		Index   int            `json:"index"`
+		Count   int            `json:"count"`
+	}{cfg.Defaulted(), index, count})
+}
+
+// helloMsg is the supervisor's opening frame, as JSON inside the
+// hello payload (config structs already marshal as JSON elsewhere;
+// the hot frames stay binary).
+type helloMsg struct {
+	Proto       int                     `json:"proto"`
+	Cluster     cluster.Config          `json:"cluster"`
+	Index       int                     `json:"index"`
+	Count       int                     `json:"count"`
+	HeartbeatMS int                     `json:"heartbeatMs"`
+	HangMS      int                     `json:"hangMs"`
+	Faults      []faultinject.ProcFault `json:"faults,omitempty"`
+}
+
+// workerStats is the worker's end-of-run contribution to the merged
+// trace, attached to the final interval's boundary frame as JSON.
+type workerStats struct {
+	Cells  []cluster.CellStats `json:"cells"`
+	Hits   int                 `json:"hits"`
+	Misses int                 `json:"misses"`
+}
+
+// appendHandovers encodes a twin batch.
+func appendHandovers(e *checkpoint.Enc, hs []cluster.Handover) {
+	e.U32(uint32(len(hs)))
+	for _, h := range hs {
+		e.Int(h.ID)
+		e.Int(h.From)
+		e.Int(h.To)
+		e.Blob(h.Twin)
+	}
+}
+
+// decodeHandovers decodes a twin batch, bounding the prealloc so a
+// corrupt count cannot balloon.
+func decodeHandovers(d *checkpoint.Dec) ([]cluster.Handover, error) {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	hs := make([]cluster.Handover, 0, min(int(n), 1<<16))
+	for i := uint32(0); i < n; i++ {
+		h := cluster.Handover{ID: d.Int(), From: d.Int(), To: d.Int()}
+		h.Twin = d.Blob()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(h.Twin) > 0 {
+			h.Twin = append([]byte(nil), h.Twin...)
+		} else {
+			h.Twin = nil
+		}
+		hs = append(hs, h)
+	}
+	return hs, nil
+}
+
+// WorkerOptions tune RunWorkerOpts.
+type WorkerOptions struct {
+	// Kill abandons the worker abruptly when a ProcKill fault fires.
+	// nil means SIGKILL the own process — real, unhandleable death for
+	// process transports; in-process transports substitute a pipe
+	// teardown.
+	Kill func()
+}
+
+// RunWorker serves the worker protocol over r/w until shutdown or
+// transport loss. It is the entire lifecycle of cmd/dtworker and of
+// re-exec'ed MaybeWorker processes.
+func RunWorker(r io.Reader, w io.Writer) error {
+	return RunWorkerOpts(r, w, WorkerOptions{})
+}
+
+// RunWorkerOpts is RunWorker with explicit options.
+func RunWorkerOpts(r io.Reader, w io.Writer, opts WorkerOptions) error {
+	if opts.Kill == nil {
+		opts.Kill = func() {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			os.Exit(137) // unreachable; belt and braces
+		}
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	c := newConn(w, nil)
+
+	typ, payload, buf, err := ReadFrame(br, nil)
+	if err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	if typ != fHello {
+		return fmt.Errorf("first frame %d is not hello: %w", typ, ErrProtocol)
+	}
+	d := checkpoint.NewDec(payload)
+	helloBlob := d.Blob()
+	resume := d.Blob()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("hello payload: %w", err)
+	}
+	var hello helloMsg
+	if err := json.Unmarshal(helloBlob, &hello); err != nil {
+		return fmt.Errorf("hello header: %v: %w", err, ErrProtocol)
+	}
+	if hello.Proto != protoVersion {
+		return sendErrf(c, "protocol version %d, worker speaks %d", hello.Proto, protoVersion)
+	}
+
+	// Heartbeats flow on their own goroutine through the shared conn
+	// from the moment the hello parses — construction and restore can
+	// be slow, and the supervisor's liveness deadline must cover them
+	// like any other phase.
+	hb := hello.HeartbeatMS
+	if hb <= 0 {
+		hb = 100
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(time.Duration(hb) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if c.send(fHeartbeat, nil) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	wk, err := cluster.NewWorker(hello.Cluster, hello.Index, hello.Count)
+	if err != nil {
+		return sendErrf(c, "construct worker %d/%d: %v", hello.Index, hello.Count, err)
+	}
+	defer wk.Close()
+	fp, err := WorkerFingerprint(hello.Cluster, hello.Index, hello.Count)
+	if err != nil {
+		return sendErrf(c, "fingerprint: %v", err)
+	}
+	if len(resume) > 0 {
+		cr, rerr := checkpoint.NewReader(bytes.NewReader(resume), WorkerKind, fp)
+		if rerr == nil {
+			rerr = wk.ReadState(cr)
+		}
+		if rerr == nil {
+			rerr = cr.Finish()
+		}
+		if rerr != nil {
+			return sendErrf(c, "restore worker %d: %v", hello.Index, rerr)
+		}
+	}
+
+	if err := c.send(fReady, nil); err != nil {
+		return err
+	}
+
+	ws := &workerSession{
+		wk:    wk,
+		c:     c,
+		br:    br,
+		buf:   buf,
+		fp:    fp,
+		hello: hello,
+		kill:  opts.Kill,
+	}
+	for {
+		typ, payload, nbuf, err := ReadFrame(ws.br, ws.buf)
+		ws.buf = nbuf
+		if err != nil {
+			if err == io.EOF {
+				return nil // supervisor went away cleanly
+			}
+			return err
+		}
+		switch typ {
+		case fStep:
+			if err := ws.handleStep(payload); err != nil {
+				return err
+			}
+		case fShutdown:
+			return nil
+		default:
+			return fmt.Errorf("frame %d outside a step: %w", typ, ErrProtocol)
+		}
+	}
+}
+
+// sendErrf reports a terminal worker-side failure to the supervisor
+// and returns it locally too.
+func sendErrf(c *conn, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	var e checkpoint.Enc
+	e.Blob([]byte(err.Error()))
+	_ = c.send(fError, e.Bytes())
+	return err
+}
+
+// workerSession is the per-connection state of a running worker.
+type workerSession struct {
+	wk    *cluster.Worker
+	c     *conn
+	br    *bufio.Reader
+	buf   []byte
+	fp    uint64
+	hello helloMsg
+	enc   checkpoint.Enc
+	kill  func()
+}
+
+// handleStep runs one boundary: fault injection, the phase's engine
+// work, the export/import twin exchange, then the boundary frame with
+// a fresh checkpoint (and final stats on the last interval).
+func (ws *workerSession) handleStep(payload []byte) error {
+	d := checkpoint.NewDec(payload)
+	ph := phase(d.U8())
+	n := int(d.I64())
+	seq := d.I64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("step payload: %w", err)
+	}
+
+	if ph == phaseInterval {
+		ws.injectFaults(n)
+	}
+
+	ctx := context.Background()
+	var err error
+	switch ph {
+	case phaseWarmup:
+		err = ws.wk.WarmupStep(ctx)
+	case phaseTrain:
+		err = ws.wk.TrainAndBuild(ctx)
+	case phaseInterval:
+		var recs []cluster.Record
+		if recs, err = ws.wk.StepInterval(ctx, n); err == nil {
+			err = ws.sendRecords(seq, recs)
+		}
+	case phaseCkpt:
+		// Checkpoint-only boundary: no engine work.
+	default:
+		return fmt.Errorf("step phase %d: %w", ph, ErrProtocol)
+	}
+	if err != nil {
+		return sendErrf(ws.c, "worker %d %s %d: %v", ws.hello.Index, ph, n, err)
+	}
+
+	migrating := ph == phaseWarmup || ph == phaseInterval
+	var plan []cluster.Handover
+	if migrating {
+		if plan, err = ws.wk.PlanHandovers(); err != nil {
+			return sendErrf(ws.c, "worker %d plan: %v", ws.hello.Index, err)
+		}
+	}
+	var exports []cluster.Handover
+	for _, h := range plan {
+		if h.Twin != nil {
+			exports = append(exports, h)
+		}
+	}
+	ws.enc.Reset()
+	ws.enc.I64(seq)
+	appendHandovers(&ws.enc, exports)
+	if err := ws.c.send(fExports, ws.enc.Bytes()); err != nil {
+		return err
+	}
+
+	imports, err := ws.awaitImports(seq)
+	if err != nil {
+		return err
+	}
+	if migrating {
+		if err := ws.wk.ApplyHandovers(append(plan, imports...)); err != nil {
+			return sendErrf(ws.c, "worker %d apply: %v", ws.hello.Index, err)
+		}
+	} else if len(imports) > 0 {
+		return fmt.Errorf("%d imports at a %s boundary: %w", len(imports), ph, ErrProtocol)
+	}
+
+	ckpt, err := ws.encodeCheckpoint()
+	if err != nil {
+		return sendErrf(ws.c, "worker %d checkpoint: %v", ws.hello.Index, err)
+	}
+	// Stats ride the final interval's boundary — and every
+	// checkpoint-only boundary, so a supervisor restoring into an
+	// already-finished run can still assemble the trace summary.
+	var stats []byte
+	if ph == phaseCkpt || (ph == phaseInterval && n == ws.wk.Config().Sim.NumIntervals-1) {
+		cells, hits, misses := ws.wk.FinishStats()
+		if stats, err = json.Marshal(workerStats{Cells: cells, Hits: hits, Misses: misses}); err != nil {
+			return sendErrf(ws.c, "worker %d stats: %v", ws.hello.Index, err)
+		}
+	}
+	ws.enc.Reset()
+	ws.enc.I64(seq)
+	ws.enc.I64(int64(ws.wk.NumUsers()))
+	ws.enc.I64(int64(ws.wk.Handovers()))
+	ws.enc.I64(int64(ws.wk.Churned()))
+	ws.enc.Blob(ckpt)
+	ws.enc.Blob(stats)
+	return ws.c.send(fBoundary, ws.enc.Bytes())
+}
+
+// injectFaults fires any scheduled process fault for interval n.
+// Faults arrive pre-filtered: the supervisor strips ones a previous
+// incarnation already fired.
+func (ws *workerSession) injectFaults(n int) {
+	for _, f := range ws.hello.Faults {
+		if f.Worker != ws.hello.Index || f.Interval != n {
+			continue
+		}
+		switch f.Kind {
+		case faultinject.ProcKill:
+			ws.kill()
+		case faultinject.ProcHang:
+			hang := time.Duration(ws.hello.HangMS) * time.Millisecond
+			if hang <= 0 {
+				hang = 30 * time.Second
+			}
+			ws.c.hold(hang)
+		case faultinject.ProcGarbage:
+			_ = ws.c.sendGarbage()
+		}
+	}
+}
+
+// encodeRecordsStream encodes one interval's records as a whole
+// columnar trace stream — the unit of the supervisor's block-append
+// merge. Worker processes and adopted in-process workers both encode
+// through here, so the merged bytes cannot depend on where a worker
+// runs.
+func encodeRecordsStream(recs []cluster.Record) ([]byte, error) {
+	var stream bytes.Buffer
+	bw, err := tracebin.NewWriter(&stream, tracebin.WriterOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]tracebin.Record, len(recs))
+	for i, r := range recs {
+		rows[i] = r.BinRecord()
+	}
+	if err := bw.Flush(rows); err != nil {
+		return nil, err
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
+	}
+	return stream.Bytes(), nil
+}
+
+// sendRecords ships one interval's records in the records frame.
+func (ws *workerSession) sendRecords(seq int64, recs []cluster.Record) error {
+	stream, err := encodeRecordsStream(recs)
+	if err != nil {
+		return err
+	}
+	ws.enc.Reset()
+	ws.enc.I64(seq)
+	ws.enc.Blob(stream)
+	return ws.c.send(fRecords, ws.enc.Bytes())
+}
+
+// awaitImports blocks on the routed twin batch for seq. Shutdown
+// while waiting ends the worker cleanly (the supervisor abandoned the
+// step).
+func (ws *workerSession) awaitImports(seq int64) ([]cluster.Handover, error) {
+	for {
+		typ, payload, nbuf, err := ReadFrame(ws.br, ws.buf)
+		ws.buf = nbuf
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case fImports:
+			d := checkpoint.NewDec(payload)
+			gotSeq := d.I64()
+			hs, herr := decodeHandovers(d)
+			if herr == nil {
+				herr = d.Close()
+			}
+			if herr != nil {
+				return nil, fmt.Errorf("imports payload: %w", herr)
+			}
+			if gotSeq != seq {
+				return nil, fmt.Errorf("imports for step %d during step %d: %w", gotSeq, seq, ErrProtocol)
+			}
+			return hs, nil
+		case fShutdown:
+			return nil, io.ErrClosedPipe
+		default:
+			return nil, fmt.Errorf("frame %d while awaiting imports: %w", typ, ErrProtocol)
+		}
+	}
+}
+
+// encodeCheckpoint captures the worker's boundary state as a
+// self-contained checkpoint blob.
+func (ws *workerSession) encodeCheckpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	cw := checkpoint.NewWriter(&buf, WorkerKind, ws.fp)
+	if err := ws.wk.WriteState(cw); err != nil {
+		return nil, err
+	}
+	if err := cw.Finish(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -237,3 +237,66 @@ func CellPlan(seed int64, cells, intervals int) CellFault {
 	}
 	return f
 }
+
+// ProcFaultKind selects how a distributed worker process misbehaves.
+type ProcFaultKind uint8
+
+const (
+	// ProcKill terminates the worker abruptly (SIGKILL in process
+	// transports, torn pipes in in-process ones) when the scheduled
+	// interval's step arrives.
+	ProcKill ProcFaultKind = iota
+	// ProcHang stalls the worker — heartbeats included — so the
+	// supervisor's liveness deadline, not the pipe, detects the loss.
+	ProcHang
+	// ProcGarbage makes the worker emit a corrupt frame (bad CRC) in
+	// place of the interval's records, exercising torn-frame recovery.
+	ProcGarbage
+)
+
+// String names the fault kind for logs and test output.
+func (k ProcFaultKind) String() string {
+	switch k {
+	case ProcKill:
+		return "kill"
+	case ProcHang:
+		return "hang"
+	case ProcGarbage:
+		return "garbage"
+	}
+	return "unknown"
+}
+
+// ProcFault schedules one distributed-worker process failure: worker
+// Worker misbehaves per Kind when it receives the step for scheduling
+// interval Interval. Faults fire once — a worker restarted past the
+// scheduled boundary does not re-fire it.
+type ProcFault struct {
+	// Worker is the worker index to fail.
+	Worker int `json:"worker"`
+	// Interval is the 0-based scheduling interval whose step triggers
+	// the fault (process faults never fire during warm-up or training).
+	Interval int `json:"interval"`
+	// Kind is the failure mode.
+	Kind ProcFaultKind `json:"kind"`
+}
+
+// ProcPlan derives a deterministic worker-chaos plan from its own
+// seed stream (disjoint from Plan's and CellPlan's): which of workers
+// workers fails, at which of intervals boundaries, and how. The same
+// (seed, workers, intervals) always yields the same plan, so a
+// chaotic distributed run replays bit-identically.
+func ProcPlan(seed int64, workers, intervals int) ProcFault {
+	if workers < 1 {
+		workers = 1
+	}
+	if intervals < 1 {
+		intervals = 1
+	}
+	rng := rand.New(parallel.NewStream(seed, 0xFA03))
+	return ProcFault{
+		Worker:   rng.Intn(workers),
+		Interval: rng.Intn(intervals),
+		Kind:     ProcFaultKind(rng.Intn(3)),
+	}
+}

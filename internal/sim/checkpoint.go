@@ -245,36 +245,72 @@ func (s *Simulation) decodeCache(d *checkpoint.Dec) error {
 func (s *Simulation) encodeUsers(e *checkpoint.Enc) error {
 	e.U32(uint32(len(s.users)))
 	for _, u := range s.users {
-		e.Int(u.id)
-		e.U64(u.gen)
-		e.U64(u.src.State())
-		e.F64s(u.profile.Pref)
-		if err := encodeMobility(e, u.mob); err != nil {
+		if err := s.encodeUser(e, u); err != nil {
 			return err
-		}
-		ls := u.link.State()
-		e.Int(ls.BS)
-		e.F64(ls.ShadowDB)
-		e.F64(ls.HRe)
-		e.F64(ls.HIm)
-		blob, err := json.Marshal(u.twin.Snapshot())
-		if err != nil {
-			return fmt.Errorf("user %d twin: %w", u.id, err)
-		}
-		e.Blob(blob)
-		e.F64(u.posPrev.X)
-		e.F64(u.posPrev.Y)
-		e.F64(u.posPrev2.X)
-		e.F64(u.posPrev2.Y)
-		e.Int(u.havePos)
-		e.F64(u.prevDispX)
-		e.F64(u.prevDispY)
-		for _, st := range []predict.EWMAState{u.snrOffset.State(), u.snrEWMA.State(), u.persist.State()} {
-			e.F64(st.Value)
-			e.Bool(st.Ready)
 		}
 	}
 	return nil
+}
+
+// encodeUser appends one user's full mutable state: identity and
+// stream position first (so decode can replay construction), then
+// everything that evolves after construction.
+func (s *Simulation) encodeUser(e *checkpoint.Enc, u *user) error {
+	e.Int(u.id)
+	e.U64(u.gen)
+	e.U64(u.src.State())
+	e.F64s(u.profile.Pref)
+	if err := encodeMobility(e, u.mob); err != nil {
+		return err
+	}
+	ls := u.link.State()
+	e.Int(ls.BS)
+	e.F64(ls.ShadowDB)
+	e.F64(ls.HRe)
+	e.F64(ls.HIm)
+	blob, err := json.Marshal(u.twin.Snapshot())
+	if err != nil {
+		return fmt.Errorf("user %d twin: %w", u.id, err)
+	}
+	e.Blob(blob)
+	e.F64(u.posPrev.X)
+	e.F64(u.posPrev.Y)
+	e.F64(u.posPrev2.X)
+	e.F64(u.posPrev2.Y)
+	e.Int(u.havePos)
+	e.F64(u.prevDispX)
+	e.F64(u.prevDispY)
+	for _, st := range []predict.EWMAState{u.snrOffset.State(), u.snrEWMA.State(), u.persist.State()} {
+		e.F64(st.Value)
+		e.Bool(st.Ready)
+	}
+	return nil
+}
+
+// EncodeUser appends the full mutable state of one population member
+// — the per-user twin wire encoding of the "users" checkpoint section
+// — so a handover can ship the twin to another process. The bytes are
+// exactly what decoding via DecodeUser on a cell sharing this cell's
+// substrate (catalog, stations, campus, seed) needs to reproduce the
+// user draw-for-draw.
+func (s *Simulation) EncodeUser(e *checkpoint.Enc, id int) error {
+	u := s.userByID(id)
+	if u == nil {
+		return fmt.Errorf("encode user %d: not a member of this cell: %w", id, ErrConfig)
+	}
+	return s.encodeUser(e, u)
+}
+
+// DecodeUser rebuilds one user from bytes written by EncodeUser,
+// replaying the deterministic constructor on this cell's substrate
+// and overwriting the mutable state. The returned handle is detached:
+// pass it to AttachUser to add it to this cell's population.
+func (s *Simulation) DecodeUser(d *checkpoint.Dec) (*User, error) {
+	u, err := s.decodeUser(d)
+	if err != nil {
+		return nil, err
+	}
+	return &User{u: u}, nil
 }
 
 func (s *Simulation) decodeUsers(d *checkpoint.Dec) error {
@@ -284,68 +320,77 @@ func (s *Simulation) decodeUsers(d *checkpoint.Dec) error {
 	}
 	users := make([]*user, 0, min(int(n), 1<<20))
 	for i := uint32(0); i < n; i++ {
-		id := d.Int()
-		gen := d.U64()
-		srcState := d.U64()
-		if err := d.Err(); err != nil {
+		u, err := s.decodeUser(d)
+		if err != nil {
 			return err
 		}
-		if id < 0 {
-			return fmt.Errorf("user id %d: %w", id, checkpoint.ErrCorrupt)
-		}
-		// Replay the constructor on the user's derived stream (this
-		// reproduces every construction-time draw), then overwrite the
-		// mutable state and reposition the stream.
-		u, err := s.newUser(id, parallel.NewStream(s.cfg.Seed, streamUser, uint64(id), gen))
-		if err != nil {
-			return fmt.Errorf("user %d replay: %w", id, err)
-		}
-		u.gen = gen
-		pref := d.F64s()
-		if len(pref) != len(u.profile.Pref) {
-			return fmt.Errorf("user %d preference of %d categories: %w", id, len(pref), checkpoint.ErrCorrupt)
-		}
-		copy(u.profile.Pref, pref)
-		if err := decodeMobility(d, u.mob); err != nil {
-			return fmt.Errorf("user %d mobility: %w", id, err)
-		}
-		var ls channel.LinkState
-		ls.BS = d.Int()
-		ls.ShadowDB = d.F64()
-		ls.HRe = d.F64()
-		ls.HIm = d.F64()
-		blob := d.Blob()
-		if err := d.Err(); err != nil {
-			return err
-		}
-		if err := u.link.SetState(ls, s.stations); err != nil {
-			return fmt.Errorf("user %d link: %v: %w", id, err, checkpoint.ErrCorrupt)
-		}
-		var snap udt.Snapshot
-		if err := json.Unmarshal(blob, &snap); err != nil {
-			return fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
-		}
-		twin, err := udt.Restore(&snap)
-		if err != nil {
-			return fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
-		}
-		u.twin = twin
-		u.posPrev = mobility.Point{X: d.F64(), Y: d.F64()}
-		u.posPrev2 = mobility.Point{X: d.F64(), Y: d.F64()}
-		u.havePos = d.Int()
-		u.prevDispX = d.F64()
-		u.prevDispY = d.F64()
-		for _, f := range []interface{ SetState(predict.EWMAState) }{u.snrOffset, u.snrEWMA, u.persist} {
-			f.SetState(predict.EWMAState{Value: d.F64(), Ready: d.Bool()})
-		}
-		u.src.SetState(srcState)
 		users = append(users, u)
-		if err := d.Err(); err != nil {
-			return err
-		}
 	}
 	s.users = users
 	return nil
+}
+
+// decodeUser rebuilds one user from its encodeUser bytes: replay the
+// constructor on the user's derived stream (this reproduces every
+// construction-time draw), then overwrite the mutable state and
+// reposition the stream.
+func (s *Simulation) decodeUser(d *checkpoint.Dec) (*user, error) {
+	id := d.Int()
+	gen := d.U64()
+	srcState := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if id < 0 {
+		return nil, fmt.Errorf("user id %d: %w", id, checkpoint.ErrCorrupt)
+	}
+	u, err := s.newUser(id, parallel.NewStream(s.cfg.Seed, streamUser, uint64(id), gen))
+	if err != nil {
+		return nil, fmt.Errorf("user %d replay: %w", id, err)
+	}
+	u.gen = gen
+	pref := d.F64s()
+	if len(pref) != len(u.profile.Pref) {
+		return nil, fmt.Errorf("user %d preference of %d categories: %w", id, len(pref), checkpoint.ErrCorrupt)
+	}
+	copy(u.profile.Pref, pref)
+	if err := decodeMobility(d, u.mob); err != nil {
+		return nil, fmt.Errorf("user %d mobility: %w", id, err)
+	}
+	var ls channel.LinkState
+	ls.BS = d.Int()
+	ls.ShadowDB = d.F64()
+	ls.HRe = d.F64()
+	ls.HIm = d.F64()
+	blob := d.Blob()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := u.link.SetState(ls, s.stations); err != nil {
+		return nil, fmt.Errorf("user %d link: %v: %w", id, err, checkpoint.ErrCorrupt)
+	}
+	var snap udt.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return nil, fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
+	}
+	twin, err := udt.Restore(&snap)
+	if err != nil {
+		return nil, fmt.Errorf("user %d twin: %v: %w", id, err, checkpoint.ErrCorrupt)
+	}
+	u.twin = twin
+	u.posPrev = mobility.Point{X: d.F64(), Y: d.F64()}
+	u.posPrev2 = mobility.Point{X: d.F64(), Y: d.F64()}
+	u.havePos = d.Int()
+	u.prevDispX = d.F64()
+	u.prevDispY = d.F64()
+	for _, f := range []interface{ SetState(predict.EWMAState) }{u.snrOffset, u.snrEWMA, u.persist} {
+		f.SetState(predict.EWMAState{Value: d.F64(), Ready: d.Bool()})
+	}
+	u.src.SetState(srcState)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return u, nil
 }
 
 func encodeMobility(e *checkpoint.Enc, m mobility.Model) error {

@@ -1,0 +1,171 @@
+package tracebin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// AppendWriter merges already-encoded binary traces into one output
+// stream by appending whole verified blocks — no decode, no
+// re-encode. This is the coordinator's merge path: N workers each
+// produce a columnar stream for an interval, and the merged output is
+// their blocks appended in arrival order under one header.
+//
+// AppendWriter is safe for concurrent use; each appended block (or
+// stream) is verified — frame length bounds, CRC32, known frame flag
+// — before anything is written, so a torn worker stream cannot tear
+// the merged output. Every accepted block reaches the underlying
+// writer as a single Write.
+type AppendWriter struct {
+	mu         sync.Mutex
+	w          io.Writer
+	headerDone bool
+	err        error
+}
+
+// NewAppendWriter returns an AppendWriter emitting to w. The stream
+// header is written by the first successful append (or by Close, so
+// even an empty merge yields a valid file).
+func NewAppendWriter(w io.Writer) *AppendWriter {
+	return &AppendWriter{w: w}
+}
+
+// validateFrame checks one framed block — [u32 len][flag+body][u32
+// crc] — without decoding the body. It returns the total encoded
+// size, or ErrCorrupt.
+func validateFrame(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("tracebin: block of %d bytes: %w", len(b), ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 1 || n > maxFrame {
+		return 0, fmt.Errorf("tracebin: block frame length %d: %w", n, ErrCorrupt)
+	}
+	if len(b) < 4+n+4 {
+		return 0, fmt.Errorf("tracebin: truncated block frame: %w", ErrCorrupt)
+	}
+	frame := b[4 : 4+n]
+	if got, want := crc32.ChecksumIEEE(frame), binary.LittleEndian.Uint32(b[4+n:]); got != want {
+		return 0, fmt.Errorf("tracebin: block checksum %08x (want %08x): %w", got, want, ErrCorrupt)
+	}
+	if frame[0] != frameRaw && frame[0] != frameDeflate {
+		return 0, fmt.Errorf("tracebin: block frame flag %d: %w", frame[0], ErrCorrupt)
+	}
+	return 4 + n + 4, nil
+}
+
+// AppendBlock verifies one framed block — the [u32 len][frame][u32
+// crc] encoding a Writer emits — and appends it verbatim. A block
+// that fails verification is rejected without touching the output,
+// and the AppendWriter stays usable; only an underlying write failure
+// latches it broken.
+func (aw *AppendWriter) AppendBlock(block []byte) error {
+	n, err := validateFrame(block)
+	if err != nil {
+		return err
+	}
+	if n != len(block) {
+		return fmt.Errorf("tracebin: %d trailing bytes after block frame: %w", len(block)-n, ErrCorrupt)
+	}
+	aw.mu.Lock()
+	defer aw.mu.Unlock()
+	return aw.writeLocked(block)
+}
+
+// AppendStream verifies the header of one whole encoded stream and
+// appends its blocks, returning how many were appended. Blocks are
+// verified and appended one at a time, so concurrent AppendStream
+// calls interleave at block granularity — record order is preserved
+// within each input stream, not across streams. A corrupt input block
+// stops the append at the last verified block; the merged output is
+// still well-formed.
+func (aw *AppendWriter) AppendStream(r io.Reader) (int, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	// Borrow the Reader's header parser: same magic/version/schema
+	// rules, nothing decoded past the header.
+	hdr := &Reader{r: br}
+	if err := hdr.readHeader(); err != nil {
+		return 0, err
+	}
+	blocks := 0
+	var lenb [4]byte
+	var buf []byte // per-call: concurrent AppendStreams must not share scratch
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			if err == io.EOF {
+				return blocks, nil // clean boundary: end of input stream
+			}
+			return blocks, fmt.Errorf("tracebin: block frame length: %w", corruptEOF(err))
+		}
+		n := int(binary.LittleEndian.Uint32(lenb[:]))
+		if n < 1 || n > maxFrame {
+			return blocks, fmt.Errorf("tracebin: block frame length %d: %w", n, ErrCorrupt)
+		}
+		total := 4 + n + 4
+		if cap(buf) < total {
+			buf = make([]byte, total)
+		}
+		block := buf[:total]
+		copy(block, lenb[:])
+		if _, err := io.ReadFull(br, block[4:]); err != nil {
+			return blocks, fmt.Errorf("tracebin: block frame: %w", corruptEOF(err))
+		}
+		if _, err := validateFrame(block); err != nil {
+			return blocks, err
+		}
+		aw.mu.Lock()
+		err := aw.writeLocked(block)
+		aw.mu.Unlock()
+		if err != nil {
+			return blocks, err
+		}
+		blocks++
+	}
+}
+
+// writeLocked writes the header (once) and one verified block. Caller
+// holds aw.mu.
+func (aw *AppendWriter) writeLocked(block []byte) error {
+	if aw.err != nil {
+		return aw.err
+	}
+	if !aw.headerDone {
+		if _, err := aw.w.Write(appendHeader(nil)); err != nil {
+			aw.err = err
+			return err
+		}
+		aw.headerDone = true
+	}
+	if _, err := aw.w.Write(block); err != nil {
+		aw.err = err
+		return err
+	}
+	return nil
+}
+
+// Close writes the header if nothing was ever appended, so an empty
+// merge still yields a valid file. An AppendWriter already latched
+// broken returns nil — the error was reported when it happened. The
+// underlying writer is not closed.
+func (aw *AppendWriter) Close() error {
+	aw.mu.Lock()
+	defer aw.mu.Unlock()
+	if aw.err != nil {
+		return nil
+	}
+	if !aw.headerDone {
+		if _, err := aw.w.Write(appendHeader(nil)); err != nil {
+			aw.err = err
+			return err
+		}
+		aw.headerDone = true
+	}
+	return nil
+}

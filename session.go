@@ -35,6 +35,8 @@ import (
 
 	"dtmsvs/internal/checkpoint"
 	"dtmsvs/internal/cluster"
+	"dtmsvs/internal/coord"
+	"dtmsvs/internal/faultinject"
 	"dtmsvs/internal/sim"
 	"dtmsvs/internal/stats"
 )
@@ -230,6 +232,17 @@ type sessionOptions struct {
 	// cellPolicy is the cluster engine's response to scheduled cell
 	// faults (zero value: CellFailFast).
 	cellPolicy CellFailurePolicy
+	// Distributed-session knobs (see distributed.go); all zero values
+	// defer to coord's defaults.
+	workerTransport     coord.TransportFactory
+	workerHeartbeat     time.Duration
+	workerHeartbeatMiss int
+	workerStepTimeout   time.Duration
+	workerRestarts      int
+	workerBackoff       time.Duration
+	workerAdopt         bool
+	workerHang          time.Duration
+	procFaults          []faultinject.ProcFault
 }
 
 // WithSink streams every interval's records into sink (flushed at
@@ -641,7 +654,7 @@ func Open(cfg Config, opts ...SessionOption) (*SimSession, error) {
 	if cs, ok := o.sink.(*CSVSink); ok {
 		// The session knows the schema before any record exists, so an
 		// empty run still gets its CSV header.
-		cs.setSchema(TraceRecord{BS: -1})
+		cs.SetSchema(TraceRecord{BS: -1})
 	}
 	st := &simStepper{
 		eng:    eng,
@@ -728,7 +741,7 @@ func OpenCluster(cfg ClusterConfig, opts ...SessionOption) (*ClusterSession, err
 	}
 	o := buildOptions(opts)
 	if cs, ok := o.sink.(*CSVSink); ok {
-		cs.setSchema(TraceRecord{BS: 0})
+		cs.SetSchema(TraceRecord{BS: 0})
 	}
 	eng.SetRetainRecords(o.sink == nil)
 	eng.SetFailurePolicy(o.cellPolicy)

@@ -60,13 +60,12 @@ func (s *NDJSONSink) Flush() error { return s.s.Flush() }
 
 // CSVSink streams records as CSV, writing the header before the first
 // record (the monolithic schema for BS < 0 records, the bs-prefixed
-// cluster schema otherwise — a session never mixes the two). Open and
-// OpenCluster tell the sink which schema to expect, so a run that
+// cluster schema otherwise — a session never mixes the two). Sessions
+// tell the sink which schema to expect via SetSchema, so a run that
 // ends before its first interval completes (e.g. cancelled during the
 // prologue) leaves a header-only file, matching the batch
-// WriteTraceCSV helpers. The one remaining gap: a CSVSink used
-// outside a session has no record to learn the schema from, so
-// flushing it before the first Write still emits nothing.
+// WriteTraceCSV helpers. A bare CSVSink used outside a session gets
+// the same behavior by calling SetSchema itself.
 type CSVSink struct {
 	s *traceio.CSVStream
 }
@@ -82,9 +81,15 @@ func (s *CSVSink) WriteRecord(r TraceRecord) error { return s.s.Write(r) }
 // Flush implements TraceSink.
 func (s *CSVSink) Flush() error { return s.s.Flush() }
 
-// setSchema arms the stream with the session's record schema so an
-// empty run still gets its header. Called by Open/OpenCluster.
-func (s *CSVSink) setSchema(r TraceRecord) { s.s.SetEmptyHeader(r) }
+// SetSchema arms the stream with the record schema so a run that
+// flushes with zero records still emits the header row. The sample's
+// values are ignored — only its shape matters: BS < 0 selects the
+// monolithic column set, BS >= 0 the bs-prefixed cluster set.
+// Open/OpenCluster/OpenDistributed call this on any CSVSink passed
+// via WithSink; a bare CSVSink used outside a session should call it
+// before the first Flush or Close. Once a record has been written (or
+// the header emitted) further calls have no effect.
+func (s *CSVSink) SetSchema(r TraceRecord) { s.s.SetEmptyHeader(r) }
 
 // DiscardSink drops every record: attach it when only the run-level
 // statistics and interval reports matter, so neither the session nor
